@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 10's measured series: BitFlow's best CPU
+//! configuration per Table IV operator (the GPU comparator line is
+//! analytical — printed by the `fig10` binary).
+
+use bitflow_bench::runners::{run_once, Impl};
+use bitflow_bench::timing::with_pool;
+use bitflow_bench::workloads::{prepare, table_iv};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig10(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("fig10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
+    for w in table_iv() {
+        let p = prepare(&w, 44);
+        group.bench_function(format!("{}/bitflow-best", w.name), |b| {
+            with_pool(threads, || {
+                b.iter(|| run_once(Impl::BitFlow, &p, threads));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

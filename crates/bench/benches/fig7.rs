@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 7: single-thread float vs unoptimized binary
+//! vs BitFlow, per Table IV operator. The `fig7` binary prints the
+//! paper-style acceleration table; this bench gives criterion-grade
+//! statistics for the same configurations.
+
+use bitflow_bench::runners::{run_once, Impl};
+use bitflow_bench::workloads::{prepare, table_iv};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300));
+    for w in table_iv() {
+        let p = prepare(&w, 42);
+        for (label, imp) in [
+            ("float", Impl::Float),
+            ("unopt-binary", Impl::BinaryUnopt),
+            ("bitflow", Impl::BitFlow),
+        ] {
+            group.bench_function(format!("{}/{}", w.name, label), |b| {
+                b.iter(|| run_once(imp, &p, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

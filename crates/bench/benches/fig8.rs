@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 8: BitFlow operators at 1 and 4 threads
+//! (Core i7-7700HQ analog). Thread counts above the host's core count
+//! measure threading overhead — see EXPERIMENTS.md.
+
+use bitflow_bench::runners::{run_once, Impl};
+use bitflow_bench::timing::with_pool;
+use bitflow_bench::workloads::{prepare, table_iv};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
+    for w in table_iv() {
+        let p = prepare(&w, 43);
+        for threads in [1usize, 4] {
+            group.bench_function(format!("{}/threads{}", w.name, threads), |b| {
+                with_pool(threads, || {
+                    b.iter(|| run_once(Impl::BitFlow, &p, threads));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

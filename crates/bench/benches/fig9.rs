@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 9: BitFlow operators at 1/4/16/64 threads
+//! (Xeon Phi 7210 analog). On hosts with fewer cores the higher thread
+//! counts measure oversubscription overhead — see EXPERIMENTS.md.
+
+use bitflow_bench::runners::{run_once, Impl};
+use bitflow_bench::timing::with_pool;
+use bitflow_bench::workloads::{prepare, table_iv};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(250));
+    // Conv2.1 and conv5.1 bracket the paper's scaling story (best and
+    // worst scaling); keep the sweep focused to bound bench time.
+    for w in table_iv().into_iter().filter(|w| w.name == "conv2.1" || w.name == "conv5.1") {
+        let p = prepare(&w, 43);
+        for threads in [1usize, 4, 16, 64] {
+            group.bench_function(format!("{}/threads{}", w.name, threads), |b| {
+                with_pool(threads, || {
+                    b.iter(|| run_once(Impl::BitFlow, &p, threads));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

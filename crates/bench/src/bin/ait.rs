@@ -1,0 +1,35 @@
+//! §III-A — arithmetic-intensity analysis of image-to-column vs direct
+//! (Pressed) convolution, float and binary, using the paper's Eqs. 4–8.
+
+use bitflow_ops::ait::ConvAit;
+use bitflow_bench::workloads::{table_iv_convs, OpKind};
+use bitflow_tensor::FilterShape;
+
+fn main() {
+    println!("Paper §III-A reproduction — arithmetic intensity (Eqs. 4-8)\n");
+    println!(
+        "{:<9} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "op", "AIT intrin", "AIT im2col", "fraction", "binAIT intrin", "binAIT im2col"
+    );
+    for w in table_iv_convs() {
+        let k = match w.kind {
+            OpKind::Conv { k } => k,
+            _ => unreachable!(),
+        };
+        let f = FilterShape::new(k, 3, 3, w.c);
+        let fp = ConvAit::full_precision(w.input_shape(), f);
+        let bin = ConvAit::binary(w.input_shape(), f, 64.0);
+        println!(
+            "{:<9} {:>12.1} {:>12.1} {:>8.1}% {:>14.2} {:>14.2}",
+            w.name,
+            fp.intrinsic(),
+            fp.im2col(),
+            fp.im2col_fraction() * 100.0,
+            bin.intrinsic(),
+            bin.im2col()
+        );
+    }
+    println!("\nReading: image-to-column reaches only `fraction` of the intrinsic AIT");
+    println!("(2|U| term, paper Eq. 8); after 64x bit-packing the achievable binary");
+    println!("AIT collapses further — the quantitative case for PressedConv.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 10 — Wall-clock time comparison of BitFlow with counterpart
+//! float-value operators on GPU (GTX 1080).
+//!
+//! The GPU series comes from the calibrated analytical model
+//! (`bitflow-gpumodel`, validated against the paper's published end-to-end
+//! numbers); the CPU series is measured: BitFlow's best configuration on
+//! this host (all available threads).
+
+use bitflow_bench::runners::{time_default, Impl};
+use bitflow_bench::workloads::{prepare, table_iv, OpKind};
+use bitflow_bench::{quick_mode, write_json};
+use bitflow_gpumodel::GpuModel;
+use bitflow_ops::ConvParams;
+use bitflow_tensor::{FilterShape, Shape};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    gpu_model_ms: f64,
+    bitflow_ms: f64,
+    bitflow_vs_gpu: f64,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "Fig. 10 reproduction — per-operator wall-clock: GTX 1080 model vs BitFlow ({threads} threads){}",
+        if quick { " (quick mode)" } else { "" }
+    );
+    let gpu = GpuModel::gtx1080();
+    let mut rows = Vec::new();
+    println!("{:<9} {:>14} {:>14} {:>12}", "op", "GTX1080(model)", "BitFlow", "CPU/GPU");
+    for w in table_iv() {
+        // GPU model always uses the paper-size workload; quick mode only
+        // shrinks the measured CPU side, so don't mix scales:
+        let wm = if quick { w.shrunk(4) } else { w };
+        let p = prepare(&wm, 44);
+        let tb = time_default(Impl::BitFlow, &p, threads).as_secs_f64() * 1e3;
+        let tg = match w.kind {
+            OpKind::Conv { k } => gpu
+                .conv_time(
+                    Shape::hwc(wm.h, wm.w, wm.c),
+                    FilterShape::new(k, 3, 3, wm.c),
+                    ConvParams::VGG_CONV,
+                )
+                .as_secs_f64(),
+            OpKind::Fc { k } => gpu.fc_time(wm.flat_n(), k).as_secs_f64(),
+            OpKind::Pool => gpu
+                .pool_time(Shape::hwc(wm.h, wm.w, wm.c), ConvParams::VGG_POOL)
+                .as_secs_f64(),
+        } * 1e3;
+        println!(
+            "{:<9} {:>12.3}ms {:>12.3}ms {:>11.2}x",
+            w.name,
+            tg,
+            tb,
+            tb / tg
+        );
+        rows.push(Row {
+            op: w.name.to_string(),
+            gpu_model_ms: tg,
+            bitflow_ms: tb,
+            bitflow_vs_gpu: tb / tg,
+        });
+    }
+    write_json("fig10", &rows);
+}

@@ -1,0 +1,13 @@
+//! Fig. 8 — Multi-core performance of BitFlow (paper: Core i7-7700HQ,
+//! threads 1 and 4), single-thread float = 1×.
+//!
+//! NOTE: this reproduction host may expose fewer hardware cores than the
+//! paper's machines (the harness prints the count); thread counts beyond
+//! the core count measure scheduling overhead, not speedup — EXPERIMENTS.md
+//! discusses this.
+
+use bitflow_bench::fig_multicore::run_scaling;
+
+fn main() {
+    run_scaling(&[1, 4], "fig8", "Fig. 8 (i7-7700HQ analog)");
+}

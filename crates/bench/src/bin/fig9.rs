@@ -1,0 +1,10 @@
+//! Fig. 9 — Multi-core performance of BitFlow (paper: Xeon Phi 7210,
+//! threads 1, 4, 16 and 64), single-thread float = 1×.
+//!
+//! See fig8.rs for the host-core-count caveat.
+
+use bitflow_bench::fig_multicore::run_scaling;
+
+fn main() {
+    run_scaling(&[1, 4, 16, 64], "fig9", "Fig. 9 (Xeon Phi 7210 analog)");
+}

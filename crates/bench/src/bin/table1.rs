@@ -1,0 +1,47 @@
+//! Table I — the SIMD instructions BitFlow uses, with their availability
+//! on this host and which BitFlow kernel employs them.
+
+use bitflow_simd::features;
+
+fn main() {
+    let f = features();
+    println!("Table I reproduction — SIMD instructions used by BitFlow\n");
+    println!("{:<34} {:<10} {}", "instruction", "available", "used by");
+    let rows: [(&str, bool, &str); 6] = [
+        (
+            "_mm_xor_si128",
+            f.sse2,
+            "kernels::xor_popcount_sse (SSE tier)",
+        ),
+        (
+            "_mm256_xor_si256",
+            f.avx2,
+            "kernels::xor_popcount_avx2 (AVX2 tier)",
+        ),
+        (
+            "_mm512_xor_si512",
+            f.avx512f,
+            "kernels::xor_popcount_avx512 (AVX-512 tier)",
+        ),
+        (
+            "_mm512_maskz_xor_epi64",
+            f.avx512f,
+            "kernels::xor_popcount_avx512 (masked tail)",
+        ),
+        (
+            "_mm512_popcnt_epi64",
+            f.avx512vpopcntdq,
+            "kernels::xor_popcount_avx512 (VPOPCNTDQ)",
+        ),
+        (
+            "_mm512_maskz_popcnt_epi64",
+            f.avx512vpopcntdq,
+            "kernels::xor_popcount_avx512 (masked tail)",
+        ),
+    ];
+    for (instr, avail, used_by) in rows {
+        println!("{:<34} {:<10} {}", instr, if avail { "yes" } else { "no" }, used_by);
+    }
+    println!("\nhost feature summary: {f}");
+    println!("widest xor+popcount path: {} bits", f.max_width_bits());
+}

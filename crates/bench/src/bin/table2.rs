@@ -1,0 +1,45 @@
+//! Table II — BitFlow's core data structures: the Rust equivalents of the
+//! paper's `bit64_t`/`bit64_u` bit-field union and the `m128_u`/`m256_u`/
+//! `m512_u` register unions, with sizes and a packing demonstration.
+
+use bitflow_tensor::Bit64;
+
+fn main() {
+    println!("Table II reproduction — BitFlow data structures (Rust forms)\n");
+    println!("{:<28} {:<8} {}", "type", "bytes", "role");
+    println!(
+        "{:<28} {:<8} {}",
+        "tensor::Bit64",
+        std::mem::size_of::<Bit64>(),
+        "fused binarization + bit-packing word (paper bit64_t/bit64_u)"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        use bitflow_simd::vec_u::{M128U, M256U, M512U};
+        println!(
+            "{:<28} {:<8} {}",
+            "simd::vec_u::M128U",
+            std::mem::size_of::<M128U>(),
+            "SSE register <-> 2x u64 lanes (paper m128_u)"
+        );
+        println!(
+            "{:<28} {:<8} {}",
+            "simd::vec_u::M256U",
+            std::mem::size_of::<M256U>(),
+            "AVX2 register <-> 4x u64 lanes (paper m256_u)"
+        );
+        println!(
+            "{:<28} {:<8} {}",
+            "simd::vec_u::M512U",
+            std::mem::size_of::<M512U>(),
+            "AVX-512 register <-> 8x u64 lanes (paper m512_u)"
+        );
+    }
+    // Demonstrate the fused binarize+pack on 64 floats.
+    let mut xs = [-0.5f32; 64];
+    xs[0] = 1.0;
+    xs[63] = 0.0; // sign(0) = +1
+    let word = Bit64::pack64(&xs);
+    println!("\nfused binarize+pack demo: bit0={}, bit63={}, word={:#018x}", word.bit(0), word.bit(63), word.0);
+    assert_eq!(word.0, 1 | (1 << 63));
+}

@@ -1,0 +1,74 @@
+//! Table III — fused binarization + bit-packing + transposition vs the
+//! staged alternative (float transpose, then binarize+pack).
+//!
+//! The paper fuses the three steps into one pass over the weight matrix;
+//! this harness times both on the VGG FC weight shapes and verifies the
+//! outputs are bit-identical.
+
+use bitflow_bench::timing::{fmt_duration, measure};
+use bitflow_bench::write_json;
+use bitflow_gemm::pack::{pack_b_fused, pack_b_staged};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    matrix: String,
+    n: usize,
+    k: usize,
+    fused_ms: f64,
+    staged_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    println!("Table III reproduction — fused binarize+pack+transpose vs staged\n");
+    let mut rng = StdRng::seed_from_u64(50);
+    let mut rows = Vec::new();
+    println!("{:<16} {:>12} {:>12} {:>9}", "weight matrix", "fused", "staged", "speedup");
+    for (name, n, k) in [
+        ("fc7 (4096x4096)", 4096usize, 4096usize),
+        ("fc8 (4096x1000)", 4096, 1000),
+        ("fc6 (25088x512)", 25088, 512), // fc6 column slice: full fc6 is 25088x4096 (~400 MB floats); a 512-col slice keeps the run short with the same access pattern
+    ] {
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let fused = pack_b_fused(&b, n, k);
+        let staged = pack_b_staged(&b, n, k);
+        assert_eq!(fused, staged, "fused and staged packing must agree");
+        let tf = measure(
+            || {
+                black_box(pack_b_fused(&b, n, k));
+            },
+            Duration::from_millis(800),
+            3,
+            50,
+        );
+        let ts = measure(
+            || {
+                black_box(pack_b_staged(&b, n, k));
+            },
+            Duration::from_millis(800),
+            3,
+            50,
+        );
+        println!(
+            "{:<16} {:>12} {:>12} {:>8.2}x",
+            name,
+            fmt_duration(tf),
+            fmt_duration(ts),
+            ts.as_secs_f64() / tf.as_secs_f64()
+        );
+        rows.push(Row {
+            matrix: name.to_string(),
+            n,
+            k,
+            fused_ms: tf.as_secs_f64() * 1e3,
+            staged_ms: ts.as_secs_f64() * 1e3,
+            speedup: ts.as_secs_f64() / tf.as_secs_f64(),
+        });
+    }
+    println!("\n(fused avoids the float transpose pass and its N*K intermediate buffer)");
+    write_json("table3", &rows);
+}

@@ -1,0 +1,62 @@
+//! Shared driver for the multi-core scaling figures (Figs. 8 and 9).
+
+use crate::runners::{time_default, Impl};
+use crate::workloads::{prepare, table_iv};
+use crate::{quick_mode, write_json};
+use serde::Serialize;
+
+/// One operator's scaling row.
+#[derive(Serialize)]
+pub struct ScalingRow {
+    /// Operator name.
+    pub op: String,
+    /// Single-thread float baseline, ms.
+    pub float_ms: f64,
+    /// (threads, ms) for the BitFlow binary operator.
+    pub binary_ms_by_threads: Vec<(usize, f64)>,
+    /// (threads, acceleration over single-thread float).
+    pub accel_by_threads: Vec<(usize, f64)>,
+}
+
+/// Runs the Table IV operators at each thread count; prints the paper-style
+/// table and writes `<json_name>.json`.
+pub fn run_scaling(threads: &[usize], json_name: &str, title: &str) -> Vec<ScalingRow> {
+    let quick = quick_mode();
+    eprintln!(
+        "{title} — BitFlow binary operators at {threads:?} threads, single-thread float = 1x{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+    eprintln!(
+        "host: {} hardware thread(s) available",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let mut rows = Vec::new();
+    print!("{:<9} {:>12}", "op", "float(1t)");
+    for t in threads {
+        print!(" {:>11}", format!("bin {t}t"));
+    }
+    println!();
+    for w in table_iv() {
+        let w = if quick { w.shrunk(4) } else { w };
+        let p = prepare(&w, 43);
+        let tf = time_default(Impl::Float, &p, 1).as_secs_f64();
+        let mut binary_ms = Vec::new();
+        let mut accel = Vec::new();
+        print!("{:<9} {:>10.3}ms", w.name, tf * 1e3);
+        for &t in threads {
+            let tb = time_default(Impl::BitFlow, &p, t).as_secs_f64();
+            binary_ms.push((t, tb * 1e3));
+            accel.push((t, tf / tb));
+            print!(" {:>9.1}x ", tf / tb);
+        }
+        println!();
+        rows.push(ScalingRow {
+            op: w.name.to_string(),
+            float_ms: tf * 1e3,
+            binary_ms_by_threads: binary_ms,
+            accel_by_threads: accel,
+        });
+    }
+    write_json(json_name, &rows);
+    rows
+}

@@ -1,0 +1,77 @@
+//! # bitflow-bench
+//!
+//! Benchmark harness for the BitFlow reproduction. Every table and figure
+//! of the paper's evaluation section has a regenerating target:
+//!
+//! | paper artifact | binary (`cargo run --release -p bitflow-bench --bin …`) | criterion bench |
+//! |---|---|---|
+//! | Table I (SIMD instructions) | `table1` | — |
+//! | Table II (data structures) | `table2` | — |
+//! | Table III (fused packing) | `table3` | `--bench table3` |
+//! | Table IV (workloads) | `table4` | — |
+//! | Table V (accuracy & size) | `table5` | `--bench table5` |
+//! | Fig. 7 (vectorization speedup) | `fig7` | `--bench fig7` |
+//! | Fig. 8 (multi-core, i7 analog) | `fig8` | `--bench fig8` |
+//! | Fig. 9 (multi-core, Phi analog) | `fig9` | `--bench fig9` |
+//! | Fig. 10 (per-op vs GPU) | `fig10` | `--bench fig10` |
+//! | Fig. 11 (VGG end-to-end vs GPU) | `fig11` | `--bench fig11` |
+//! | §III-A AIT analysis | `ait` | `--bench ablation` |
+//!
+//! All binaries print a paper-style text table and write machine-readable
+//! JSON next to the repo root under `results/` (override the directory
+//! with `BITFLOW_RESULTS_DIR`).
+//!
+//! Measurement conventions (documented deviations in EXPERIMENTS.md):
+//!
+//! * Per-operator binary measurements time the *kernel* with pre-packed
+//!   weights (packing is a network-initialization cost in BitFlow) and,
+//!   for convolution, pre-packed inputs (inter-layer activations stay
+//!   packed inside a BNN; the binarize+pack of the previous layer's output
+//!   is fused there). Binary FC timings include input packing — its input
+//!   arrives flattened from pooling in VGG.
+//! * The float baseline is the optimized im2col+sgemm path with weight
+//!   transposition hoisted, i.e. a fair production-style float operator.
+//! * Multi-thread runs install a sized rayon pool per measurement.
+
+pub mod fig_multicore;
+pub mod runners;
+pub mod timing;
+pub mod workloads;
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory for JSON result dumps (`BITFLOW_RESULTS_DIR` or `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BITFLOW_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a serializable result object as pretty JSON under
+/// [`results_dir`], creating the directory if needed.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// True when `--quick` was passed or `BITFLOW_QUICK=1` — shrinks spatial
+/// dimensions 4× for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("BITFLOW_QUICK").is_ok_and(|v| v == "1")
+}

@@ -1,0 +1,86 @@
+//! Wall-clock measurement utilities.
+
+use std::time::{Duration, Instant};
+
+/// Measures the wall-clock time of `f`, adaptively: one warm-up call, then
+/// repeated timed calls until `budget` has elapsed or `max_iters` calls
+/// were made (whichever first, always ≥ `min_iters`). Returns the minimum
+/// observed time — the standard estimator for CPU microbenchmarks (least
+/// contaminated by interference).
+pub fn measure(mut f: impl FnMut(), budget: Duration, min_iters: usize, max_iters: usize) -> Duration {
+    f(); // warm-up (page faults, cache, branch predictors)
+    let mut best = Duration::MAX;
+    let mut spent = Duration::ZERO;
+    let mut iters = 0usize;
+    while iters < min_iters || (spent < budget && iters < max_iters) {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        best = best.min(dt);
+        spent += dt;
+        iters += 1;
+    }
+    best
+}
+
+/// Default measurement: 1 s budget, 3–50 iterations.
+pub fn measure_default(f: impl FnMut()) -> Duration {
+    measure(f, Duration::from_secs(1), 3, 50)
+}
+
+/// Runs `f` inside a fresh rayon pool of `threads` threads and returns its
+/// result. Each figure's thread sweep builds its pools this way, so the
+/// global pool never leaks between configurations.
+pub fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool");
+    pool.install(f)
+}
+
+/// Pretty-prints a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_minimum() {
+        let d = measure(
+            || {
+                std::hint::black_box((0..10_000u64).sum::<u64>());
+            },
+            Duration::from_millis(50),
+            3,
+            1000,
+        );
+        assert!(d > Duration::ZERO);
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn with_pool_controls_thread_count() {
+        let n = with_pool(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+        let n = with_pool(1, rayon::current_num_threads);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 µs");
+    }
+}

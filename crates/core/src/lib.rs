@@ -1,0 +1,86 @@
+//! # bitflow-core — the BitFlow public API
+//!
+//! One-stop facade over the BitFlow workspace, reproducing
+//! *"BitFlow: Exploiting Vector Parallelism for Binary Neural Networks on
+//! CPU"* (IPDPS 2018). Downstream users depend on this crate (or the root
+//! `bitflow` package, which re-exports it) and get:
+//!
+//! ```
+//! use bitflow_core::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Build a binarized VGG-16 with random weights and run one inference.
+//! let spec = vgg16();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let weights = NetworkWeights::random(&spec, &mut rng);
+//! let mut engine = Network::compile(&spec, &weights);
+//! let image = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+//! let logits = engine.infer(&image);
+//! assert_eq!(logits.len(), 1000);
+//! ```
+//!
+//! The three-level structure of the paper maps onto the re-exported crates:
+//!
+//! | level | crate | highlights |
+//! |---|---|---|
+//! | gemm | [`gemm`] | `bgemm`, fused binarize+pack+transpose (Table III) |
+//! | operator | [`ops`] | **PressedConv**, binary FC, binary OR-pool |
+//! | network | [`graph`] | static-graph engine, weight pre-packing, zero-cost padding |
+//!
+//! plus the substrates: [`tensor`] (NHWC pressed tensors), [`simd`]
+//! (xor+popcount kernels and the vector execution scheduler), [`gpumodel`]
+//! (the calibrated GTX 1080 comparator of Figs. 10–11).
+
+pub use bitflow_gemm as gemm;
+pub use bitflow_gpumodel as gpumodel;
+pub use bitflow_graph as graph;
+pub use bitflow_ops as ops;
+pub use bitflow_simd as simd;
+pub use bitflow_tensor as tensor;
+
+/// Everything a typical user needs, one import away.
+pub mod prelude {
+    pub use bitflow_gpumodel::GpuModel;
+    pub use bitflow_graph::models::{mlp, small_cnn, tiered_cnn, vgg16, vgg19};
+    pub use bitflow_graph::spec::{LayerSpec, NetworkSpec};
+    pub use bitflow_graph::weights::{BnParams, LayerWeights, NetworkWeights};
+    pub use bitflow_graph::{FloatNetwork, Network};
+    pub use bitflow_ops::binary::{
+        binary_conv_im2col, binary_fc, binary_max_pool, pressed_conv, pressed_conv_parallel,
+        BinaryFcWeights,
+    };
+    pub use bitflow_ops::{ConvParams, SimdLevel};
+    pub use bitflow_simd::{features, HwFeatures, VectorScheduler};
+    pub use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn facade_end_to_end_small() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let mut engine = Network::compile(&spec, &weights);
+        let image = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        let logits = engine.infer(&image);
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn facade_exposes_scheduler() {
+        let s = VectorScheduler::new();
+        let k = s.select(512);
+        assert_eq!(k.c_words, 8);
+        let _ = features();
+    }
+
+    #[test]
+    fn facade_exposes_gpu_model() {
+        let t = GpuModel::gtx1080().network_time(&vgg16());
+        assert!(t.as_secs_f64() > 0.0);
+    }
+}

@@ -1,0 +1,856 @@
+//! The BitFlow inference engine.
+//!
+//! [`Network::compile`] turns a [`NetworkSpec`] + [`NetworkWeights`] into a
+//! ready-to-run binary engine, performing the paper's network-level work up
+//! front:
+//!
+//! * weights → [`BitFilterBank`]/[`BinaryFcWeights`] (binarize + pack +
+//!   fused transpose, once);
+//! * batch-norm → per-channel sign thresholds (folded);
+//! * every activation/scratch buffer pre-allocated, with each buffer sized
+//!   at the *padded* geometry its consumer requires (zero-cost padding);
+//! * per-layer SIMD kernels chosen by the vector execution scheduler.
+//!
+//! [`Network::infer`] then runs the chain with **zero allocation**.
+//!
+//! [`FloatNetwork`] compiles the same spec into the full-precision baseline
+//! engine (im2col conv + sgemm, float max-pool, sgemm FC).
+
+use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
+use crate::weights::{LayerWeights, NetworkWeights};
+use bitflow_gemm::pack::PackedMatrix;
+use bitflow_gemm::sgemm::transpose;
+use bitflow_ops::binary::{
+    binarize_pack_into, binarize_threshold_into, binary_max_pool_into, fold_bn_into_thresholds,
+    pressed_conv_parallel_into, pressed_conv_sign_into, BinaryFcWeights,
+};
+use bitflow_ops::float::{conv_im2col_parallel, fc_parallel, max_pool_parallel, relu};
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::scheduler::VectorScheduler;
+use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use std::time::{Duration, Instant};
+
+/// A pre-allocated runtime buffer.
+enum Slot {
+    /// Pressed activation map (possibly with padding margins).
+    Bit(BitTensor),
+    /// Float scratch map (conv integer counts before re-binarization).
+    Map(Tensor),
+    /// Float vector (FC counts / logits).
+    Vec(Vec<f32>),
+    /// Packed activation vector between FC layers.
+    Packed(PackedMatrix),
+}
+
+impl Slot {
+    fn bit(&self) -> &BitTensor {
+        match self {
+            Slot::Bit(t) => t,
+            _ => panic!("slot is not a BitTensor"),
+        }
+    }
+    fn bit_mut(&mut self) -> &mut BitTensor {
+        match self {
+            Slot::Bit(t) => t,
+            _ => panic!("slot is not a BitTensor"),
+        }
+    }
+    fn map(&self) -> &Tensor {
+        match self {
+            Slot::Map(t) => t,
+            _ => panic!("slot is not a float map"),
+        }
+    }
+    fn map_mut(&mut self) -> &mut Tensor {
+        match self {
+            Slot::Map(t) => t,
+            _ => panic!("slot is not a float map"),
+        }
+    }
+    fn vec(&self) -> &Vec<f32> {
+        match self {
+            Slot::Vec(v) => v,
+            _ => panic!("slot is not a float vector"),
+        }
+    }
+    fn vec_mut(&mut self) -> &mut Vec<f32> {
+        match self {
+            Slot::Vec(v) => v,
+            _ => panic!("slot is not a float vector"),
+        }
+    }
+    fn packed(&self) -> &PackedMatrix {
+        match self {
+            Slot::Packed(p) => p,
+            _ => panic!("slot is not a packed vector"),
+        }
+    }
+    fn packed_mut(&mut self) -> &mut PackedMatrix {
+        match self {
+            Slot::Packed(p) => p,
+            _ => panic!("slot is not a packed vector"),
+        }
+    }
+    /// Approximate buffer size in bytes (for the memory plan).
+    fn bytes(&self) -> usize {
+        match self {
+            Slot::Bit(t) => t.words().len() * 8,
+            Slot::Map(t) => t.data().len() * 4,
+            Slot::Vec(v) => v.len() * 4,
+            Slot::Packed(p) => p.bytes(),
+        }
+    }
+}
+
+/// Source of an FC layer's input.
+#[derive(Clone, Copy)]
+enum FcIn {
+    /// Flattened pressed map in the given slot.
+    Bit(usize),
+    /// Packed vector from a previous FC.
+    Packed(usize),
+}
+
+/// One compiled runtime operation.
+enum RtOp {
+    /// Float input map → pressed (padded) input buffer.
+    BinarizeInput { out: usize, pad: usize },
+    /// PressedConv + folded BN + sign → pressed (padded) output.
+    ConvSign {
+        name: String,
+        bank: BitFilterBank,
+        thresholds: Vec<f32>,
+        flip: Vec<bool>,
+        stride: usize,
+        level: SimdLevel,
+        input: usize,
+        scratch: usize,
+        out: usize,
+        out_pad: usize,
+    },
+    /// Binary max-pool → pressed (padded) output.
+    Pool {
+        name: String,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        level: SimdLevel,
+        input: usize,
+        out: usize,
+        out_pad: usize,
+    },
+    /// Repack a pressed map into a flat packed vector (flatten with a
+    /// non-word-aligned channel count — the rare general path).
+    Reflatten { input: usize, out: usize },
+    /// Binary FC + folded BN + sign → packed vector.
+    FcSign {
+        name: String,
+        weights: BinaryFcWeights,
+        thresholds: Vec<f32>,
+        flip: Vec<bool>,
+        level: SimdLevel,
+        input: FcIn,
+        scratch: usize,
+        out: usize,
+    },
+    /// Final binary FC producing float logits.
+    FcOut {
+        name: String,
+        weights: BinaryFcWeights,
+        level: SimdLevel,
+        input: FcIn,
+        out: usize,
+    },
+}
+
+impl RtOp {
+    fn name(&self) -> &str {
+        match self {
+            RtOp::BinarizeInput { .. } => "binarize-input",
+            RtOp::Reflatten { .. } => "flatten",
+            RtOp::ConvSign { name, .. }
+            | RtOp::Pool { name, .. }
+            | RtOp::FcSign { name, .. }
+            | RtOp::FcOut { name, .. } => name,
+        }
+    }
+}
+
+/// The compiled binary inference engine.
+pub struct Network {
+    spec: NetworkSpec,
+    ops: Vec<RtOp>,
+    slots: Vec<Slot>,
+    logits_slot: usize,
+    /// Use the multi-threaded operator variants (over the installed rayon
+    /// pool). Results are bit-identical either way.
+    pub parallel: bool,
+    float_bytes: usize,
+    packed_bytes: usize,
+}
+
+impl Network {
+    /// Compiles a spec + weights into a ready engine (paper: all
+    /// "pre-processions to save run time cost" happen here).
+    ///
+    /// # Panics
+    /// If the last layer is not an FC (the engine emits logits), or if
+    /// weights are inconsistent with the spec.
+    pub fn compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Self {
+        assert_eq!(
+            spec.layers.len(),
+            weights.layers.len(),
+            "spec/weights layer count"
+        );
+        assert!(
+            matches!(spec.layers.last(), Some(LayerSpec::Fc { .. })),
+            "binary engine requires a final FC layer"
+        );
+        let scheduler = VectorScheduler::new();
+        let shapes = spec.infer_shapes();
+        let mut ops = Vec::new();
+        let mut slots = Vec::new();
+
+        // Input stage: binarize+pack the float input into a buffer padded
+        // for the first layer.
+        let in_pad = spec.layers[0].input_pad();
+        slots.push(Slot::Bit(BitTensor::zeros(
+            spec.input.h + 2 * in_pad,
+            spec.input.w + 2 * in_pad,
+            spec.input.c,
+        )));
+        ops.push(RtOp::BinarizeInput {
+            out: 0,
+            pad: in_pad,
+        });
+        let mut cur = CurSlot::Bit(0);
+
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let out_pad = spec.layers.get(i + 1).map_or(0, LayerSpec::input_pad);
+            let (in_h, in_w, in_c) = match if i == 0 {
+                LayerIo::Map {
+                    h: spec.input.h,
+                    w: spec.input.w,
+                    c: spec.input.c,
+                }
+            } else {
+                shapes[i - 1]
+            } {
+                LayerIo::Map { h, w, c } => (h, w, c),
+                LayerIo::Vector { n } => (1, 1, n),
+            };
+            match (layer, &weights.layers[i]) {
+                (LayerSpec::Conv { name, k, params }, LayerWeights::Conv { w, fshape, bn }) => {
+                    assert_eq!(*fshape, FilterShape::new(*k, params.kh, params.kw, in_c));
+                    let bank = BitFilterBank::from_floats(w, *fshape);
+                    let fold = fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                    let (oh, ow) = match shapes[i] {
+                        LayerIo::Map { h, w, .. } => (h, w),
+                        _ => unreachable!(),
+                    };
+                    let scratch = slots.len();
+                    slots.push(Slot::Map(Tensor::zeros(
+                        Shape::hwc(oh, ow, *k),
+                        Layout::Nhwc,
+                    )));
+                    let out = slots.len();
+                    slots.push(Slot::Bit(BitTensor::zeros(
+                        oh + 2 * out_pad,
+                        ow + 2 * out_pad,
+                        *k,
+                    )));
+                    ops.push(RtOp::ConvSign {
+                        name: name.clone(),
+                        bank,
+                        thresholds: fold.thresholds,
+                        flip: fold.flip,
+                        stride: params.stride,
+                        level: scheduler.select(in_c).level,
+                        input: cur.bit_slot(),
+                        scratch,
+                        out,
+                        out_pad,
+                    });
+                    cur = CurSlot::Bit(out);
+                }
+                (LayerSpec::Pool { name, params }, LayerWeights::Pool) => {
+                    let (oh, ow, oc) = match shapes[i] {
+                        LayerIo::Map { h, w, c } => (h, w, c),
+                        _ => unreachable!(),
+                    };
+                    let _ = (in_h, in_w);
+                    let out = slots.len();
+                    slots.push(Slot::Bit(BitTensor::zeros(
+                        oh + 2 * out_pad,
+                        ow + 2 * out_pad,
+                        oc,
+                    )));
+                    ops.push(RtOp::Pool {
+                        name: name.clone(),
+                        kh: params.kh,
+                        kw: params.kw,
+                        stride: params.stride,
+                        level: scheduler.select(in_c).level,
+                        input: cur.bit_slot(),
+                        out,
+                        out_pad,
+                    });
+                    cur = CurSlot::Bit(out);
+                }
+                (LayerSpec::Fc { name, k }, LayerWeights::Fc { w, n, k: wk, bn }) => {
+                    assert_eq!(k, wk, "fc width mismatch");
+                    let fc_in = match cur {
+                        CurSlot::Bit(slot) => {
+                            let bt = slots[slot].bit();
+                            // Direct flatten works when pixels are
+                            // word-tight (no press-tail gaps between
+                            // pixels) and the buffer carries no padding.
+                            let tight = bt.c() % 64 == 0 || (bt.h() == 1 && bt.w() == 1);
+                            assert_eq!(bt.h() * bt.w() * bt.c(), *n, "flatten width");
+                            if tight {
+                                FcIn::Bit(slot)
+                            } else {
+                                let flat = slots.len();
+                                slots.push(Slot::Packed(PackedMatrix::zeros(1, *n)));
+                                ops.push(RtOp::Reflatten {
+                                    input: slot,
+                                    out: flat,
+                                });
+                                FcIn::Packed(flat)
+                            }
+                        }
+                        CurSlot::Packed(slot) => FcIn::Packed(slot),
+                    };
+                    let weights_packed = BinaryFcWeights::pack(w, *n, *k);
+                    let level = scheduler.streaming_level();
+                    let is_last = i + 1 == spec.layers.len();
+                    if is_last {
+                        let out = slots.len();
+                        slots.push(Slot::Vec(vec![0.0f32; *k]));
+                        ops.push(RtOp::FcOut {
+                            name: name.clone(),
+                            weights: weights_packed,
+                            level,
+                            input: fc_in,
+                            out,
+                        });
+                        cur = CurSlot::Packed(usize::MAX); // terminal
+                    } else {
+                        let fold =
+                            fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                        let scratch = slots.len();
+                        slots.push(Slot::Vec(vec![0.0f32; *k]));
+                        let out = slots.len();
+                        slots.push(Slot::Packed(PackedMatrix::zeros(1, *k)));
+                        ops.push(RtOp::FcSign {
+                            name: name.clone(),
+                            weights: weights_packed,
+                            thresholds: fold.thresholds,
+                            flip: fold.flip,
+                            level,
+                            input: fc_in,
+                            scratch,
+                            out,
+                        });
+                        cur = CurSlot::Packed(out);
+                    }
+                }
+                (l, _) => panic!("spec/weights mismatch at layer {}", l.name()),
+            }
+        }
+
+        let logits_slot = slots.len() - 1;
+        Self {
+            spec: spec.clone(),
+            ops,
+            slots,
+            logits_slot,
+            parallel: false,
+            float_bytes: weights.float_bytes(),
+            packed_bytes: weights.packed_bytes(),
+        }
+    }
+
+    /// The spec this engine was compiled from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Float model size in bytes (what a full-precision network ships).
+    pub fn float_model_bytes(&self) -> usize {
+        self.float_bytes
+    }
+
+    /// Packed model size in bytes (what this engine holds) — Table V.
+    pub fn packed_model_bytes(&self) -> usize {
+        self.packed_bytes
+    }
+
+    /// Total pre-allocated activation/scratch memory in bytes.
+    pub fn activation_bytes(&self) -> usize {
+        self.slots.iter().map(Slot::bytes).sum()
+    }
+
+    /// Runs inference; returns the logits. Allocation-free after compile.
+    pub fn infer(&mut self, input: &Tensor) -> Vec<f32> {
+        assert_eq!(input.shape(), self.spec.input, "input shape");
+        for i in 0..self.ops.len() {
+            self.run_op(i, input);
+        }
+        self.slots[self.logits_slot].vec().clone()
+    }
+
+    /// Runs inference with per-operator wall-clock timing.
+    pub fn infer_profiled(&mut self, input: &Tensor) -> (Vec<f32>, Vec<(String, Duration)>) {
+        assert_eq!(input.shape(), self.spec.input, "input shape");
+        let mut times = Vec::with_capacity(self.ops.len());
+        for i in 0..self.ops.len() {
+            let t0 = Instant::now();
+            self.run_op(i, input);
+            times.push((self.ops[i].name().to_string(), t0.elapsed()));
+        }
+        (self.slots[self.logits_slot].vec().clone(), times)
+    }
+
+    fn run_op(&mut self, i: usize, input: &Tensor) {
+        // Split borrows: ops and slots are separate fields.
+        let parallel = self.parallel;
+        let slots = &mut self.slots;
+        match &self.ops[i] {
+            RtOp::BinarizeInput { out, pad } => {
+                binarize_pack_into(input, slots[*out].bit_mut(), *pad);
+            }
+            RtOp::ConvSign {
+                bank,
+                thresholds,
+                flip,
+                stride,
+                level,
+                input: in_slot,
+                scratch,
+                out,
+                out_pad,
+                ..
+            } => {
+                if parallel {
+                    // Two-pass: parallel conv into float counts, then
+                    // threshold-binarize into the padded output.
+                    let (inp, scr) = two_slots(slots, *in_slot, *scratch);
+                    pressed_conv_parallel_into(*level, inp.bit(), bank, *stride, scr.map_mut());
+                    let (scr, dst) = two_slots(slots, *scratch, *out);
+                    binarize_threshold_into(
+                        scr.map(),
+                        thresholds,
+                        flip,
+                        dst.bit_mut(),
+                        *out_pad,
+                    );
+                } else {
+                    // Fused single pass (conv + BN-threshold + sign + pack).
+                    let (inp, dst) = two_slots(slots, *in_slot, *out);
+                    pressed_conv_sign_into(
+                        *level,
+                        inp.bit(),
+                        bank,
+                        *stride,
+                        thresholds,
+                        flip,
+                        dst.bit_mut(),
+                        *out_pad,
+                    );
+                }
+            }
+            RtOp::Pool {
+                kh,
+                kw,
+                stride,
+                level,
+                input: in_slot,
+                out,
+                out_pad,
+                ..
+            } => {
+                let (inp, dst) = two_slots(slots, *in_slot, *out);
+                binary_max_pool_into(*level, inp.bit(), *kh, *kw, *stride, dst.bit_mut(), *out_pad);
+            }
+            RtOp::Reflatten { input: in_slot, out } => {
+                let (inp, dst) = two_slots(slots, *in_slot, *out);
+                reflatten(inp.bit(), dst.packed_mut());
+            }
+            RtOp::FcSign {
+                weights,
+                thresholds,
+                flip,
+                level,
+                input: fc_in,
+                scratch,
+                out,
+                ..
+            } => {
+                run_fc_into(slots, *fc_in, weights, *level, *scratch, parallel);
+                let (scr, dst) = two_slots(slots, *scratch, *out);
+                let packed = dst.packed_mut();
+                pack_signed_thresholds(scr.vec(), thresholds, flip, packed.row_mut(0));
+            }
+            RtOp::FcOut {
+                weights,
+                level,
+                input: fc_in,
+                out,
+                ..
+            } => {
+                run_fc_into(slots, *fc_in, weights, *level, *out, parallel);
+            }
+        }
+    }
+}
+
+/// Tracks which slot holds the live activation during compilation.
+enum CurSlot {
+    Bit(usize),
+    Packed(usize),
+}
+
+impl CurSlot {
+    fn bit_slot(&self) -> usize {
+        match self {
+            CurSlot::Bit(s) => *s,
+            CurSlot::Packed(_) => panic!("spatial layer after FC"),
+        }
+    }
+}
+
+/// Two distinct mutable slot borrows.
+fn two_slots(slots: &mut [Slot], a: usize, b: usize) -> (&mut Slot, &mut Slot) {
+    assert_ne!(a, b, "aliasing slots");
+    if a < b {
+        let (lo, hi) = slots.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = slots.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Runs the binary FC matmul allocation-free, reading from either a
+/// flattened pressed map (whose word array, for word-tight channel counts,
+/// *is* the packed activation vector) or a packed vector, writing the K dot
+/// products into the vec slot `out`.
+fn run_fc_into(
+    slots: &mut [Slot],
+    fc_in: FcIn,
+    weights: &BinaryFcWeights,
+    level: SimdLevel,
+    out: usize,
+    parallel: bool,
+) {
+    let in_slot = match fc_in {
+        FcIn::Bit(s) | FcIn::Packed(s) => s,
+    };
+    let (inp, dst) = two_slots(slots, in_slot, out);
+    let words: &[u64] = match fc_in {
+        FcIn::Bit(_) => inp.bit().words(),
+        FcIn::Packed(_) => inp.packed().row(0),
+    };
+    if parallel {
+        weights.forward_into_parallel(level, words, dst.vec_mut());
+    } else {
+        weights.forward_into(level, words, dst.vec_mut());
+    }
+}
+
+/// Bit-by-bit repack of a pressed map into a flat packed vector (general
+/// flatten path for non-word-aligned channel counts).
+fn reflatten(src: &BitTensor, dst: &mut PackedMatrix) {
+    let n = src.h() * src.w() * src.c();
+    assert_eq!(dst.n_logical, n);
+    let row = dst.row_mut(0);
+    row.fill(0);
+    let mut bit = 0usize;
+    for h in 0..src.h() {
+        for w in 0..src.w() {
+            for c in 0..src.c() {
+                if src.get(h, w, c) > 0 {
+                    row[bit / 64] |= 1 << (bit % 64);
+                }
+                bit += 1;
+            }
+        }
+    }
+}
+
+/// Threshold-sign + pack a float vector (the FC analogue of the conv path).
+fn pack_signed_thresholds(xs: &[f32], thresholds: &[f32], flip: &[bool], out: &mut [u64]) {
+    out.fill(0);
+    for (i, &x) in xs.iter().enumerate() {
+        let bit = (x >= thresholds[i]) ^ flip[i];
+        if bit {
+            out[i / 64] |= 1 << (i % 64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float baseline engine
+// ---------------------------------------------------------------------------
+
+/// The full-precision counterpart network: im2col conv + ReLU, float
+/// max-pool, sgemm FC (+ ReLU between FCs). Weight transposes are hoisted
+/// to compile time, mirroring what any production float engine does.
+pub struct FloatNetwork {
+    spec: NetworkSpec,
+    layers: Vec<FloatRt>,
+}
+
+enum FloatRt {
+    Conv {
+        name: String,
+        w: Vec<f32>,
+        fshape: FilterShape,
+        params: bitflow_ops::ConvParams,
+    },
+    Pool {
+        name: String,
+        params: bitflow_ops::ConvParams,
+    },
+    Fc {
+        name: String,
+        wt: Vec<f32>,
+        n: usize,
+        k: usize,
+        last: bool,
+    },
+}
+
+impl FloatNetwork {
+    /// Compiles the float baseline from the same spec/weights as the binary
+    /// engine (batch-norm statistics are ignored: the float VGG baseline is
+    /// conv+ReLU, as in the original architecture).
+    pub fn compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Self {
+        assert_eq!(spec.layers.len(), weights.layers.len());
+        let n_layers = spec.layers.len();
+        let layers = spec
+            .layers
+            .iter()
+            .zip(&weights.layers)
+            .enumerate()
+            .map(|(i, (l, w))| match (l, w) {
+                (LayerSpec::Conv { name, params, .. }, LayerWeights::Conv { w, fshape, .. }) => {
+                    FloatRt::Conv {
+                        name: name.clone(),
+                        w: w.clone(),
+                        fshape: *fshape,
+                        params: *params,
+                    }
+                }
+                (LayerSpec::Pool { name, params }, LayerWeights::Pool) => FloatRt::Pool {
+                    name: name.clone(),
+                    params: *params,
+                },
+                (LayerSpec::Fc { name, .. }, LayerWeights::Fc { w, n, k, .. }) => FloatRt::Fc {
+                    name: name.clone(),
+                    wt: transpose(w, *n, *k),
+                    n: *n,
+                    k: *k,
+                    last: i + 1 == n_layers,
+                },
+                (l, _) => panic!("spec/weights mismatch at {}", l.name()),
+            })
+            .collect();
+        Self {
+            spec: spec.clone(),
+            layers,
+        }
+    }
+
+    /// Runs float inference (uses the parallel operator variants; install a
+    /// 1-thread pool for single-core numbers).
+    pub fn infer(&self, input: &Tensor) -> Vec<f32> {
+        self.infer_profiled(input).0
+    }
+
+    /// Float inference with per-layer timings.
+    pub fn infer_profiled(&self, input: &Tensor) -> (Vec<f32>, Vec<(String, Duration)>) {
+        assert_eq!(input.shape(), self.spec.input);
+        let mut times = Vec::with_capacity(self.layers.len());
+        let mut map: Option<Tensor> = Some(input.clone());
+        let mut vec: Option<Vec<f32>> = None;
+        for layer in &self.layers {
+            let t0 = Instant::now();
+            match layer {
+                FloatRt::Conv {
+                    name,
+                    w,
+                    fshape,
+                    params,
+                } => {
+                    let m = map.as_ref().expect("conv after FC");
+                    let mut out = conv_im2col_parallel(m, w, *fshape, *params);
+                    relu(&mut out);
+                    map = Some(out);
+                    times.push((name.clone(), t0.elapsed()));
+                }
+                FloatRt::Pool { name, params } => {
+                    let m = map.as_ref().expect("pool after FC");
+                    map = Some(max_pool_parallel(m, *params));
+                    times.push((name.clone(), t0.elapsed()));
+                }
+                FloatRt::Fc { name, wt, n, k, last } => {
+                    let flat: Vec<f32> = match (&map, &vec) {
+                        (Some(m), _) => m.data().to_vec(),
+                        (None, Some(v)) => v.clone(),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(flat.len(), *n, "fc input width");
+                    let mut out = fc_parallel(&flat, wt, *n, *k);
+                    if !*last {
+                        for x in &mut out {
+                            if *x < 0.0 {
+                                *x = 0.0;
+                            }
+                        }
+                    }
+                    map = None;
+                    vec = Some(out);
+                    times.push((name.clone(), t0.elapsed()));
+                }
+            }
+        }
+        (vec.expect("network must end with FC"), times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::small_cnn;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup() -> (NetworkSpec, NetworkWeights, Tensor) {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        (spec, weights, input)
+    }
+
+    #[test]
+    fn compile_and_infer() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let logits = net.infer(&input);
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn inference_is_deterministic_and_repeatable() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let a = net.infer(&input);
+        let b = net.infer(&input);
+        assert_eq!(a, b, "second inference over reused buffers must agree");
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_exactly() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let serial = net.infer(&input);
+        net.parallel = true;
+        let parallel = net.infer(&input);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn profiled_matches_plain() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let plain = net.infer(&input);
+        let (profiled, times) = net.infer_profiled(&input);
+        assert_eq!(plain, profiled);
+        // input binarize + conv + pool + flatten (32-channel non-aligned
+        // flatten inserts a repack op) + fc.
+        assert_eq!(times.len(), spec.layers.len() + 2);
+        assert_eq!(times[0].0, "binarize-input");
+        assert_eq!(times[1].0, "conv1");
+        assert!(times.iter().any(|(n, _)| n == "flatten"));
+    }
+
+    #[test]
+    fn engine_matches_direct_op_chain() {
+        // Hand-execute the same small network with the raw ops and compare.
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let got = net.infer(&input);
+
+        use bitflow_ops::binary::{
+            binarize_pack_padded, binary_fc, binary_max_pool, fold_bn_into_thresholds,
+            pressed_conv, BinaryFcWeights,
+        };
+        let (cw, cf, cbn) = match &weights.layers[0] {
+            LayerWeights::Conv { w, fshape, bn } => (w, fshape, bn),
+            _ => unreachable!(),
+        };
+        let bank = BitFilterBank::from_floats(cw, *cf);
+        let pressed = binarize_pack_padded(&input, 1);
+        let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
+        let fold = fold_bn_into_thresholds(&cbn.gamma, &cbn.beta, &cbn.mean, &cbn.var, 1e-5);
+        let signed = bitflow_ops::binary::binarize_threshold_padded(
+            &counts,
+            &fold.thresholds,
+            &fold.flip,
+            0,
+        );
+        let pooled = binary_max_pool(SimdLevel::Avx512, &signed, 2, 2, 2);
+        let (fw, fn_, fk) = match &weights.layers[2] {
+            LayerWeights::Fc { w, n, k, .. } => (w, *n, *k),
+            _ => unreachable!(),
+        };
+        let flat = pooled.to_tensor();
+        let packed_w = BinaryFcWeights::pack(fw, fn_, fk);
+        let want = binary_fc(SimdLevel::Avx512, flat.data(), &packed_w);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn float_network_runs_and_differs_from_binary() {
+        let (spec, weights, input) = setup();
+        let fnet = FloatNetwork::compile(&spec, &weights);
+        let (logits, times) = fnet.infer_profiled(&input);
+        assert_eq!(logits.len(), 10);
+        assert_eq!(times.len(), spec.layers.len());
+        assert!(logits.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn model_size_accounting() {
+        let (spec, weights, _) = setup();
+        let net = Network::compile(&spec, &weights);
+        assert_eq!(net.float_model_bytes(), weights.float_bytes());
+        assert_eq!(net.packed_model_bytes(), weights.packed_bytes());
+        assert!(net.activation_bytes() > 0);
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let (spec, weights, _) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let mut rng = StdRng::seed_from_u64(9);
+        let bad = Tensor::random(Shape::hwc(4, 4, 3), Layout::Nhwc, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.infer(&bad);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn random_inputs_give_varied_logits() {
+        let (spec, weights, _) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = net.infer(&Tensor::random(spec.input, Layout::Nhwc, &mut rng));
+        let b = net.infer(&Tensor::random(spec.input, Layout::Nhwc, &mut rng));
+        assert_ne!(a, b, "different inputs should give different logits");
+    }
+}

@@ -1,0 +1,38 @@
+//! # bitflow-graph
+//!
+//! The **network level** of BitFlow's three-level hierarchy (paper §IV):
+//! a static-computational-graph inference engine.
+//!
+//! Network-level optimizations from the paper, all implemented here:
+//!
+//! * **Weight pre-binarization**: weights are constant during inference, so
+//!   binarization + bit-packing (+ the fused transposition of Table III)
+//!   happen once in [`engine::Network::compile`], never on the hot path.
+//! * **Memory pre-allocation**: every activation, scratch and output buffer
+//!   is sized by static shape inference over the graph and allocated at
+//!   compile time; [`engine::Network::infer`] performs no allocation.
+//! * **Zero-cost padding** (paper Fig. 5): each layer's output buffer is
+//!   allocated at the *padded* size required by its consumer, pre-zeroed;
+//!   producers write only the interior, so the next convolution reads a
+//!   padded tensor that nobody ever spent time padding.
+//!
+//! The same [`spec::NetworkSpec`] compiles to either a **binary** engine
+//! (PressedConv / binary FC / binary pool, with batch-norm folded into
+//! per-channel sign thresholds) or a **float** engine (im2col conv + sgemm,
+//! the "counterpart full-precision network" baseline).
+//!
+//! [`models`] provides VGG-16 / VGG-19 (paper Table IV geometry) and small
+//! test networks.
+
+pub mod engine;
+pub mod model_io;
+pub mod models;
+pub mod plan;
+pub mod spec;
+pub mod weights;
+
+pub use engine::{FloatNetwork, Network};
+pub use model_io::{load_model, save_model};
+pub use models::{small_cnn, vgg16, vgg19};
+pub use spec::{LayerSpec, NetworkSpec};
+pub use weights::{LayerWeights, NetworkWeights};

@@ -1,0 +1,259 @@
+//! Model persistence: one self-describing binary container holding a
+//! [`NetworkSpec`] plus its [`NetworkWeights`].
+//!
+//! Format: `magic ("BTFM") | u32 header_len | JSON header | payload`, where
+//! the header is the spec plus per-layer payload descriptors and the
+//! payload is raw little-endian `f32` runs (weights, then γ/β/μ/σ² for
+//! parametric layers). Keeps VGG-scale models loadable without a 2×-size
+//! JSON blow-up.
+
+use crate::spec::NetworkSpec;
+use crate::weights::{BnParams, LayerWeights, NetworkWeights};
+use bitflow_tensor::FilterShape;
+use serde::{Deserialize, Serialize};
+
+/// Container magic: "BTFM" (BitFlow model).
+pub const MODEL_MAGIC: u32 = 0x4254_464D;
+
+/// Errors from decoding a model container.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Bad magic number.
+    BadMagic,
+    /// Header did not parse.
+    BadHeader(String),
+    /// Payload shorter than the header promises.
+    Truncated,
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::BadMagic => write!(f, "bad magic (not a BitFlow model)"),
+            ModelIoError::BadHeader(e) => write!(f, "malformed model header: {e}"),
+            ModelIoError::Truncated => write!(f, "model payload truncated"),
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Per-layer payload descriptor (element counts of each f32 run).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum LayerDesc {
+    Conv { fshape: FilterShape, bn_c: usize },
+    Fc { n: usize, k: usize, bn_c: usize },
+    Pool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    spec: NetworkSpec,
+    layers: Vec<LayerDesc>,
+}
+
+fn push_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn read_f32s(data: &[u8], off: &mut usize, n: usize) -> Result<Vec<f32>, ModelIoError> {
+    let need = n * 4;
+    if *off + need > data.len() {
+        return Err(ModelIoError::Truncated);
+    }
+    let out = data[*off..*off + need]
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+    *off += need;
+    Ok(out)
+}
+
+/// Serializes a model to bytes.
+pub fn encode_model(spec: &NetworkSpec, weights: &NetworkWeights) -> Vec<u8> {
+    assert_eq!(spec.layers.len(), weights.layers.len(), "spec/weights");
+    let descs: Vec<LayerDesc> = weights
+        .layers
+        .iter()
+        .map(|lw| match lw {
+            LayerWeights::Conv { fshape, bn, .. } => LayerDesc::Conv {
+                fshape: *fshape,
+                bn_c: bn.gamma.len(),
+            },
+            LayerWeights::Fc { n, k, bn, .. } => LayerDesc::Fc {
+                n: *n,
+                k: *k,
+                bn_c: bn.gamma.len(),
+            },
+            LayerWeights::Pool => LayerDesc::Pool,
+        })
+        .collect();
+    let header = Header {
+        spec: spec.clone(),
+        layers: descs,
+    };
+    let header_json = serde_json::to_vec(&header).expect("header serializes");
+    let mut buf = Vec::with_capacity(header_json.len() + 16 + weights.float_bytes());
+    buf.extend_from_slice(&MODEL_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&header_json);
+    for lw in &weights.layers {
+        match lw {
+            LayerWeights::Conv { w, bn, .. } | LayerWeights::Fc { w, bn, .. } => {
+                push_f32s(&mut buf, w);
+                push_f32s(&mut buf, &bn.gamma);
+                push_f32s(&mut buf, &bn.beta);
+                push_f32s(&mut buf, &bn.mean);
+                push_f32s(&mut buf, &bn.var);
+            }
+            LayerWeights::Pool => {}
+        }
+    }
+    buf
+}
+
+/// Deserializes a model from bytes.
+pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelIoError> {
+    if data.len() < 8 || data[..4] != MODEL_MAGIC.to_le_bytes() {
+        return Err(ModelIoError::BadMagic);
+    }
+    let hlen = u32::from_le_bytes([data[4], data[5], data[6], data[7]]) as usize;
+    if data.len() < 8 + hlen {
+        return Err(ModelIoError::Truncated);
+    }
+    let header: Header = serde_json::from_slice(&data[8..8 + hlen])
+        .map_err(|e| ModelIoError::BadHeader(e.to_string()))?;
+    let mut off = 8 + hlen;
+    let mut layers = Vec::with_capacity(header.layers.len());
+    for desc in &header.layers {
+        let lw = match desc {
+            LayerDesc::Conv { fshape, bn_c } => {
+                let w = read_f32s(data, &mut off, fshape.numel())?;
+                let bn = read_bn(data, &mut off, *bn_c)?;
+                LayerWeights::Conv {
+                    w,
+                    fshape: *fshape,
+                    bn,
+                }
+            }
+            LayerDesc::Fc { n, k, bn_c } => {
+                let w = read_f32s(data, &mut off, n * k)?;
+                let bn = read_bn(data, &mut off, *bn_c)?;
+                LayerWeights::Fc {
+                    w,
+                    n: *n,
+                    k: *k,
+                    bn,
+                }
+            }
+            LayerDesc::Pool => LayerWeights::Pool,
+        };
+        layers.push(lw);
+    }
+    Ok((header.spec, NetworkWeights { layers }))
+}
+
+fn read_bn(data: &[u8], off: &mut usize, c: usize) -> Result<BnParams, ModelIoError> {
+    Ok(BnParams {
+        gamma: read_f32s(data, off, c)?,
+        beta: read_f32s(data, off, c)?,
+        mean: read_f32s(data, off, c)?,
+        var: read_f32s(data, off, c)?,
+    })
+}
+
+/// Saves a model to a file.
+pub fn save_model(
+    path: impl AsRef<std::path::Path>,
+    spec: &NetworkSpec,
+    weights: &NetworkWeights,
+) -> Result<(), ModelIoError> {
+    std::fs::write(path, encode_model(spec, weights))?;
+    Ok(())
+}
+
+/// Loads a model from a file.
+pub fn load_model(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(NetworkSpec, NetworkWeights), ModelIoError> {
+    decode_model(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{small_cnn, tiered_cnn};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip_in_memory() {
+        let spec = tiered_cnn();
+        let mut rng = StdRng::seed_from_u64(8);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let bytes = encode_model(&spec, &weights);
+        let (spec2, weights2) = decode_model(&bytes).unwrap();
+        assert_eq!(spec, spec2);
+        assert_eq!(weights, weights2);
+    }
+
+    #[test]
+    fn round_trip_through_file_and_engine() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let dir = std::env::temp_dir().join("bitflow-model-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.btfm");
+        save_model(&path, &spec, &weights).unwrap();
+        let (spec2, weights2) = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Same logits from both engines.
+        use bitflow_tensor::{Layout, Tensor};
+        let img = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        let a = crate::engine::Network::compile(&spec, &weights).infer(&img);
+        let b = crate::engine::Network::compile(&spec2, &weights2).infer(&img);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(10);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let mut bytes = encode_model(&spec, &weights);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_model(&bytes), Err(ModelIoError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(11);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let bytes = encode_model(&spec, &weights);
+        let cut = &bytes[..bytes.len() - 100];
+        assert!(matches!(decode_model(cut), Err(ModelIoError::Truncated)));
+    }
+
+    #[test]
+    fn payload_is_compact() {
+        // Container overhead must be tiny relative to raw weights.
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(12);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let bytes = encode_model(&spec, &weights);
+        let raw = weights.float_bytes();
+        assert!(bytes.len() < raw + raw / 10 + 4096, "{} vs {}", bytes.len(), raw);
+    }
+}

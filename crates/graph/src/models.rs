@@ -1,0 +1,217 @@
+//! Model definitions: VGG-16 / VGG-19 (the paper's evaluation network,
+//! Table IV geometry) and small networks for tests and examples.
+
+use crate::spec::{LayerSpec, NetworkSpec};
+use bitflow_ops::ConvParams;
+use bitflow_tensor::Shape;
+
+fn conv(name: &str, k: usize) -> LayerSpec {
+    LayerSpec::Conv {
+        name: name.into(),
+        k,
+        params: ConvParams::VGG_CONV,
+    }
+}
+
+fn pool(name: &str) -> LayerSpec {
+    LayerSpec::Pool {
+        name: name.into(),
+        params: ConvParams::VGG_POOL,
+    }
+}
+
+fn fc(name: &str, k: usize) -> LayerSpec {
+    LayerSpec::Fc {
+        name: name.into(),
+        k,
+    }
+}
+
+/// VGG-16 (configuration D): 13 convolutions + 5 pools + 3 FCs over a
+/// 224×224×3 input. Uses 3×3 stride-1 pad-1 filters exclusively, as the
+/// paper notes.
+pub fn vgg16() -> NetworkSpec {
+    NetworkSpec {
+        name: "VGG16".into(),
+        input: Shape::hwc(224, 224, 3),
+        layers: vec![
+            conv("conv1.1", 64),
+            conv("conv1.2", 64),
+            pool("pool1"),
+            conv("conv2.1", 128),
+            conv("conv2.2", 128),
+            pool("pool2"),
+            conv("conv3.1", 256),
+            conv("conv3.2", 256),
+            conv("conv3.3", 256),
+            pool("pool3"),
+            conv("conv4.1", 512),
+            conv("conv4.2", 512),
+            conv("conv4.3", 512),
+            pool("pool4"),
+            conv("conv5.1", 512),
+            conv("conv5.2", 512),
+            conv("conv5.3", 512),
+            pool("pool5"),
+            fc("fc6", 4096),
+            fc("fc7", 4096),
+            fc("fc8", 1000),
+        ],
+    }
+}
+
+/// VGG-19 (configuration E): VGG-16 plus one extra conv in blocks 3–5
+/// ("3 more convolution operators", paper §V).
+pub fn vgg19() -> NetworkSpec {
+    NetworkSpec {
+        name: "VGG19".into(),
+        input: Shape::hwc(224, 224, 3),
+        layers: vec![
+            conv("conv1.1", 64),
+            conv("conv1.2", 64),
+            pool("pool1"),
+            conv("conv2.1", 128),
+            conv("conv2.2", 128),
+            pool("pool2"),
+            conv("conv3.1", 256),
+            conv("conv3.2", 256),
+            conv("conv3.3", 256),
+            conv("conv3.4", 256),
+            pool("pool3"),
+            conv("conv4.1", 512),
+            conv("conv4.2", 512),
+            conv("conv4.3", 512),
+            conv("conv4.4", 512),
+            pool("pool4"),
+            conv("conv5.1", 512),
+            conv("conv5.2", 512),
+            conv("conv5.3", 512),
+            conv("conv5.4", 512),
+            pool("pool5"),
+            fc("fc6", 4096),
+            fc("fc7", 4096),
+            fc("fc8", 1000),
+        ],
+    }
+}
+
+/// A small conv–pool–fc chain for fast tests: 8×8×16 input, one 32-filter
+/// conv, one pool, a 10-way FC head. Its 32-channel conv output exercises
+/// the non-word-aligned flatten path.
+pub fn small_cnn() -> NetworkSpec {
+    NetworkSpec {
+        name: "SmallCNN".into(),
+        input: Shape::hwc(8, 8, 16),
+        layers: vec![conv("conv1", 32), pool("pool1"), fc("fc1", 10)],
+    }
+}
+
+/// A deeper small network covering every scheduler tier in one model:
+/// channels 3 → 64 → 128 → 256 → 512 with pools in between, FC head.
+pub fn tiered_cnn() -> NetworkSpec {
+    NetworkSpec {
+        name: "TieredCNN".into(),
+        input: Shape::hwc(32, 32, 3),
+        layers: vec![
+            conv("conv1", 64),
+            pool("pool1"),
+            conv("conv2", 128),
+            pool("pool2"),
+            conv("conv3", 256),
+            pool("pool3"),
+            conv("conv4", 512),
+            pool("pool4"),
+            fc("fc1", 128),
+            fc("fc2", 10),
+        ],
+    }
+}
+
+/// A pure-MLP network (for FC-only experiments and the original BNN
+/// paper's fully-connected setting): n-dim input, two hidden binary FC
+/// layers, 10-way head.
+pub fn mlp(input_dim: usize, hidden: usize) -> NetworkSpec {
+    NetworkSpec {
+        name: format!("MLP-{input_dim}-{hidden}"),
+        input: Shape::vec(input_dim),
+        layers: vec![fc("fc1", hidden), fc("fc2", hidden), fc("fc3", 10)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerIo;
+
+    #[test]
+    fn vgg16_table_iv_geometry() {
+        // Paper Table IV rows: conv2.1 (112,112,64→128), conv3.1
+        // (56,56,128→256), conv4.1 (28,28,256→512), conv5.1 (14,14,512→512),
+        // fc6 (25088→4096), fc7 (4096→4096), pool4 (28²×512), pool5 (14²×512).
+        let spec = vgg16();
+        let shapes = spec.infer_shapes();
+        let at = |name: &str| {
+            let i = spec.layers.iter().position(|l| l.name() == name).unwrap();
+            (i, shapes[i])
+        };
+        let (i, s) = at("conv2.1");
+        assert_eq!(s, LayerIo::Map { h: 112, w: 112, c: 128 });
+        assert_eq!(spec.input_width(i, &shapes), 64);
+        let (i, s) = at("conv3.1");
+        assert_eq!(s, LayerIo::Map { h: 56, w: 56, c: 256 });
+        assert_eq!(spec.input_width(i, &shapes), 128);
+        let (i, s) = at("conv4.1");
+        assert_eq!(s, LayerIo::Map { h: 28, w: 28, c: 512 });
+        assert_eq!(spec.input_width(i, &shapes), 256);
+        let (i, s) = at("conv5.1");
+        assert_eq!(s, LayerIo::Map { h: 14, w: 14, c: 512 });
+        assert_eq!(spec.input_width(i, &shapes), 512);
+        let (_, s) = at("pool4");
+        assert_eq!(s, LayerIo::Map { h: 14, w: 14, c: 512 });
+        let (_, s) = at("pool5");
+        assert_eq!(s, LayerIo::Map { h: 7, w: 7, c: 512 });
+        let (i, s) = at("fc6");
+        assert_eq!(s, LayerIo::Vector { n: 4096 });
+        assert_eq!(shapes[i - 1].numel(), 25088);
+        let (_, s) = at("fc8");
+        assert_eq!(s, LayerIo::Vector { n: 1000 });
+    }
+
+    #[test]
+    fn vgg19_has_three_more_convs() {
+        let convs16 = vgg16().layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        let convs19 = vgg19().layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        assert_eq!(convs16, 13);
+        assert_eq!(convs19, 16);
+    }
+
+    #[test]
+    fn vgg16_float_model_size_near_500mb() {
+        // Paper Table V: full-precision VGG ≈ 528 MB, binarized ≈ 16.5 MB.
+        use crate::weights::NetworkWeights;
+        use rand::{rngs::StdRng, SeedableRng};
+        let spec = vgg16();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = NetworkWeights::random(&spec, &mut rng);
+        let float_mb = w.float_bytes() as f64 / (1024.0 * 1024.0);
+        let packed_mb = w.packed_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((500.0..560.0).contains(&float_mb), "float {float_mb} MB");
+        assert!((14.0..20.0).contains(&packed_mb), "packed {packed_mb} MB");
+    }
+
+    #[test]
+    fn tiered_cnn_shapes() {
+        let spec = tiered_cnn();
+        let shapes = spec.infer_shapes();
+        assert_eq!(*shapes.last().unwrap(), LayerIo::Vector { n: 10 });
+        assert_eq!(shapes[6], LayerIo::Map { h: 4, w: 4, c: 512 });
+    }
+
+    #[test]
+    fn mlp_is_vector_only() {
+        let spec = mlp(784, 256);
+        let shapes = spec.infer_shapes();
+        assert_eq!(shapes[0], LayerIo::Vector { n: 256 });
+        assert_eq!(shapes[2], LayerIo::Vector { n: 10 });
+    }
+}

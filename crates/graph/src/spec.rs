@@ -1,0 +1,222 @@
+//! Network specifications: the static graph the engine compiles.
+
+use bitflow_ops::ConvParams;
+use bitflow_tensor::Shape;
+use serde::{Deserialize, Serialize};
+
+/// One layer of a (chain-structured) network. VGG-class networks — the
+/// paper's evaluation target — are chains; the engine exploits that for
+/// its padding and buffer planning.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Convolution with `k` filters. In binary networks each conv is
+    /// followed by (folded) batch-norm + sign.
+    Conv {
+        /// Display name, e.g. "conv3.1".
+        name: String,
+        /// Number of filters.
+        k: usize,
+        /// Kernel/stride/padding geometry.
+        params: ConvParams,
+    },
+    /// Max-pooling.
+    Pool {
+        /// Display name, e.g. "pool4".
+        name: String,
+        /// Window/stride geometry (pad must be 0).
+        params: ConvParams,
+    },
+    /// Fully-connected with `k` output neurons; the first FC after a
+    /// spatial layer implicitly flattens (h, w, c) → h·w·c.
+    Fc {
+        /// Display name, e.g. "fc6".
+        name: String,
+        /// Output width.
+        k: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::Pool { name, .. }
+            | LayerSpec::Fc { name, .. } => name,
+        }
+    }
+
+    /// Spatial padding this layer requires on its *input* buffer — what the
+    /// zero-cost-padding planner bakes into the producer's output buffer.
+    pub fn input_pad(&self) -> usize {
+        match self {
+            LayerSpec::Conv { params, .. } => params.pad,
+            _ => 0,
+        }
+    }
+}
+
+/// A whole network: input geometry plus a chain of layers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Model name (e.g. "VGG16").
+    pub name: String,
+    /// Input activation shape (batch 1).
+    pub input: Shape,
+    /// Layer chain.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// The inferred geometry of one layer boundary (output of layer i).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerIo {
+    /// Spatial activation map.
+    Map {
+        /// Height (unpadded).
+        h: usize,
+        /// Width (unpadded).
+        w: usize,
+        /// Channels.
+        c: usize,
+    },
+    /// Flat vector (after FC layers).
+    Vector {
+        /// Width.
+        n: usize,
+    },
+}
+
+impl LayerIo {
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        match *self {
+            LayerIo::Map { h, w, c } => h * w * c,
+            LayerIo::Vector { n } => n,
+        }
+    }
+}
+
+impl NetworkSpec {
+    /// Runs shape inference over the chain (the shape-inferer component of
+    /// the vector execution scheduler, applied network-wide). Returns the
+    /// output geometry of every layer, index-aligned with `self.layers`.
+    ///
+    /// # Panics
+    /// On malformed chains (spatial layer after FC, windows that don't fit).
+    pub fn infer_shapes(&self) -> Vec<LayerIo> {
+        let mut cur = LayerIo::Map {
+            h: self.input.h,
+            w: self.input.w,
+            c: self.input.c,
+        };
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            cur = match (layer, cur) {
+                (LayerSpec::Conv { k, params, .. }, LayerIo::Map { h, w, .. }) => {
+                    let g = params.conv_out(Shape::hwc(h, w, 1), *k);
+                    LayerIo::Map {
+                        h: g.out_h,
+                        w: g.out_w,
+                        c: *k,
+                    }
+                }
+                (LayerSpec::Pool { params, .. }, LayerIo::Map { h, w, c }) => {
+                    let g = params.pool_out(Shape::hwc(h, w, c));
+                    LayerIo::Map {
+                        h: g.out_h,
+                        w: g.out_w,
+                        c,
+                    }
+                }
+                (LayerSpec::Fc { k, .. }, _) => LayerIo::Vector { n: *k },
+                (l, LayerIo::Vector { .. }) => {
+                    panic!("spatial layer {} after FC", l.name())
+                }
+            };
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Input channel/vector width of layer `i` (what the scheduler's kernel
+    /// selector sees).
+    pub fn input_width(&self, i: usize, shapes: &[LayerIo]) -> usize {
+        let io = if i == 0 {
+            LayerIo::Map {
+                h: self.input.h,
+                w: self.input.w,
+                c: self.input.c,
+            }
+        } else {
+            shapes[i - 1]
+        };
+        match io {
+            LayerIo::Map { c, .. } => c,
+            LayerIo::Vector { n } => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> NetworkSpec {
+        NetworkSpec {
+            name: "toy".into(),
+            input: Shape::hwc(8, 8, 16),
+            layers: vec![
+                LayerSpec::Conv {
+                    name: "conv1".into(),
+                    k: 32,
+                    params: ConvParams::VGG_CONV,
+                },
+                LayerSpec::Pool {
+                    name: "pool1".into(),
+                    params: ConvParams::VGG_POOL,
+                },
+                LayerSpec::Fc {
+                    name: "fc1".into(),
+                    k: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shapes_flow_through_chain() {
+        let spec = toy();
+        let shapes = spec.infer_shapes();
+        assert_eq!(shapes[0], LayerIo::Map { h: 8, w: 8, c: 32 });
+        assert_eq!(shapes[1], LayerIo::Map { h: 4, w: 4, c: 32 });
+        assert_eq!(shapes[2], LayerIo::Vector { n: 10 });
+    }
+
+    #[test]
+    fn input_widths() {
+        let spec = toy();
+        let shapes = spec.infer_shapes();
+        assert_eq!(spec.input_width(0, &shapes), 16);
+        assert_eq!(spec.input_width(1, &shapes), 32);
+        assert_eq!(spec.input_width(2, &shapes), 32); // flatten sees c
+    }
+
+    #[test]
+    fn input_pad_only_for_conv() {
+        let spec = toy();
+        assert_eq!(spec.layers[0].input_pad(), 1);
+        assert_eq!(spec.layers[1].input_pad(), 0);
+        assert_eq!(spec.layers[2].input_pad(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after FC")]
+    fn spatial_after_fc_rejected() {
+        let mut spec = toy();
+        spec.layers.push(LayerSpec::Pool {
+            name: "bad".into(),
+            params: ConvParams::VGG_POOL,
+        });
+        let _ = spec.infer_shapes();
+    }
+}

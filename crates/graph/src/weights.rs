@@ -1,0 +1,254 @@
+//! Network parameters: float master weights plus batch-norm statistics.
+//!
+//! The float weights are the "shadow" parameters a BNN trains; the engine
+//! binarizes+packs them once at compile time. Model-size accounting for the
+//! paper's Table V compares the float form (what a full-precision VGG
+//! ships) against the packed form (what BitFlow ships).
+
+use crate::spec::{LayerSpec, NetworkSpec};
+use bitflow_tensor::FilterShape;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Inference-time batch-norm statistics for one layer (per output channel).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BnParams {
+    /// Scale.
+    pub gamma: Vec<f32>,
+    /// Shift.
+    pub beta: Vec<f32>,
+    /// Running mean.
+    pub mean: Vec<f32>,
+    /// Running variance.
+    pub var: Vec<f32>,
+}
+
+impl BnParams {
+    /// Identity batch-norm (γ=1, β=0, μ=0, σ²=1): sign thresholds collapse
+    /// to 0 — the configuration used by all performance experiments.
+    pub fn identity(c: usize) -> Self {
+        Self {
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            mean: vec![0.0; c],
+            var: vec![1.0; c],
+        }
+    }
+
+    /// Random-but-plausible statistics (positive variance, mixed-sign γ).
+    pub fn random(c: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            gamma: (0..c).map(|_| rng.gen_range(0.2f32..2.0)).collect(),
+            beta: (0..c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            mean: (0..c).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+            var: (0..c).map(|_| rng.gen_range(0.2f32..2.0)).collect(),
+        }
+    }
+}
+
+/// Parameters of one layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LayerWeights {
+    /// Convolution weights in (K, kh, kw, C) order + batch-norm.
+    Conv {
+        /// Flat weights.
+        w: Vec<f32>,
+        /// Filter-bank geometry.
+        fshape: FilterShape,
+        /// Batch-norm statistics over the K output features.
+        bn: BnParams,
+    },
+    /// FC weights, N×K row-major + batch-norm over K.
+    Fc {
+        /// Flat weights.
+        w: Vec<f32>,
+        /// Input width.
+        n: usize,
+        /// Output width.
+        k: usize,
+        /// Batch-norm statistics over the K outputs.
+        bn: BnParams,
+    },
+    /// Pooling has no parameters.
+    Pool,
+}
+
+impl LayerWeights {
+    /// Float parameter bytes (4 per weight; BN folds away at compile time
+    /// and is negligible either way, matching the paper's 500 MB vs 16 MB
+    /// accounting which is weight-dominated).
+    pub fn float_bytes(&self) -> usize {
+        match self {
+            LayerWeights::Conv { w, .. } | LayerWeights::Fc { w, .. } => w.len() * 4,
+            LayerWeights::Pool => 0,
+        }
+    }
+
+    /// Packed (1 bit/weight, padded to whole words) parameter bytes.
+    pub fn packed_bytes(&self) -> usize {
+        match self {
+            LayerWeights::Conv { fshape, .. } => {
+                fshape.k * fshape.kh * fshape.kw * fshape.c.div_ceil(64) * 8
+            }
+            LayerWeights::Fc { n, k, .. } => k * n.div_ceil(64) * 8,
+            LayerWeights::Pool => 0,
+        }
+    }
+}
+
+/// All parameters of a network, index-aligned with its spec's layers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkWeights {
+    /// Per-layer parameters.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl NetworkWeights {
+    /// Draws random weights matching `spec` (uniform in [−1, 1), identity
+    /// batch-norm). Inference *speed* is weight-independent, so this is what
+    /// every performance experiment uses.
+    pub fn random(spec: &NetworkSpec, rng: &mut impl Rng) -> Self {
+        Self::generate(spec, rng, false)
+    }
+
+    /// Random weights with random (non-identity) batch-norm — used by tests
+    /// that must exercise threshold folding.
+    pub fn random_with_bn(spec: &NetworkSpec, rng: &mut impl Rng) -> Self {
+        Self::generate(spec, rng, true)
+    }
+
+    fn generate(spec: &NetworkSpec, rng: &mut impl Rng, random_bn: bool) -> Self {
+        let shapes = spec.infer_shapes();
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let in_width = spec.input_width(i, &shapes);
+            let lw = match layer {
+                LayerSpec::Conv { k, params, .. } => {
+                    let fshape = FilterShape::new(*k, params.kh, params.kw, in_width);
+                    let w = (0..fshape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    let bn = if random_bn {
+                        BnParams::random(*k, rng)
+                    } else {
+                        BnParams::identity(*k)
+                    };
+                    LayerWeights::Conv { w, fshape, bn }
+                }
+                LayerSpec::Pool { .. } => LayerWeights::Pool,
+                LayerSpec::Fc { k, .. } => {
+                    // Flatten: vector width is h·w·c of the producing map.
+                    let n = if i == 0 {
+                        spec.input.numel()
+                    } else {
+                        shapes[i - 1].numel()
+                    };
+                    let w = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    let bn = if random_bn {
+                        BnParams::random(*k, rng)
+                    } else {
+                        BnParams::identity(*k)
+                    };
+                    LayerWeights::Fc { w, n, k: *k, bn }
+                }
+            };
+            layers.push(lw);
+        }
+        Self { layers }
+    }
+
+    /// Total float model size in bytes.
+    pub fn float_bytes(&self) -> usize {
+        self.layers.iter().map(LayerWeights::float_bytes).sum()
+    }
+
+    /// Total packed model size in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.layers.iter().map(LayerWeights::packed_bytes).sum()
+    }
+
+    /// Flatten-order note: FC weights expect the producer's (h, w, c) NHWC
+    /// flatten order; this helper returns the flattened input width of
+    /// layer `i` for validation.
+    pub fn expect_fc_width(spec: &NetworkSpec, i: usize) -> usize {
+        let shapes = spec.infer_shapes();
+        if i == 0 {
+            spec.input.numel()
+        } else {
+            shapes[i - 1].numel()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitflow_ops::ConvParams;
+    use bitflow_tensor::Shape;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy() -> NetworkSpec {
+        NetworkSpec {
+            name: "toy".into(),
+            input: Shape::hwc(8, 8, 16),
+            layers: vec![
+                LayerSpec::Conv {
+                    name: "conv1".into(),
+                    k: 32,
+                    params: ConvParams::VGG_CONV,
+                },
+                LayerSpec::Pool {
+                    name: "pool1".into(),
+                    params: ConvParams::VGG_POOL,
+                },
+                LayerSpec::Fc {
+                    name: "fc1".into(),
+                    k: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn random_weights_match_spec() {
+        let spec = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = NetworkWeights::random(&spec, &mut rng);
+        match &w.layers[0] {
+            LayerWeights::Conv { w, fshape, bn } => {
+                assert_eq!(*fshape, FilterShape::new(32, 3, 3, 16));
+                assert_eq!(w.len(), 32 * 9 * 16);
+                assert_eq!(bn.gamma.len(), 32);
+            }
+            _ => panic!("expected conv"),
+        }
+        match &w.layers[2] {
+            LayerWeights::Fc { n, k, w, .. } => {
+                assert_eq!((*n, *k), (4 * 4 * 32, 10));
+                assert_eq!(w.len(), 4 * 4 * 32 * 10);
+            }
+            _ => panic!("expected fc"),
+        }
+    }
+
+    #[test]
+    fn size_accounting_32x() {
+        let spec = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = NetworkWeights::random(&spec, &mut rng);
+        // conv: c=16 → padded to one word per 16 channels… packed words
+        // round 16 bits up to 64, so the conv ratio here is 8×, while the
+        // fc (n = 512, a multiple of 64) achieves the full 32×.
+        let fc = &w.layers[2];
+        assert_eq!(fc.float_bytes() / fc.packed_bytes(), 32);
+        assert!(w.float_bytes() > w.packed_bytes());
+    }
+
+    #[test]
+    fn identity_bn_thresholds_are_zero() {
+        let bn = BnParams::identity(4);
+        let fold = bitflow_ops::binary::fold_bn_into_thresholds(
+            &bn.gamma, &bn.beta, &bn.mean, &bn.var, 0.0,
+        );
+        assert!(fold.thresholds.iter().all(|&t| t == 0.0));
+        assert!(fold.flip.iter().all(|&f| !f));
+    }
+}

@@ -1,0 +1,160 @@
+//! Spec fuzzer: random valid chain networks are compiled and executed, and
+//! the engine's output is compared against a straight-line interpretation
+//! using the raw operators — for every generated topology.
+
+use bitflow_graph::spec::{LayerSpec, NetworkSpec};
+use bitflow_graph::weights::{LayerWeights, NetworkWeights};
+use bitflow_graph::Network;
+use bitflow_ops::binary::{
+    binarize_pack_padded, binarize_threshold_padded, binary_max_pool, fold_bn_into_thresholds,
+    pressed_conv, BinaryFcWeights,
+};
+use bitflow_ops::{ConvParams, SimdLevel};
+use bitflow_tensor::{BitFilterBank, Layout, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Straight-line interpreter over the raw ops (the oracle).
+fn interpret(spec: &NetworkSpec, weights: &NetworkWeights, input: &Tensor) -> Vec<f32> {
+    enum Cur {
+        Bits(bitflow_tensor::BitTensor),
+        Vec(Vec<f32>),
+    }
+    let first_pad = spec.layers.first().map_or(0, |l| l.input_pad());
+    let mut cur = Cur::Bits(binarize_pack_padded(input, first_pad));
+    for (i, (layer, lw)) in spec.layers.iter().zip(&weights.layers).enumerate() {
+        let next_pad = spec.layers.get(i + 1).map_or(0, |l| l.input_pad());
+        let is_last = i + 1 == spec.layers.len();
+        cur = match (layer, lw, cur) {
+            (
+                LayerSpec::Conv { params, k, .. },
+                LayerWeights::Conv { w, fshape, bn },
+                Cur::Bits(bits),
+            ) => {
+                let bank = BitFilterBank::from_floats(w, *fshape);
+                let counts = pressed_conv(SimdLevel::Avx512, &bits, &bank, params.stride);
+                let fold = fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                let _ = k;
+                Cur::Bits(binarize_threshold_padded(
+                    &counts,
+                    &fold.thresholds,
+                    &fold.flip,
+                    next_pad,
+                ))
+            }
+            (LayerSpec::Pool { params, .. }, LayerWeights::Pool, Cur::Bits(bits)) => {
+                let pooled =
+                    binary_max_pool(SimdLevel::Avx512, &bits, params.kh, params.kw, params.stride);
+                // Re-pad for the next consumer (the oracle pays the copy the
+                // engine's zero-cost padding avoids).
+                let as_tensor = pooled.to_tensor();
+                Cur::Bits(binarize_pack_padded(&as_tensor, next_pad))
+            }
+            (LayerSpec::Fc { .. }, LayerWeights::Fc { w, n, k, bn }, prev) => {
+                let flat: Vec<f32> = match prev {
+                    Cur::Bits(bits) => bits.to_tensor().data().to_vec(),
+                    Cur::Vec(v) => v,
+                };
+                assert_eq!(flat.len(), *n);
+                let packed = BinaryFcWeights::pack(w, *n, *k);
+                let counts = bitflow_ops::binary::binary_fc(SimdLevel::Avx512, &flat, &packed);
+                if is_last {
+                    Cur::Vec(counts)
+                } else {
+                    let fold =
+                        fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                    let signed: Vec<f32> = counts
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &x)| {
+                            if (x >= fold.thresholds[j]) ^ fold.flip[j] {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        })
+                        .collect();
+                    Cur::Vec(signed)
+                }
+            }
+            _ => unreachable!("spec/weights mismatch"),
+        };
+    }
+    match cur {
+        Cur::Vec(v) => v,
+        Cur::Bits(_) => panic!("network must end with FC"),
+    }
+}
+
+/// Random chain generator: [conv|pool]* then fc+, with geometry kept valid.
+fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        4usize..10,                      // input side
+        prop_oneof![Just(3usize), Just(16), Just(64), Just(70)], // input channels
+        proptest::collection::vec(0u8..3, 0..3), // body layer picks
+        1usize..3,                       // fc count
+    )
+        .prop_map(|(side, c, body, fcs)| {
+            let mut layers = Vec::new();
+            let mut h = side;
+            let mut cc = c;
+            for (i, pick) in body.iter().enumerate() {
+                match pick {
+                    0 => {
+                        layers.push(LayerSpec::Conv {
+                            name: format!("conv{i}"),
+                            k: [8usize, 32, 64][i % 3],
+                            params: ConvParams::VGG_CONV,
+                        });
+                        cc = [8usize, 32, 64][i % 3];
+                    }
+                    1 if h >= 2 => {
+                        layers.push(LayerSpec::Pool {
+                            name: format!("pool{i}"),
+                            params: ConvParams::VGG_POOL,
+                        });
+                        h /= 2;
+                    }
+                    _ => {}
+                }
+            }
+            let _ = cc;
+            for f in 0..fcs {
+                layers.push(LayerSpec::Fc {
+                    name: format!("fc{f}"),
+                    k: if f + 1 == fcs { 10 } else { 24 },
+                });
+            }
+            NetworkSpec {
+                name: "fuzz".into(),
+                input: Shape::hwc(side, side, c),
+                layers,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_matches_interpreter(spec in arb_spec(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        let mut net = Network::compile(&spec, &weights);
+        let got = net.infer(&input);
+        let want = interpret(&spec, &weights, &input);
+        // The interpreter's FC path emits ±1 for hidden layers and counts
+        // for the head; the engine's logits are counts — same thing.
+        prop_assert_eq!(got, want);
+
+        // And the parallel path agrees.
+        net.parallel = true;
+        let par = net.infer(&input);
+        let serial = {
+            net.parallel = false;
+            net.infer(&input)
+        };
+        prop_assert_eq!(par, serial);
+    }
+}

@@ -1,0 +1,140 @@
+//! Arithmetic-intensity (AIT) analysis of convolution algorithms —
+//! paper §III-A, Eqs. 4–8.
+//!
+//! AIT = arithmetic operations / memory operations. The paper's argument
+//! against image-to-column for binary convolution is quantitative: the
+//! unfolded matrix `U` inflates the memory traffic (it is written and read
+//! once each, hence the `2|U|` term), and after bit-packing shrinks `I` and
+//! `W` by 32×, the relative weight of that overhead grows. These
+//! calculators back the `ablation` bench and the DESIGN/EXPERIMENTS
+//! discussion with the paper's own formulas.
+
+use bitflow_tensor::{FilterShape, Shape};
+use serde::{Deserialize, Serialize};
+
+/// The AIT terms of one convolution operator (paper Eqs. 4–8), counted in
+/// elements (floats for the full-precision case, packed words × 1 for the
+/// binary case — see [`ConvAit::binary`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConvAit {
+    /// Arithmetic operations `A = 2·C·H·W·K·h·w` (Eq. 4).
+    pub arithmetic: f64,
+    /// Input size `|I| = C·H·W` (Eq. 5).
+    pub input: f64,
+    /// Weight size `|W| = K·C·h·w` (Eq. 6).
+    pub weights: f64,
+    /// Output size `|O| = K·(H−h+1)·(W−w+1)` (Eq. 7).
+    pub output: f64,
+    /// Unfolded size `|U| = (H−h+1)·(W−w+1)·C·h·w` (Eq. 8).
+    pub unfolded: f64,
+}
+
+impl ConvAit {
+    /// Full-precision AIT terms for a stride-1, unpadded convolution (the
+    /// setting of the paper's formulas).
+    pub fn full_precision(input: Shape, f: FilterShape) -> Self {
+        assert_eq!(input.c, f.c);
+        let (cc, hh, ww) = (input.c as f64, input.h as f64, input.w as f64);
+        let (k, h, w) = (f.k as f64, f.kh as f64, f.kw as f64);
+        let (oh, ow) = (hh - h + 1.0, ww - w + 1.0);
+        Self {
+            arithmetic: 2.0 * cc * hh * ww * k * h * w,
+            input: cc * hh * ww,
+            weights: k * cc * h * w,
+            output: k * oh * ow,
+            unfolded: oh * ow * cc * h * w,
+        }
+    }
+
+    /// Binary AIT terms: input, weights and unfolded sizes shrink by the
+    /// packing factor (32 in the paper's `unsigned int` packing; 64 for our
+    /// `u64` words), arithmetic shrinks by the same factor because each
+    /// word-op covers `pack` multiplications and accumulations, and the
+    /// output (integer counts) stays full-width.
+    pub fn binary(input: Shape, f: FilterShape, pack: f64) -> Self {
+        let fp = Self::full_precision(input, f);
+        Self {
+            arithmetic: fp.arithmetic / pack,
+            input: fp.input / pack,
+            weights: fp.weights / pack,
+            unfolded: fp.unfolded / pack,
+            output: fp.output,
+        }
+    }
+
+    /// Intrinsic AIT of the direct convolution: `A / (|I|+|W|+|O|)`.
+    pub fn intrinsic(&self) -> f64 {
+        self.arithmetic / (self.input + self.weights + self.output)
+    }
+
+    /// AIT achievable through image-to-column: `A / (2|U|+|W|+|O|)`
+    /// (paper: the unfolded input is stored then read, doubling its
+    /// traffic).
+    pub fn im2col(&self) -> f64 {
+        self.arithmetic / (2.0 * self.unfolded + self.weights + self.output)
+    }
+
+    /// The paper's bound on the fraction of intrinsic AIT image-to-column
+    /// can reach: `(|I|+|W|+|O|) / (2|U|+|W|+|O|)`.
+    pub fn im2col_fraction(&self) -> f64 {
+        (self.input + self.weights + self.output) / (2.0 * self.unfolded + self.weights + self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vgg_conv31() -> (Shape, FilterShape) {
+        (Shape::hwc(56, 56, 128), FilterShape::new(256, 3, 3, 128))
+    }
+
+    #[test]
+    fn formulas_match_paper_eqs() {
+        let (s, f) = vgg_conv31();
+        let a = ConvAit::full_precision(s, f);
+        assert_eq!(a.arithmetic, 2.0 * 128.0 * 56.0 * 56.0 * 256.0 * 9.0);
+        assert_eq!(a.input, 128.0 * 56.0 * 56.0);
+        assert_eq!(a.weights, 256.0 * 128.0 * 9.0);
+        assert_eq!(a.output, 256.0 * 54.0 * 54.0);
+        assert_eq!(a.unfolded, 54.0 * 54.0 * 128.0 * 9.0);
+    }
+
+    #[test]
+    fn im2col_always_below_intrinsic() {
+        for (h, c, k) in [(14usize, 512usize, 512usize), (56, 128, 256), (112, 64, 128)] {
+            let s = Shape::hwc(h, h, c);
+            let f = FilterShape::new(k, 3, 3, c);
+            let a = ConvAit::full_precision(s, f);
+            assert!(a.im2col() < a.intrinsic());
+            assert!(a.im2col_fraction() < 1.0);
+            assert!(a.im2col_fraction() > 0.0);
+        }
+    }
+
+    #[test]
+    fn binary_packing_lowers_achievable_ait() {
+        // Paper §III-A: after bit-packing, arithmetic shrinks by the pack
+        // factor while the (unpacked) output keeps memory traffic high, so
+        // the AIT achievable through image-to-column "becomes even lower".
+        let (s, f) = vgg_conv31();
+        let fp = ConvAit::full_precision(s, f);
+        let bin = ConvAit::binary(s, f, 64.0);
+        assert!(
+            bin.im2col() < fp.im2col(),
+            "binary {} vs float {}",
+            bin.im2col(),
+            fp.im2col()
+        );
+        assert!(bin.intrinsic() < fp.intrinsic());
+    }
+
+    #[test]
+    fn binary_output_not_packed() {
+        let (s, f) = vgg_conv31();
+        let bin = ConvAit::binary(s, f, 64.0);
+        let fp = ConvAit::full_precision(s, f);
+        assert_eq!(bin.output, fp.output);
+        assert_eq!(bin.input * 64.0, fp.input);
+    }
+}

@@ -1,0 +1,162 @@
+//! Binary fully-connected operator (paper §III-C).
+//!
+//! "Binary fully connected operator is in essence doing binary matrix
+//! matrix multiplication" — the operator wraps `bitflow-gemm`'s bgemm with
+//! weights packed once at construction (network-level optimization:
+//! binarize + pack + transpose weights during initialization, once and for
+//! all). Vector parallelism runs over the N (input-neuron) dimension,
+//! multi-core parallelism over the K (output-neuron) dimension.
+
+use bitflow_gemm::bgemm::{bgemm_packed, bgemm_packed_parallel};
+use bitflow_gemm::pack::{pack_b_fused, PackedMatrix};
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::pack::pack_f32;
+
+/// Pre-packed binary FC weights: the fused binarize+pack+transpose product
+/// of an N×K float weight matrix (paper Table III).
+#[derive(Clone, Debug)]
+pub struct BinaryFcWeights {
+    packed: PackedMatrix,
+    /// Input width.
+    pub n: usize,
+    /// Output width.
+    pub k: usize,
+}
+
+impl BinaryFcWeights {
+    /// Packs an N×K row-major float weight matrix.
+    pub fn pack(weights: &[f32], n: usize, k: usize) -> Self {
+        assert_eq!(weights.len(), n * k);
+        Self {
+            packed: pack_b_fused(weights, n, k),
+            n,
+            k,
+        }
+    }
+
+    /// Packed bytes (for model-size accounting).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.bytes()
+    }
+
+    /// Forward pass over an already-packed input given as raw words
+    /// (length `ceil(n/64)`, press-tail zeros), writing the K dot products
+    /// into `out`. Allocation-free — the engine's hot path.
+    pub fn forward_into(&self, level: SimdLevel, input_words: &[u64], out: &mut [f32]) {
+        assert_eq!(
+            input_words.len(),
+            self.packed.words_per_row,
+            "input word count"
+        );
+        assert_eq!(out.len(), self.k, "output width");
+        for (kk, o) in out.iter_mut().enumerate() {
+            *o = bitflow_simd::binary_dot(level, input_words, self.packed.row(kk), self.n) as f32;
+        }
+    }
+
+    /// Multi-threaded [`Self::forward_into`] (output neurons over the
+    /// installed rayon pool).
+    pub fn forward_into_parallel(&self, level: SimdLevel, input_words: &[u64], out: &mut [f32]) {
+        use rayon::prelude::*;
+        assert_eq!(
+            input_words.len(),
+            self.packed.words_per_row,
+            "input word count"
+        );
+        assert_eq!(out.len(), self.k, "output width");
+        out.par_iter_mut().enumerate().with_min_len(8).for_each(|(kk, o)| {
+            *o = bitflow_simd::binary_dot(level, input_words, self.packed.row(kk), self.n) as f32;
+        });
+    }
+}
+
+/// Binary FC: binarize+pack the input vector, then K binary dot products.
+pub fn binary_fc(level: SimdLevel, input: &[f32], weights: &BinaryFcWeights) -> Vec<f32> {
+    let pin = pack_input(input, weights.n);
+    let mut out = vec![0.0f32; weights.k];
+    bgemm_packed(level, &pin, &weights.packed, &mut out);
+    out
+}
+
+/// Multi-threaded binary FC (output neurons over the installed pool).
+pub fn binary_fc_parallel(
+    level: SimdLevel,
+    input: &[f32],
+    weights: &BinaryFcWeights,
+) -> Vec<f32> {
+    let pin = pack_input(input, weights.n);
+    let mut out = vec![0.0f32; weights.k];
+    bgemm_packed_parallel(level, &pin, &weights.packed, &mut out);
+    out
+}
+
+/// Binary FC over an input that is already packed (chained binary layers).
+pub fn binary_fc_packed(
+    level: SimdLevel,
+    input: &PackedMatrix,
+    weights: &BinaryFcWeights,
+) -> Vec<f32> {
+    assert_eq!(input.rows, 1, "batch-1 FC");
+    assert_eq!(input.n_logical, weights.n, "input width");
+    let mut out = vec![0.0f32; weights.k];
+    bgemm_packed(level, input, &weights.packed, &mut out);
+    out
+}
+
+fn pack_input(input: &[f32], n: usize) -> PackedMatrix {
+    assert_eq!(input.len(), n, "input width");
+    let mut pin = PackedMatrix::zeros(1, n);
+    pack_f32(input, pin.row_mut(0));
+    pin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sign(x: f32) -> f32 {
+        if x >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    #[test]
+    fn matches_float_reference() {
+        let mut rng = StdRng::seed_from_u64(110);
+        for (n, k) in [(64usize, 10usize), (100, 7), (512, 32), (25088 / 49, 16)] {
+            let input: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let weights: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let packed = BinaryFcWeights::pack(&weights, n, k);
+            let got = binary_fc(SimdLevel::Avx512, &input, &packed);
+            for kk in 0..k {
+                let want: f32 = (0..n).map(|i| sign(input[i]) * sign(weights[i * k + kk])).sum();
+                assert_eq!(got[kk], want, "n={n} k={k} kk={kk}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_packed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let (n, k) = (300usize, 21usize);
+        let input: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let weights: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let packed = BinaryFcWeights::pack(&weights, n, k);
+        let a = binary_fc(SimdLevel::Scalar, &input, &packed);
+        let b = binary_fc_parallel(SimdLevel::Avx2, &input, &packed);
+        let pin = pack_input(&input, n);
+        let c = binary_fc_packed(SimdLevel::Sse, &pin, &packed);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn weight_compression() {
+        let (n, k) = (4096usize, 4096usize);
+        let packed = BinaryFcWeights::pack(&vec![0.5f32; n * k], n, k);
+        assert_eq!((n * k * 4) / packed.packed_bytes(), 32);
+    }
+}

@@ -1,0 +1,171 @@
+//! Binary max-pooling: bitwise OR over pressed words (paper §III-C).
+//!
+//! In the {−1,+1} domain with the +1 ↦ 1 encoding, `max` of a window is 1
+//! exactly when any element is 1 — a bitwise OR. The operator keeps the
+//! NHWC pressed layout and ORs whole channel-word vectors, so it runs at
+//! memory speed with the same kernels widths as PressedConv.
+
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::or_accumulate;
+use bitflow_simd::scheduler::infer_pool;
+use bitflow_tensor::BitTensor;
+use rayon::prelude::*;
+
+/// Binary max-pool with a `kh×kw` window and `stride`.
+pub fn binary_max_pool(
+    level: SimdLevel,
+    input: &BitTensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> BitTensor {
+    let g = infer_pool(input.h(), input.w(), input.c(), kh, kw, stride);
+    let mut out = BitTensor::zeros(g.out_h, g.out_w, input.c());
+    binary_max_pool_into(level, input, kh, kw, stride, &mut out, 0);
+    out
+}
+
+/// Binary max-pool into the interior of a pre-allocated (optionally padded)
+/// output tensor — the allocation-free engine path, with zero-cost padding
+/// for the following convolution baked into `out`.
+pub fn binary_max_pool_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    out: &mut BitTensor,
+    out_pad: usize,
+) {
+    let g = infer_pool(input.h(), input.w(), input.c(), kh, kw, stride);
+    assert_eq!(out.c(), input.c(), "channel count");
+    assert_eq!(out.h(), g.out_h + 2 * out_pad, "output height incl. padding");
+    assert_eq!(out.w(), g.out_w + 2 * out_pad, "output width incl. padding");
+    let cw = input.c_words();
+    for oy in 0..g.out_h {
+        for ox in 0..g.out_w {
+            let base = out.pixel_words_index(oy + out_pad, ox + out_pad);
+            pool_window(level, input, kh, kw, stride, oy, ox, {
+                &mut out.words_mut()[base..base + cw]
+            });
+        }
+    }
+}
+
+/// Multi-threaded binary max-pool (output pixels over the installed pool).
+/// Bit-identical to the serial version.
+pub fn binary_max_pool_parallel(
+    level: SimdLevel,
+    input: &BitTensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> BitTensor {
+    let g = infer_pool(input.h(), input.w(), input.c(), kh, kw, stride);
+    let mut out = BitTensor::zeros(g.out_h, g.out_w, input.c());
+    let cw = input.c_words();
+    let out_w = g.out_w;
+    out.words_mut()
+        .par_chunks_mut(cw)
+        .enumerate()
+        .with_min_len(32)
+        .for_each(|(px, owords)| {
+            pool_window(level, input, kh, kw, stride, px / out_w, px % out_w, owords);
+        });
+    out
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pool_window(
+    level: SimdLevel,
+    input: &BitTensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    oy: usize,
+    ox: usize,
+    owords: &mut [u64],
+) {
+    let (iy, ix) = (oy * stride, ox * stride);
+    owords.copy_from_slice(input.pixel_words(iy, ix));
+    for i in 0..kh {
+        for j in 0..kw {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            or_accumulate(level, owords, input.pixel_words(iy + i, ix + j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::pool::max_pool;
+    use crate::params::ConvParams;
+    use bitflow_tensor::{Layout, Shape, Tensor};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_pm1_tensor(rng: &mut StdRng, h: usize, w: usize, c: usize) -> Tensor {
+        Tensor::from_fn(Shape::hwc(h, w, c), Layout::Nhwc, |_, _, _, _| {
+            if rng.gen::<bool>() {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    #[test]
+    fn matches_float_max_pool_on_pm1() {
+        let mut rng = StdRng::seed_from_u64(120);
+        for c in [1usize, 33, 64, 130, 512] {
+            let t = rand_pm1_tensor(&mut rng, 8, 8, c);
+            let want = max_pool(&t, ConvParams::VGG_POOL);
+            let pressed = BitTensor::from_tensor(&t);
+            for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+                let got = binary_max_pool(level, &pressed, 2, 2, 2).to_tensor();
+                assert_eq!(got.max_abs_diff(&want), 0.0, "c={c} {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let t = rand_pm1_tensor(&mut rng, 14, 14, 256);
+        let pressed = BitTensor::from_tensor(&t);
+        let a = binary_max_pool(SimdLevel::Avx512, &pressed, 2, 2, 2);
+        let b = binary_max_pool_parallel(SimdLevel::Avx512, &pressed, 2, 2, 2);
+        assert_eq!(a.words(), b.words());
+    }
+
+    #[test]
+    fn all_minus_one_window_stays_minus_one() {
+        let t = Tensor::from_vec(vec![-1.0; 4 * 4 * 64], Shape::hwc(4, 4, 64), Layout::Nhwc);
+        let pressed = BitTensor::from_tensor(&t);
+        let out = binary_max_pool(SimdLevel::Scalar, &pressed, 2, 2, 2);
+        assert!(out.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn single_plus_one_dominates_window() {
+        let mut t = Tensor::from_vec(vec![-1.0; 2 * 2 * 64], Shape::hwc(2, 2, 64), Layout::Nhwc);
+        *t.at_mut(0, 1, 1, 63) = 1.0;
+        let pressed = BitTensor::from_tensor(&t);
+        let out = binary_max_pool(SimdLevel::Scalar, &pressed, 2, 2, 2);
+        assert_eq!(out.get(0, 0, 63), 1);
+        assert_eq!(out.get(0, 0, 62), -1);
+    }
+
+    #[test]
+    fn overlapping_stride_1_windows() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let t = rand_pm1_tensor(&mut rng, 5, 5, 64);
+        let want = max_pool(&t, ConvParams::new(2, 2, 1, 0));
+        let pressed = BitTensor::from_tensor(&t);
+        let got = binary_max_pool(SimdLevel::Avx2, &pressed, 2, 2, 1).to_tensor();
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+}

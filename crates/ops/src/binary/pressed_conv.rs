@@ -1,0 +1,380 @@
+//! PressedConv — efficient binary convolution with locality-aware layout
+//! and vector parallelism (paper §III-B, Algorithm 1).
+//!
+//! The input arrives as a [`BitTensor`]: NHWC, channels pressed ×64 into
+//! `u64` words, spatial padding pre-baked as all-zero margins (paper
+//! Fig. 5). Filters arrive as a [`BitFilterBank`], pressed the same way at
+//! network initialization. A convolution window then reduces to `kh` pairs
+//! of *contiguous* word runs of length `kw·c_words` — one xor+popcount
+//! stream per filter row — because width and pressed channels are adjacent
+//! in memory. That contiguity is the entire point of the locality-aware
+//! layout: no unfolding, no gather, no layout change on the output.
+//!
+//! Parallelism (Algorithm 1, step 3): vector parallelism runs along the
+//! pressed channel words inside [`bitflow_simd::xor_popcount`]; multi-core
+//! parallelism runs over the fused H×W output-pixel range.
+
+use bitflow_simd::conv::{conv_window as simd_conv_window, WindowGeom};
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_tensor::{BitFilterBank, BitTensor, Layout, Shape, Tensor};
+use rayon::prelude::*;
+
+/// Validates operand geometry and returns (out_h, out_w).
+fn geometry(input: &BitTensor, filters: &BitFilterBank, stride: usize) -> (usize, usize) {
+    let f = filters.shape();
+    assert_eq!(input.c(), f.c, "channel mismatch");
+    assert_eq!(
+        input.c_words(),
+        filters.c_words(),
+        "press width mismatch between input and filters"
+    );
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        f.kh <= input.h() && f.kw <= input.w(),
+        "kernel larger than (padded) input"
+    );
+    (
+        (input.h() - f.kh) / stride + 1,
+        (input.w() - f.kw) / stride + 1,
+    )
+}
+
+/// Computes all K binary dot products of the window anchored at input pixel
+/// (iy, ix), writing them as `f32` into `orow` (length K).
+///
+/// The window's kh rows are contiguous runs of `kw · c_words` words in both
+/// operands (the locality-aware layout at work); the per-tier fused kernel
+/// in `bitflow-simd` streams them with one dispatch per *pixel*, amortized
+/// over all K filters.
+#[inline]
+fn conv_window(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    iy: usize,
+    ix: usize,
+    orow: &mut [f32],
+) {
+    let f = filters.shape();
+    let cw = input.c_words();
+    let geom = WindowGeom {
+        base: input.pixel_words_index(iy, ix),
+        row_stride: input.w() * cw,
+        row_len: f.kw * cw,
+        kh: f.kh,
+        n_logical: (f.kh * f.kw * f.c) as i32,
+    };
+    simd_conv_window(level, input.words(), filters.filter_words_all(), geom, orow);
+}
+
+/// PressedConv, single-threaded: binary convolution of a pressed input
+/// against a pressed filter bank. Returns the integer dot products as an
+/// f32 NHWC tensor of shape (out_h, out_w, K).
+///
+/// Spatial padding must be pre-baked into `input`
+/// ([`BitTensor::from_tensor_padded`] or the graph memory planner); pad
+/// pixels are all-zero words, i.e. logical −1 (see module docs of
+/// [`crate::binary`]).
+pub fn pressed_conv(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+) -> Tensor {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    let mut out = Tensor::zeros(Shape::hwc(out_h, out_w, k), Layout::Nhwc);
+    pressed_conv_into(level, input, filters, stride, &mut out);
+    out
+}
+
+/// PressedConv writing into a pre-allocated output tensor (allocation-free
+/// inference path; the graph engine pre-allocates `out` at plan time).
+pub fn pressed_conv_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+    out: &mut Tensor,
+) {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    assert_eq!(out.shape(), Shape::hwc(out_h, out_w, k), "output shape");
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let start = (oy * out_w + ox) * k;
+            conv_window(
+                level,
+                input,
+                filters,
+                oy * stride,
+                ox * stride,
+                &mut out.data_mut()[start..start + k],
+            );
+        }
+    }
+}
+
+/// PressedConv, multi-threaded: output pixels (fused H×W, per Algorithm 1)
+/// are distributed over the installed rayon pool. Bit-identical to the
+/// single-threaded result.
+pub fn pressed_conv_parallel(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+) -> Tensor {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    let mut out = Tensor::zeros(Shape::hwc(out_h, out_w, k), Layout::Nhwc);
+    pressed_conv_parallel_into(level, input, filters, stride, &mut out);
+    out
+}
+
+/// Multi-threaded PressedConv into a pre-allocated output tensor.
+pub fn pressed_conv_parallel_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+    out: &mut Tensor,
+) {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    assert_eq!(out.shape(), Shape::hwc(out_h, out_w, k), "output shape");
+    out.data_mut()
+        .par_chunks_mut(k)
+        .enumerate()
+        .with_min_len(8)
+        .for_each(|(px, orow)| {
+            let (oy, ox) = (px / out_w, px % out_w);
+            conv_window(level, input, filters, oy * stride, ox * stride, orow);
+        });
+}
+
+/// Fused PressedConv + per-channel threshold binarization, writing packed
+/// bits straight into the **interior** of a pre-zeroed padded output
+/// [`BitTensor`] — the producer side of zero-cost padding (paper Fig. 5):
+/// the next layer reads `out` directly, margins already "padded".
+///
+/// For output feature k: bit = `dot_k >= thresholds[k]`, with
+/// `flip[k]` inverting the comparison for negative batch-norm scales
+/// (see [`crate::binary::binarize::fold_bn_into_thresholds`]).
+#[allow(clippy::too_many_arguments)]
+pub fn pressed_conv_sign_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+    thresholds: &[f32],
+    flip: &[bool],
+    out: &mut BitTensor,
+    out_pad: usize,
+) {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    assert_eq!(thresholds.len(), k, "one threshold per output feature");
+    assert_eq!(flip.len(), k, "one flip flag per output feature");
+    assert_eq!(out.c(), k, "output channel count");
+    assert_eq!(out.h(), out_h + 2 * out_pad, "output height incl. padding");
+    assert_eq!(out.w(), out_w + 2 * out_pad, "output width incl. padding");
+    let c_words = out.c_words();
+    let mut dots = vec![0.0f32; k];
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            conv_window(level, input, filters, oy * stride, ox * stride, &mut dots);
+            let base = out.pixel_words_index(oy + out_pad, ox + out_pad);
+            let words = &mut out.words_mut()[base..base + c_words];
+            for (wi, word) in words.iter_mut().enumerate() {
+                let mut w = 0u64;
+                let lo = wi * 64;
+                let hi = (lo + 64).min(k);
+                for kk in lo..hi {
+                    let bit = (dots[kk] >= thresholds[kk]) ^ flip[kk];
+                    w |= (bit as u64) << (kk - lo);
+                }
+                *word = w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::conv::conv_direct;
+    use crate::params::ConvParams;
+    use bitflow_tensor::FilterShape;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_pm1(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+    }
+
+    /// Float reference with −1 padding: pre-pad the ±1 input with −1.0 and
+    /// run the direct convolution with pad 0.
+    fn reference(
+        input: &Tensor,
+        weights: &[f32],
+        fshape: FilterShape,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let s = input.shape();
+        let padded = Tensor::from_fn(
+            Shape::hwc(s.h + 2 * pad, s.w + 2 * pad, s.c),
+            Layout::Nhwc,
+            |_, h, w, c| {
+                if h < pad || h >= s.h + pad || w < pad || w >= s.w + pad {
+                    -1.0
+                } else {
+                    input.at(0, h - pad, w - pad, c)
+                }
+            },
+        );
+        conv_direct(
+            &padded,
+            weights,
+            fshape,
+            ConvParams::new(fshape.kh, fshape.kw, stride, 0),
+        )
+    }
+
+    fn levels() -> [SimdLevel; 4] {
+        [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512]
+    }
+
+    #[test]
+    fn matches_float_reference_across_channel_widths() {
+        let mut rng = StdRng::seed_from_u64(90);
+        // Channel widths hitting every scheduler tier incl. the padded one.
+        for c in [3usize, 32, 64, 128, 160, 256] {
+            let shape = Shape::hwc(5, 6, c);
+            let fshape = FilterShape::new(7, 3, 3, c);
+            let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+            let weights = rand_pm1(&mut rng, fshape.numel());
+            let want = reference(&raw, &weights, fshape, 1, 1);
+            let pressed = BitTensor::from_tensor_padded(&raw, 1);
+            let bank = BitFilterBank::from_floats(&weights, fshape);
+            for level in levels() {
+                let got = pressed_conv(level, &pressed, &bank, 1);
+                assert_eq!(got.max_abs_diff(&want), 0.0, "c={c} {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_no_padding_and_strides() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for (stride, pad) in [(1usize, 0usize), (2, 0), (2, 1), (3, 0)] {
+            let shape = Shape::hwc(9, 9, 64);
+            let fshape = FilterShape::new(4, 3, 3, 64);
+            let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+            let weights = rand_pm1(&mut rng, fshape.numel());
+            let want = reference(&raw, &weights, fshape, stride, pad);
+            let pressed = BitTensor::from_tensor_padded(&raw, pad);
+            let bank = BitFilterBank::from_floats(&weights, fshape);
+            let got = pressed_conv(SimdLevel::Avx512, &pressed, &bank, stride);
+            assert_eq!(got.max_abs_diff(&want), 0.0, "stride={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let shape = Shape::hwc(8, 8, 128);
+        let fshape = FilterShape::new(16, 3, 3, 128);
+        let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+        let weights = rand_pm1(&mut rng, fshape.numel());
+        let pressed = BitTensor::from_tensor_padded(&raw, 1);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        let a = pressed_conv(SimdLevel::Avx2, &pressed, &bank, 1);
+        let b = pressed_conv_parallel(SimdLevel::Avx2, &pressed, &bank, 1);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_channel_dot() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let shape = Shape::hwc(3, 3, 64);
+        let fshape = FilterShape::new(2, 1, 1, 64);
+        let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+        let weights = rand_pm1(&mut rng, fshape.numel());
+        let pressed = BitTensor::from_tensor(&raw);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        let got = pressed_conv(SimdLevel::Scalar, &pressed, &bank, 1);
+        for h in 0..3 {
+            for w in 0..3 {
+                for k in 0..2 {
+                    let want: f32 = (0..64)
+                        .map(|c| raw.at(0, h, w, c) * weights[k * 64 + c])
+                        .sum();
+                    assert_eq!(got.at(0, h, w, k), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_margin_window_gives_full_anticorrelation() {
+        // 1x1 input padded by 1, 3x3 all-(+1) filter: window at (0,0) sees
+        // 8 margin pixels (−1) and the single real pixel.
+        let raw = Tensor::from_vec(vec![1.0; 4], Shape::hwc(1, 1, 4), Layout::Nhwc);
+        let fshape = FilterShape::new(1, 3, 3, 4);
+        let weights = vec![1.0f32; fshape.numel()];
+        let pressed = BitTensor::from_tensor_padded(&raw, 1);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        let got = pressed_conv(SimdLevel::Scalar, &pressed, &bank, 1);
+        // dot = 8·4·(−1) + 4·(+1) = −28.
+        assert_eq!(got.at(0, 0, 0, 0), -28.0);
+    }
+
+    #[test]
+    fn sign_into_matches_threshold_on_counts() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let shape = Shape::hwc(6, 6, 64);
+        let k = 70usize; // non-multiple of 64 exercises partial out words
+        let fshape = FilterShape::new(k, 3, 3, 64);
+        let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+        let weights = rand_pm1(&mut rng, fshape.numel());
+        let pressed = BitTensor::from_tensor_padded(&raw, 1);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        let thresholds: Vec<f32> = (0..k).map(|i| (i as f32) - 35.0).collect();
+        let flip: Vec<bool> = (0..k).map(|i| i % 7 == 0).collect();
+        let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
+        let mut out = BitTensor::zeros(6 + 2, 6 + 2, k);
+        pressed_conv_sign_into(
+            SimdLevel::Avx512,
+            &pressed,
+            &bank,
+            1,
+            &thresholds,
+            &flip,
+            &mut out,
+            1,
+        );
+        assert!(out.tail_is_zero());
+        for h in 0..6 {
+            for w in 0..6 {
+                for kk in 0..k {
+                    let bit = (counts.at(0, h, w, kk) >= thresholds[kk]) ^ flip[kk];
+                    let want = if bit { 1 } else { -1 };
+                    assert_eq!(out.get(h + 1, w + 1, kk), want, "({h},{w},{kk})");
+                }
+            }
+        }
+        // Margins untouched.
+        for w in 0..8 {
+            assert!(out.pixel_words(0, w).iter().all(|&x| x == 0));
+            assert!(out.pixel_words(7, w).iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_rejected() {
+        let input = BitTensor::zeros(4, 4, 64);
+        let bank = BitFilterBank::zeros(FilterShape::new(2, 3, 3, 128));
+        let _ = pressed_conv(SimdLevel::Scalar, &input, &bank, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared operator parameter types.
+
+use bitflow_simd::scheduler::{infer_conv, infer_pool, ConvGeometry};
+use bitflow_tensor::Shape;
+use serde::{Deserialize, Serialize};
+
+/// Geometry parameters of a convolution or pooling operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvParams {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dimensions, as in VGG).
+    pub stride: usize,
+    /// Symmetric spatial zero-padding.
+    pub pad: usize,
+}
+
+impl ConvParams {
+    /// VGG-style 3×3 stride-1 pad-1 convolution.
+    pub const VGG_CONV: ConvParams = ConvParams {
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+
+    /// VGG-style 2×2 stride-2 max-pool.
+    pub const VGG_POOL: ConvParams = ConvParams {
+        kh: 2,
+        kw: 2,
+        stride: 2,
+        pad: 0,
+    };
+
+    /// Creates parameters.
+    pub const fn new(kh: usize, kw: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kh,
+            kw,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output geometry of a convolution with `k` filters over `input`.
+    pub fn conv_out(&self, input: Shape, k: usize) -> ConvGeometry {
+        infer_conv(input.h, input.w, k, self.kh, self.kw, self.stride, self.pad)
+    }
+
+    /// Output geometry of a pool over `input`.
+    pub fn pool_out(&self, input: Shape) -> ConvGeometry {
+        assert_eq!(self.pad, 0, "pooling uses no padding in this engine");
+        infer_pool(input.h, input.w, input.c, self.kh, self.kw, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_conv_keeps_spatial_dims() {
+        let g = ConvParams::VGG_CONV.conv_out(Shape::hwc(56, 56, 128), 256);
+        assert_eq!((g.out_h, g.out_w, g.out_c), (56, 56, 256));
+    }
+
+    #[test]
+    fn vgg_pool_halves() {
+        let g = ConvParams::VGG_POOL.pool_out(Shape::hwc(28, 28, 512));
+        assert_eq!((g.out_h, g.out_w, g.out_c), (14, 14, 512));
+    }
+
+    #[test]
+    fn odd_input_pool_floors() {
+        let g = ConvParams::VGG_POOL.pool_out(Shape::hwc(7, 7, 512));
+        assert_eq!((g.out_h, g.out_w), (3, 3));
+    }
+}

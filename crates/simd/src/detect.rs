@@ -1,0 +1,189 @@
+//! Hardware detector — one of the three components of the paper's vector
+//! execution scheduler (shape inferer, **hardware detector**, code
+//! generator/kernel selector).
+//!
+//! Detection runs once per process and is cached; kernels then trust the
+//! cached flags, which is sound because CPU features never disappear at
+//! runtime.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The SIMD capabilities BitFlow cares about.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwFeatures {
+    /// 128-bit integer SIMD (`_mm_xor_si128`). Baseline on all x86-64.
+    pub sse2: bool,
+    /// Byte shuffles used by the nibble-lookup popcount.
+    pub ssse3: bool,
+    /// Scalar `POPCNT` instruction.
+    pub popcnt: bool,
+    /// 256-bit integer SIMD (`_mm256_xor_si256`).
+    pub avx2: bool,
+    /// 512-bit foundation (`_mm512_xor_si512`, masked ops).
+    pub avx512f: bool,
+    /// AVX-512 byte/word ops (needed by some popcount fallbacks).
+    pub avx512bw: bool,
+    /// `_mm512_popcnt_epi64` — the VPOPCNTDQ extension of paper Table I.
+    pub avx512vpopcntdq: bool,
+}
+
+impl HwFeatures {
+    /// Queries the running CPU.
+    #[cfg(target_arch = "x86_64")]
+    pub fn detect() -> Self {
+        Self {
+            sse2: is_x86_feature_detected!("sse2"),
+            ssse3: is_x86_feature_detected!("ssse3"),
+            popcnt: is_x86_feature_detected!("popcnt"),
+            avx2: is_x86_feature_detected!("avx2"),
+            avx512f: is_x86_feature_detected!("avx512f"),
+            avx512bw: is_x86_feature_detected!("avx512bw"),
+            avx512vpopcntdq: is_x86_feature_detected!("avx512vpopcntdq"),
+        }
+    }
+
+    /// Non-x86 fallback: everything scalar.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn detect() -> Self {
+        Self::default()
+    }
+
+    /// A feature set with everything disabled — forces the scalar path,
+    /// used by tests and by the `unoptimized binary` baseline of the paper's
+    /// Fig. 7.
+    pub const fn scalar_only() -> Self {
+        Self {
+            sse2: false,
+            ssse3: false,
+            popcnt: false,
+            avx2: false,
+            avx512f: false,
+            avx512bw: false,
+            avx512vpopcntdq: false,
+        }
+    }
+
+    /// Caps this feature set at a maximum vector width in bits (128/256/512).
+    /// Used by the ablation benches to force narrower kernels on wide
+    /// hardware, reproducing the paper's per-ISA comparisons on one machine.
+    pub fn capped(mut self, max_bits: usize) -> Self {
+        if max_bits < 512 {
+            self.avx512f = false;
+            self.avx512bw = false;
+            self.avx512vpopcntdq = false;
+        }
+        if max_bits < 256 {
+            self.avx2 = false;
+        }
+        if max_bits < 128 {
+            self.sse2 = false;
+            self.ssse3 = false;
+        }
+        self
+    }
+
+    /// Widest usable xor+popcount path in bits.
+    pub fn max_width_bits(&self) -> usize {
+        if self.avx512f {
+            512
+        } else if self.avx2 {
+            256
+        } else if self.sse2 {
+            128
+        } else {
+            64
+        }
+    }
+}
+
+impl fmt::Display for HwFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.sse2 {
+            names.push("sse2");
+        }
+        if self.ssse3 {
+            names.push("ssse3");
+        }
+        if self.popcnt {
+            names.push("popcnt");
+        }
+        if self.avx2 {
+            names.push("avx2");
+        }
+        if self.avx512f {
+            names.push("avx512f");
+        }
+        if self.avx512bw {
+            names.push("avx512bw");
+        }
+        if self.avx512vpopcntdq {
+            names.push("avx512vpopcntdq");
+        }
+        if names.is_empty() {
+            write!(f, "scalar-only")
+        } else {
+            write!(f, "{}", names.join("+"))
+        }
+    }
+}
+
+/// Process-wide cached feature set of the running CPU.
+pub fn features() -> HwFeatures {
+    static CACHE: OnceLock<HwFeatures> = OnceLock::new();
+    *CACHE.get_or_init(HwFeatures::detect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_consistent_with_cache() {
+        assert_eq!(features(), HwFeatures::detect());
+    }
+
+    #[test]
+    fn x86_64_always_has_sse2() {
+        #[cfg(target_arch = "x86_64")]
+        assert!(features().sse2, "SSE2 is architectural on x86-64");
+    }
+
+    #[test]
+    fn scalar_only_has_no_width() {
+        let f = HwFeatures::scalar_only();
+        assert_eq!(f.max_width_bits(), 64);
+        assert_eq!(f.to_string(), "scalar-only");
+    }
+
+    #[test]
+    fn capping_demotes_monotonically() {
+        let full = HwFeatures {
+            sse2: true,
+            ssse3: true,
+            popcnt: true,
+            avx2: true,
+            avx512f: true,
+            avx512bw: true,
+            avx512vpopcntdq: true,
+        };
+        assert_eq!(full.max_width_bits(), 512);
+        assert_eq!(full.capped(256).max_width_bits(), 256);
+        assert_eq!(full.capped(128).max_width_bits(), 128);
+        assert_eq!(full.capped(64).max_width_bits(), 64);
+        // Capping never re-enables features.
+        assert!(!full.capped(128).avx2);
+        assert_eq!(full.capped(512), full);
+    }
+
+    #[test]
+    fn avx512_implication() {
+        let f = features();
+        // vpopcntdq never appears without avx512f on real silicon.
+        if f.avx512vpopcntdq {
+            assert!(f.avx512f);
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! xor+popcount and OR-reduction kernels at every vector width.
+//!
+//! These are the computational primitives of BitFlow (paper Eq. 1):
+//! multiplication of {−1,+1} values becomes `xor`, accumulation becomes
+//! `bitcount`. Each kernel computes
+//!
+//! ```text
+//! Σᵢ popcount(a[i] ⊕ b[i])
+//! ```
+//!
+//! over two equal-length `u64` slices. The SIMD variants use exactly the
+//! instructions of paper Table I:
+//!
+//! | width | xor | popcount |
+//! |---|---|---|
+//! | 128 (SSE) | `_mm_xor_si128` | scalar `POPCNT` per lane |
+//! | 256 (AVX2) | `_mm256_xor_si256` | nibble-lookup (`PSHUFB`+`PSADBW`) |
+//! | 512 (AVX-512) | `_mm512_xor_si512` / `_mm512_maskz_xor_epi64` | `_mm512_popcnt_epi64` / `_mm512_maskz_popcnt_epi64` |
+//!
+//! The AVX-512 path uses zero-masked loads/xor/popcnt for the tail, so a
+//! slice of any length runs entirely in 512-bit ops — this mirrors the
+//! `maskz` rows of Table I.
+
+use crate::detect::HwFeatures;
+
+/// Dispatch target chosen by the [`crate::scheduler::VectorScheduler`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SimdLevel {
+    /// Scalar `u64` loop with compiler auto-vectorization *suppressed*
+    /// (each word forced through [`std::hint::black_box`]). This models
+    /// the paper's **unoptimized BNN implementation**: one xor and one
+    /// scalar popcount per 64-bit word, no SIMD. Never selected by the
+    /// scheduler — it exists for baselines and ablations. (A plain Rust
+    /// loop does not qualify: with `-C target-cpu=native` LLVM happily
+    /// auto-vectorizes it to the very AVX-512 code BitFlow emits by hand.)
+    Unvectorized,
+    /// Plain `u64` loop — the paper's "intrinsic bitwise instruction" tier
+    /// (C multiple of 32/64). The compiler may auto-vectorize it.
+    Scalar,
+    /// 128-bit SSE2 kernel.
+    Sse,
+    /// 256-bit AVX2 kernel.
+    Avx2,
+    /// 512-bit AVX-512 kernel (native VPOPCNTDQ when present, else a
+    /// 512-bit xor with AVX2 lookup popcount).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Widest level supported by `f`.
+    pub fn best_for(f: HwFeatures) -> SimdLevel {
+        if f.avx512f {
+            SimdLevel::Avx512
+        } else if f.avx2 {
+            SimdLevel::Avx2
+        } else if f.sse2 {
+            SimdLevel::Sse
+        } else {
+            SimdLevel::Scalar
+        }
+    }
+
+    /// Vector width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            SimdLevel::Unvectorized | SimdLevel::Scalar => 64,
+            SimdLevel::Sse => 128,
+            SimdLevel::Avx2 => 256,
+            SimdLevel::Avx512 => 512,
+        }
+    }
+
+    /// True if the running CPU can execute this level.
+    pub fn available(self, f: HwFeatures) -> bool {
+        match self {
+            SimdLevel::Unvectorized | SimdLevel::Scalar => true,
+            SimdLevel::Sse => f.sse2,
+            SimdLevel::Avx2 => f.avx2,
+            SimdLevel::Avx512 => f.avx512f,
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimdLevel::Unvectorized => write!(f, "scalar-novec"),
+            SimdLevel::Scalar => write!(f, "scalar-u64"),
+            SimdLevel::Sse => write!(f, "SSE-128"),
+            SimdLevel::Avx2 => write!(f, "AVX2-256"),
+            SimdLevel::Avx512 => write!(f, "AVX512-512"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernel
+// ---------------------------------------------------------------------------
+
+/// Scalar xor+popcount: one `u64` at a time.
+///
+/// With `-C target-cpu` enabling `popcnt`, `count_ones` is a single
+/// instruction; without it, LLVM emits the SWAR sequence. Either way this is
+/// the paper's *unvectorized* binary kernel.
+#[inline]
+pub fn xor_popcount_scalar(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0u64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        sum += (x ^ y).count_ones() as u64;
+    }
+    sum
+}
+
+/// Truly scalar xor+popcount: [`std::hint::black_box`] on every word
+/// defeats auto-vectorization, so this runs as one `XOR` + one `POPCNT`
+/// per word — the paper's unoptimized binary kernel.
+#[inline(never)]
+pub fn xor_popcount_unvectorized(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0u64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        sum += std::hint::black_box(x ^ y).count_ones() as u64;
+    }
+    sum
+}
+
+/// Scalar OR-accumulate: `acc[i] |= src[i]` (binary max-pool reduction —
+/// max over {−1,+1} is bitwise OR of the encodings).
+#[inline]
+pub fn or_accumulate_scalar(acc: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a |= s;
+    }
+}
+
+/// OR-accumulate with auto-vectorization suppressed (unoptimized baseline).
+#[inline(never)]
+pub fn or_accumulate_unvectorized(acc: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a |= std::hint::black_box(s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SSE kernel (128-bit)
+// ---------------------------------------------------------------------------
+
+/// SSE2 xor+popcount: `_mm_xor_si128` pairs of words, scalar `POPCNT` on the
+/// two 64-bit lanes.
+///
+/// # Safety
+/// Requires SSE2 (architectural on x86-64, still gated for uniformity).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+pub unsafe fn xor_popcount_sse(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pairs = n / 2;
+    let mut sum = 0u64;
+    for i in 0..pairs {
+        let va = _mm_loadu_si128(a.as_ptr().add(2 * i) as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr().add(2 * i) as *const __m128i);
+        let x = _mm_xor_si128(va, vb);
+        let lo = _mm_cvtsi128_si64(x) as u64;
+        let hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(x, x)) as u64;
+        sum += lo.count_ones() as u64 + hi.count_ones() as u64;
+    }
+    if n % 2 == 1 {
+        sum += (a[n - 1] ^ b[n - 1]).count_ones() as u64;
+    }
+    sum
+}
+
+/// SSE2 OR-accumulate.
+///
+/// # Safety
+/// Requires SSE2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+pub unsafe fn or_accumulate_sse(acc: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(acc.len(), src.len());
+    let n = acc.len();
+    let pairs = n / 2;
+    for i in 0..pairs {
+        let pa = acc.as_mut_ptr().add(2 * i) as *mut __m128i;
+        let va = _mm_loadu_si128(pa);
+        let vs = _mm_loadu_si128(src.as_ptr().add(2 * i) as *const __m128i);
+        _mm_storeu_si128(pa, _mm_or_si128(va, vs));
+    }
+    if n % 2 == 1 {
+        acc[n - 1] |= src[n - 1];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernel (256-bit)
+// ---------------------------------------------------------------------------
+
+/// AVX2 xor+popcount: `_mm256_xor_si256` + nibble-lookup popcount.
+///
+/// # Safety
+/// Requires AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let quads = n / 4;
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..quads {
+        let va = _mm256_loadu_si256(a.as_ptr().add(4 * i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(4 * i) as *const __m256i);
+        let x = _mm256_xor_si256(va, vb);
+        acc = _mm256_add_epi64(acc, crate::popcount::popcount_m256_lookup(x));
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: u64 = lanes.iter().sum();
+    for i in quads * 4..n {
+        sum += (a[i] ^ b[i]).count_ones() as u64;
+    }
+    sum
+}
+
+/// AVX2 OR-accumulate.
+///
+/// # Safety
+/// Requires AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn or_accumulate_avx2(acc: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(acc.len(), src.len());
+    let n = acc.len();
+    let quads = n / 4;
+    for i in 0..quads {
+        let pa = acc.as_mut_ptr().add(4 * i) as *mut __m256i;
+        let va = _mm256_loadu_si256(pa);
+        let vs = _mm256_loadu_si256(src.as_ptr().add(4 * i) as *const __m256i);
+        _mm256_storeu_si256(pa, _mm256_or_si256(va, vs));
+    }
+    for i in quads * 4..n {
+        acc[i] |= src[i];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernel (512-bit)
+// ---------------------------------------------------------------------------
+
+/// AVX-512 xor+popcount with native VPOPCNTDQ: `_mm512_xor_si512` +
+/// `_mm512_popcnt_epi64`, masked tail via `_mm512_maskz_loadu_epi64` /
+/// masked xor+popcnt (paper Table I rows 4 and 6).
+///
+/// # Safety
+/// Requires AVX512F + AVX512VPOPCNTDQ.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+pub unsafe fn xor_popcount_avx512(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let octs = n / 8;
+    let mut acc = _mm512_setzero_si512();
+    for i in 0..octs {
+        let va = _mm512_loadu_si512(a.as_ptr().add(8 * i) as *const __m512i);
+        let vb = _mm512_loadu_si512(b.as_ptr().add(8 * i) as *const __m512i);
+        let x = _mm512_xor_si512(va, vb);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+    }
+    let tail = n - octs * 8;
+    if tail != 0 {
+        let k: __mmask8 = (1u8 << tail) - 1;
+        let va = _mm512_maskz_loadu_epi64(k, a.as_ptr().add(octs * 8) as *const i64);
+        let vb = _mm512_maskz_loadu_epi64(k, b.as_ptr().add(octs * 8) as *const i64);
+        let x = _mm512_maskz_xor_epi64(k, va, vb);
+        acc = _mm512_add_epi64(acc, _mm512_maskz_popcnt_epi64(k, x));
+    }
+    _mm512_reduce_add_epi64(acc) as u64
+}
+
+/// AVX-512 xor with AVX2 lookup popcount — for AVX-512F silicon that lacks
+/// VPOPCNTDQ (e.g. Skylake-SP). The xor runs at 512 bits; the popcount
+/// splits each register into two 256-bit halves.
+///
+/// # Safety
+/// Requires AVX512F + AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx2")]
+pub unsafe fn xor_popcount_avx512_lookup(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let octs = n / 8;
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..octs {
+        let va = _mm512_loadu_si512(a.as_ptr().add(8 * i) as *const __m512i);
+        let vb = _mm512_loadu_si512(b.as_ptr().add(8 * i) as *const __m512i);
+        let x = _mm512_xor_si512(va, vb);
+        let lo = _mm512_castsi512_si256(x);
+        let hi = _mm512_extracti64x4_epi64::<1>(x);
+        acc = _mm256_add_epi64(acc, crate::popcount::popcount_m256_lookup(lo));
+        acc = _mm256_add_epi64(acc, crate::popcount::popcount_m256_lookup(hi));
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: u64 = lanes.iter().sum();
+    for i in octs * 8..n {
+        sum += (a[i] ^ b[i]).count_ones() as u64;
+    }
+    sum
+}
+
+/// AVX-512 OR-accumulate with masked tail.
+///
+/// # Safety
+/// Requires AVX512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn or_accumulate_avx512(acc: &mut [u64], src: &[u64]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(acc.len(), src.len());
+    let n = acc.len();
+    let octs = n / 8;
+    for i in 0..octs {
+        let pa = acc.as_mut_ptr().add(8 * i) as *mut __m512i;
+        let va = _mm512_loadu_si512(pa);
+        let vs = _mm512_loadu_si512(src.as_ptr().add(8 * i) as *const __m512i);
+        _mm512_storeu_si512(pa, _mm512_or_si512(va, vs));
+    }
+    let tail = n - octs * 8;
+    if tail != 0 {
+        let k: __mmask8 = (1u8 << tail) - 1;
+        let pa = acc.as_mut_ptr().add(octs * 8);
+        let va = _mm512_maskz_loadu_epi64(k, pa as *const i64);
+        let vs = _mm512_maskz_loadu_epi64(k, src.as_ptr().add(octs * 8) as *const i64);
+        _mm512_mask_storeu_epi64(pa as *mut i64, k, _mm512_or_si512(va, vs));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatching wrappers
+// ---------------------------------------------------------------------------
+
+/// xor+popcount at the requested SIMD level, falling back to scalar when the
+/// level is not available on this CPU.
+///
+/// # Panics
+/// If `a.len() != b.len()`.
+#[inline]
+pub fn xor_popcount(level: SimdLevel, a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "xor_popcount operand lengths differ");
+    #[cfg(target_arch = "x86_64")]
+    {
+        let f = crate::detect::features();
+        match level {
+            SimdLevel::Unvectorized => xor_popcount_unvectorized(a, b),
+            SimdLevel::Scalar => xor_popcount_scalar(a, b),
+            SimdLevel::Sse if f.sse2 => {
+                // SAFETY: sse2 verified by the detector.
+                unsafe { xor_popcount_sse(a, b) }
+            }
+            SimdLevel::Avx2 if f.avx2 => {
+                // SAFETY: avx2 verified by the detector.
+                unsafe { xor_popcount_avx2(a, b) }
+            }
+            SimdLevel::Avx512 if f.avx512f && f.avx512vpopcntdq => {
+                // SAFETY: avx512f+vpopcntdq verified by the detector.
+                unsafe { xor_popcount_avx512(a, b) }
+            }
+            SimdLevel::Avx512 if f.avx512f && f.avx2 => {
+                // SAFETY: avx512f+avx2 verified by the detector.
+                unsafe { xor_popcount_avx512_lookup(a, b) }
+            }
+            _ => xor_popcount_scalar(a, b),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        match level {
+            SimdLevel::Unvectorized => xor_popcount_unvectorized(a, b),
+            _ => xor_popcount_scalar(a, b),
+        }
+    }
+}
+
+/// `acc[i] |= src[i]` at the requested SIMD level (binary max-pool).
+///
+/// # Panics
+/// If `acc.len() != src.len()`.
+#[inline]
+pub fn or_accumulate(level: SimdLevel, acc: &mut [u64], src: &[u64]) {
+    assert_eq!(acc.len(), src.len(), "or_accumulate operand lengths differ");
+    #[cfg(target_arch = "x86_64")]
+    {
+        let f = crate::detect::features();
+        match level {
+            SimdLevel::Unvectorized => or_accumulate_unvectorized(acc, src),
+            SimdLevel::Scalar => or_accumulate_scalar(acc, src),
+            SimdLevel::Sse if f.sse2 => {
+                // SAFETY: sse2 verified by the detector.
+                unsafe { or_accumulate_sse(acc, src) }
+            }
+            SimdLevel::Avx2 if f.avx2 => {
+                // SAFETY: avx2 verified by the detector.
+                unsafe { or_accumulate_avx2(acc, src) }
+            }
+            SimdLevel::Avx512 if f.avx512f => {
+                // SAFETY: avx512f verified by the detector.
+                unsafe { or_accumulate_avx512(acc, src) }
+            }
+            _ => or_accumulate_scalar(acc, src),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        match level {
+            SimdLevel::Unvectorized => or_accumulate_unvectorized(acc, src),
+            _ => or_accumulate_scalar(acc, src),
+        }
+    }
+}
+
+/// Binary inner product via the paper's Eq. 1:
+/// `dot = n_logical − 2·popcount(a ⊕ b)`.
+///
+/// `n_logical` is the number of *meaningful* bits; press-tail bits must be
+/// zero in both operands (see crate docs).
+#[inline]
+pub fn binary_dot(level: SimdLevel, a: &[u64], b: &[u64], n_logical: usize) -> i32 {
+    let pop = xor_popcount(level, a, b);
+    n_logical as i32 - 2 * pop as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn reference_xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| crate::popcount::popcount_swar(x ^ y) as u64)
+            .sum()
+    }
+
+    fn all_levels() -> Vec<SimdLevel> {
+        vec![
+            SimdLevel::Scalar,
+            SimdLevel::Sse,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ]
+    }
+
+    #[test]
+    fn xor_popcount_all_levels_match_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 64, 100, 513] {
+            let a: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let b: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let want = reference_xor_popcount(&a, &b);
+            for level in all_levels() {
+                assert_eq!(xor_popcount(level, &a, &b), want, "{level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_accumulate_all_levels_match_reference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for len in [0usize, 1, 2, 5, 8, 13, 16, 31, 200] {
+            let base: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let src: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let mut want = base.clone();
+            or_accumulate_scalar(&mut want, &src);
+            for level in all_levels() {
+                let mut acc = base.clone();
+                or_accumulate(level, &mut acc, &src);
+                assert_eq!(acc, want, "{level} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_dot_matches_integer_reference() {
+        // Build two {−1,+1} vectors, pack manually, compare against i32 dot.
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 5, 63, 64, 65, 200, 512, 700] {
+            let xs: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+            let ys: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+            let want: i32 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+            let pack = |v: &[i32]| -> Vec<u64> {
+                let mut words = vec![0u64; v.len().div_ceil(64)];
+                for (i, &s) in v.iter().enumerate() {
+                    if s > 0 {
+                        words[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                words
+            };
+            let (wa, wb) = (pack(&xs), pack(&ys));
+            for level in all_levels() {
+                assert_eq!(binary_dot(level, &wa, &wb, n), want, "{level} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_metadata() {
+        assert_eq!(SimdLevel::Scalar.bits(), 64);
+        assert_eq!(SimdLevel::Avx512.bits(), 512);
+        assert!(SimdLevel::Scalar.available(crate::detect::HwFeatures::scalar_only()));
+        assert!(!SimdLevel::Avx2.available(crate::detect::HwFeatures::scalar_only()));
+        assert_eq!(SimdLevel::best_for(crate::detect::HwFeatures::scalar_only()), SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn dispatch_degrades_gracefully() {
+        // Requesting a level the CPU lacks must still give correct results
+        // (fallback), never UB. We can't force-lack features here, but we can
+        // at least assert every requested level returns the right answer.
+        let a = vec![u64::MAX; 9];
+        let b = vec![0u64; 9];
+        for level in all_levels() {
+            assert_eq!(xor_popcount(level, &a, &b), 9 * 64, "{level}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = xor_popcount(SimdLevel::Scalar, &[0u64; 2], &[0u64; 3]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fused binarization + bit-packing kernels.
+//!
+//! Binarization (`x >= 0`) and packing into words happen in one pass (paper
+//! Table II/III). The AVX-512 kernel turns 16 float compares into a 16-bit
+//! mask with `_mm512_cmp_ps_mask`, so one packed `u64` costs four compares —
+//! this is the vectorized equivalent of the paper's `bit64_t` bit-field
+//! trick.
+
+/// Scalar fused binarize+pack: bit `i` of `out[i/64]` = `src[i] >= 0`.
+/// The final partial word is zero-padded high (press-tail invariant).
+pub fn pack_f32_scalar(src: &[f32], out: &mut [u64]) {
+    assert_eq!(out.len(), src.len().div_ceil(64), "output word count");
+    for (wi, chunk) in src.chunks(64).enumerate() {
+        let mut w = 0u64;
+        for (i, &x) in chunk.iter().enumerate() {
+            w |= ((x >= 0.0) as u64) << i;
+        }
+        out[wi] = w;
+    }
+}
+
+/// AVX-512 fused binarize+pack: `_mm512_cmp_ps_mask` produces 16 sign bits
+/// per instruction; four masks assemble one `u64`.
+///
+/// # Safety
+/// Requires AVX512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn pack_f32_avx512(src: &[f32], out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    assert_eq!(out.len(), src.len().div_ceil(64), "output word count");
+    let zero = _mm512_setzero_ps();
+    let full_words = src.len() / 64;
+    for wi in 0..full_words {
+        let base = src.as_ptr().add(wi * 64);
+        let m0 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base), zero) as u64;
+        let m1 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(16)), zero) as u64;
+        let m2 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(32)), zero) as u64;
+        let m3 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(48)), zero) as u64;
+        out[wi] = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
+    }
+    let rem = &src[full_words * 64..];
+    if !rem.is_empty() {
+        let mut w = 0u64;
+        let mut bit = 0usize;
+        // Whole 16-lane groups of the tail still go through the mask compare.
+        let groups = rem.len() / 16;
+        for g in 0..groups {
+            let m =
+                _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(rem.as_ptr().add(g * 16)), zero)
+                    as u64;
+            w |= m << bit;
+            bit += 16;
+        }
+        for &x in &rem[groups * 16..] {
+            w |= ((x >= 0.0) as u64) << bit;
+            bit += 1;
+        }
+        out[full_words] = w;
+    }
+}
+
+/// Fused binarize+pack choosing the best kernel for the running CPU.
+pub fn pack_f32(src: &[f32], out: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::detect::features().avx512f {
+            // SAFETY: avx512f verified by the detector.
+            unsafe { pack_f32_avx512(src, out) };
+            return;
+        }
+    }
+    pack_f32_scalar(src, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn reference(src: &[f32]) -> Vec<u64> {
+        let mut out = vec![0u64; src.len().div_ceil(64)];
+        for (i, &x) in src.iter().enumerate() {
+            if x >= 0.0 {
+                out[i / 64] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scalar_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 127, 128, 1000] {
+            let src: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut out = vec![0u64; len.div_ceil(64)];
+            pack_f32_scalar(&src, &mut out);
+            assert_eq!(out, reference(&src), "len={len}");
+        }
+    }
+
+    #[test]
+    fn avx512_matches_reference() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !is_x86_feature_detected!("avx512f") {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(21);
+            for len in [0usize, 1, 16, 17, 48, 63, 64, 65, 80, 127, 128, 129, 512, 999] {
+                let src: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut out = vec![0u64; len.div_ceil(64)];
+                // SAFETY: avx512f checked above.
+                unsafe { pack_f32_avx512(&src, &mut out) };
+                assert_eq!(out, reference(&src), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatching_pack_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let src: Vec<f32> = (0..777).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0u64; 777usize.div_ceil(64)];
+        pack_f32(&src, &mut out);
+        assert_eq!(out, reference(&src));
+    }
+
+    #[test]
+    fn zero_is_positive() {
+        let src = vec![0.0f32, -0.0, -1.0, 1.0];
+        let mut out = vec![0u64; 1];
+        pack_f32(&src, &mut out);
+        // +0.0 and -0.0 both compare >= 0.0 → bits 0,1 set; -1 clear; +1 set.
+        assert_eq!(out[0], 0b1011);
+    }
+}

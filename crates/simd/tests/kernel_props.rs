@@ -1,0 +1,134 @@
+//! Property tests for the SIMD kernel substrate: every vectorized kernel
+//! must agree bit-exactly with the portable SWAR reference on arbitrary
+//! inputs, lengths and geometries.
+
+use bitflow_simd::conv::{conv_window, WindowGeom};
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::pack::pack_f32;
+use bitflow_simd::popcount::popcount_swar;
+use bitflow_simd::{binary_dot, or_accumulate, xor_popcount};
+use proptest::prelude::*;
+
+const LEVELS: [SimdLevel; 5] = [
+    SimdLevel::Unvectorized,
+    SimdLevel::Scalar,
+    SimdLevel::Sse,
+    SimdLevel::Avx2,
+    SimdLevel::Avx512,
+];
+
+fn reference_pop(a: &[u64], b: &[u64]) -> u64 {
+    a.iter().zip(b).map(|(&x, &y)| popcount_swar(x ^ y) as u64).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn xor_popcount_matches_reference(
+        words in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..600),
+    ) {
+        let a: Vec<u64> = words.iter().map(|w| w.0).collect();
+        let b: Vec<u64> = words.iter().map(|w| w.1).collect();
+        let want = reference_pop(&a, &b);
+        for level in LEVELS {
+            prop_assert_eq!(xor_popcount(level, &a, &b), want, "{}", level);
+        }
+    }
+
+    #[test]
+    fn or_accumulate_matches_reference(
+        words in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+    ) {
+        let base: Vec<u64> = words.iter().map(|w| w.0).collect();
+        let src: Vec<u64> = words.iter().map(|w| w.1).collect();
+        let want: Vec<u64> = base.iter().zip(&src).map(|(&x, &y)| x | y).collect();
+        for level in LEVELS {
+            let mut acc = base.clone();
+            or_accumulate(level, &mut acc, &src);
+            prop_assert_eq!(&acc, &want, "{}", level);
+        }
+    }
+
+    #[test]
+    fn binary_dot_bounds_and_parity(
+        words in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..100),
+        tail_bits in 1usize..=64,
+    ) {
+        // Mask the final word so n_logical is honest and tails are zero in
+        // both operands (the press-tail invariant the kernels rely on).
+        let mut a: Vec<u64> = words.iter().map(|w| w.0).collect();
+        let mut b: Vec<u64> = words.iter().map(|w| w.1).collect();
+        let mask = if tail_bits == 64 { !0u64 } else { (1u64 << tail_bits) - 1 };
+        let last = a.len() - 1;
+        a[last] &= mask;
+        b[last] &= mask;
+        let n = (a.len() - 1) * 64 + tail_bits;
+        for level in LEVELS {
+            let dot = binary_dot(level, &a, &b, n);
+            // |dot| ≤ n and dot ≡ n (mod 2).
+            prop_assert!(dot.unsigned_abs() as usize <= n);
+            prop_assert_eq!((n as i32 - dot).rem_euclid(2), 0);
+        }
+    }
+
+    #[test]
+    fn pack_matches_sign_reference(
+        xs in proptest::collection::vec(-2.0f32..2.0, 0..400),
+    ) {
+        let mut out = vec![0u64; xs.len().div_ceil(64)];
+        pack_f32(&xs, &mut out);
+        for (i, &x) in xs.iter().enumerate() {
+            let bit = (out[i / 64] >> (i % 64)) & 1;
+            prop_assert_eq!(bit == 1, x >= 0.0, "element {}", i);
+        }
+        // Tail bits zero.
+        if xs.len() % 64 != 0 {
+            prop_assert_eq!(out[xs.len() / 64] >> (xs.len() % 64), 0);
+        }
+    }
+
+    #[test]
+    fn conv_window_matches_scalar_everywhere(
+        kh in 1usize..4,
+        row_len in 1usize..30,
+        extra_stride in 0usize..10,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row_stride = row_len + extra_stride;
+        let input: Vec<u64> = (0..kh * row_stride + row_len + 4).map(|_| rng.gen()).collect();
+        let filters: Vec<u64> = (0..k * kh * row_len).map(|_| rng.gen()).collect();
+        let g = WindowGeom {
+            base: 1,
+            row_stride,
+            row_len,
+            kh,
+            n_logical: (kh * row_len * 64) as i32,
+        };
+        let mut want = vec![0.0f32; k];
+        conv_window(SimdLevel::Unvectorized, &input, &filters, g, &mut want);
+        for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+            let mut out = vec![0.0f32; k];
+            conv_window(level, &input, &filters, g, &mut out);
+            prop_assert_eq!(&out, &want, "{}", level);
+        }
+    }
+
+    #[test]
+    fn xor_popcount_self_is_zero(ws in proptest::collection::vec(any::<u64>(), 0..200)) {
+        for level in LEVELS {
+            prop_assert_eq!(xor_popcount(level, &ws, &ws), 0);
+        }
+    }
+
+    #[test]
+    fn xor_popcount_complement_is_full(ws in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let inv: Vec<u64> = ws.iter().map(|w| !w).collect();
+        for level in LEVELS {
+            prop_assert_eq!(xor_popcount(level, &ws, &inv), ws.len() as u64 * 64);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! 64-byte-aligned heap buffers.
+//!
+//! AVX-512 loads are fastest when they never straddle a cache line, and the
+//! paper's pressed tensors are consumed in whole-register gulps; aligning
+//! every buffer to 64 bytes makes `_mm512_load_si512`-class accesses legal
+//! on any word offset that is itself a multiple of 8 words.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout as AllocLayout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Cache-line alignment used for all tensor storage.
+pub const ALIGN: usize = 64;
+
+/// A fixed-capacity, 64-byte-aligned, zero-initialized buffer of `T`.
+///
+/// Unlike `Vec<T>`, the buffer is allocated once at its final length and is
+/// always fully initialized (zeroed); this matches BitFlow's network-level
+/// policy of pre-allocating every activation buffer during initialization so
+/// the inference path performs no allocation at all. Zero-initialization is
+/// also what makes the paper's *zero-cost padding* trick work: the padded
+/// margin of an output buffer is simply never written.
+pub struct AlignedVec<T: Copy> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: `AlignedVec` owns its allocation exclusively, exactly like `Vec`.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocates a zeroed buffer of `len` elements aligned to [`ALIGN`].
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, T is not a ZST by the
+        // size assert in `layout`).
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self { ptr, len }
+    }
+
+    /// Builds an aligned buffer by copying from a slice.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.as_mut_slice().copy_from_slice(src);
+        v
+    }
+
+    /// Builds an aligned buffer from a length and a fill function.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        let mut v = Self::zeroed(len);
+        for (i, slot) in v.as_mut_slice().iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        v
+    }
+
+    fn layout(len: usize) -> AllocLayout {
+        assert!(std::mem::size_of::<T>() > 0, "ZSTs are not supported");
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AlignedVec size overflow");
+        AllocLayout::from_size_align(bytes, ALIGN.max(std::mem::align_of::<T>()))
+            .expect("invalid layout")
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe an owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr/len describe an owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Raw pointer to the first element (64-byte aligned).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Raw mutable pointer to the first element (64-byte aligned).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
+}
+
+impl<T: Copy + Default + PartialEq> AlignedVec<T> {
+    /// Resets every element to zero (`T::default()`).
+    pub fn clear_to_zero(&mut self) {
+        for x in self.as_mut_slice() {
+            *x = T::default();
+        }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the same layout.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) }
+        }
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AlignedVec(len={}, align={})", self.len, ALIGN)
+    }
+}
+
+impl<T: Copy> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        Self::from_slice(&items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v: AlignedVec<f32> = AlignedVec::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn u64_buffer_aligned() {
+        for len in [1usize, 7, 8, 63, 64, 65, 4096] {
+            let v: AlignedVec<u64> = AlignedVec::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % ALIGN, 0, "len={len}");
+            assert!(v.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer_ok() {
+        let v: AlignedVec<u64> = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[u64]);
+        let c = v.clone();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn from_slice_round_trip() {
+        let src = [1.0f32, -2.0, 3.5, 0.0];
+        let v = AlignedVec::from_slice(&src);
+        assert_eq!(v.as_slice(), &src);
+    }
+
+    #[test]
+    fn from_fn_fills() {
+        let v = AlignedVec::from_fn(10, |i| i as u64 * 3);
+        assert_eq!(v[9], 27);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::from_slice(&[1u64, 2, 3]);
+        let b = a.clone();
+        a.as_mut_slice()[0] = 99;
+        assert_eq!(b[0], 1);
+        assert_eq!(a[0], 99);
+    }
+
+    #[test]
+    fn clear_to_zero_resets() {
+        let mut v = AlignedVec::from_slice(&[5.0f32, 6.0]);
+        v.clear_to_zero();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v: AlignedVec<u64> = AlignedVec::zeroed(4);
+        v[2] = 0xDEAD;
+        assert_eq!(v.as_slice(), &[0, 0, 0xDEAD, 0]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: AlignedVec<u64> = (0..5u64).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Pressed (bit-packed) tensors — the data structure behind PressedConv.
+//!
+//! A [`BitTensor`] stores a binarized NHWC activation map with the channel
+//! dimension packed into `u64` words (paper Fig. 3: a H×W×C tensor is
+//! *pressed* by 32–64× along C). A [`BitFilterBank`] stores a bank of
+//! binarized convolution filters packed the same way, so that the inner
+//! loop of a binary convolution is a straight run of xor+popcount over two
+//! parallel word arrays.
+
+use crate::alloc::AlignedVec;
+use crate::bits::pack_slice;
+use crate::shape::{FilterShape, Layout, Shape};
+use crate::tensor::Tensor;
+use crate::{words_for, WORD_BITS};
+
+/// A binarized activation tensor, batch 1, NHWC with channels packed into
+/// `u64` words.
+///
+/// Storage: word `j` of pixel (h, w) lives at `(h·W + w)·c_words + j` and
+/// holds channels `[64j, 64j+64)` LSB-first. Channels beyond `c_logical`
+/// (the zero-padded press tail) are always 0; the packing and arithmetic
+/// layers preserve this invariant so that `dot = N_logical − 2·popcount`
+/// holds exactly (see crate docs).
+#[derive(Clone, Debug)]
+pub struct BitTensor {
+    words: AlignedVec<u64>,
+    h: usize,
+    w: usize,
+    c_logical: usize,
+    c_words: usize,
+}
+
+impl BitTensor {
+    /// Allocates an all-zero (all −1) pressed tensor.
+    pub fn zeros(h: usize, w: usize, c: usize) -> Self {
+        let c_words = words_for(c);
+        Self {
+            words: AlignedVec::zeroed(h * w * c_words),
+            h,
+            w,
+            c_logical: c,
+            c_words,
+        }
+    }
+
+    /// Packs a float NHWC tensor (batch 1) into pressed form: fused
+    /// binarization + bit-packing along the channel dimension.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        assert_eq!(t.layout(), Layout::Nhwc, "pressing requires NHWC");
+        let s = t.shape();
+        assert_eq!(s.n, 1, "BitTensor is batch-1 (latency-oriented inference)");
+        let mut bt = Self::zeros(s.h, s.w, s.c);
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let src = t.pixel_channels(0, h, w);
+                let row = bt.pixel_words_index(h, w);
+                pack_slice(src, &mut bt.words[row..row + bt.c_words]);
+            }
+        }
+        bt
+    }
+
+    /// Packs a flat **NCHW** float buffer into pressed NHWC form. The
+    /// channel values of one pixel are `h·w` floats apart in NCHW, so every
+    /// packed bit is a strided gather — this is the layout ablation's
+    /// counter-example to the locality-aware NHWC layout (paper §III-B:
+    /// packing "would have not been possible [efficiently] if either height
+    /// or width dimension has been chosen" as the innermost).
+    pub fn from_nchw(data: &[f32], h: usize, w: usize, c: usize) -> Self {
+        assert_eq!(data.len(), h * w * c, "NCHW buffer size");
+        let mut bt = Self::zeros(h, w, c);
+        let plane = h * w;
+        for y in 0..h {
+            for x in 0..w {
+                let base = bt.pixel_words_index(y, x);
+                let px = y * w + x;
+                for cc in 0..c {
+                    if data[cc * plane + px] >= 0.0 {
+                        bt.words[base + cc / WORD_BITS] |= 1 << (cc % WORD_BITS);
+                    }
+                }
+            }
+        }
+        bt
+    }
+
+    /// Packs a float tensor into the **interior** of a spatially padded
+    /// pressed tensor of shape (h+2p)×(w+2p). The margin stays all-zero —
+    /// this is the paper's zero-cost padding (Fig. 5) on the input side.
+    pub fn from_tensor_padded(t: &Tensor, pad: usize) -> Self {
+        assert_eq!(t.layout(), Layout::Nhwc);
+        let s = t.shape();
+        assert_eq!(s.n, 1);
+        let mut bt = Self::zeros(s.h + 2 * pad, s.w + 2 * pad, s.c);
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let src = t.pixel_channels(0, h, w);
+                let row = bt.pixel_words_index(h + pad, w + pad);
+                pack_slice(src, &mut bt.words[row..row + bt.c_words]);
+            }
+        }
+        bt
+    }
+
+    /// Height (including any padding baked into this buffer).
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Width (including any padding baked into this buffer).
+    #[inline]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Logical channel count (bits per pixel that carry data).
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c_logical
+    }
+
+    /// Packed words per pixel.
+    #[inline]
+    pub fn c_words(&self) -> usize {
+        self.c_words
+    }
+
+    /// Flat packed storage, pixel-major.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable flat packed storage.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Word offset of pixel (h, w).
+    #[inline]
+    pub fn pixel_words_index(&self, h: usize, w: usize) -> usize {
+        debug_assert!(h < self.h && w < self.w);
+        (h * self.w + w) * self.c_words
+    }
+
+    /// Packed channel words of pixel (h, w).
+    #[inline]
+    pub fn pixel_words(&self, h: usize, w: usize) -> &[u64] {
+        let i = self.pixel_words_index(h, w);
+        &self.words[i..i + self.c_words]
+    }
+
+    /// Contiguous row of pixels `[w0, w1)` at height `h` — the unit the
+    /// PressedConv inner loop consumes (w and c are adjacent in memory).
+    #[inline]
+    pub fn row_words(&self, h: usize, w0: usize, w1: usize) -> &[u64] {
+        debug_assert!(w0 <= w1 && w1 <= self.w);
+        let start = self.pixel_words_index(h, w0);
+        &self.words[start..start + (w1 - w0) * self.c_words]
+    }
+
+    /// Reads the logical {−1,+1} value of channel `c` at (h, w).
+    #[inline]
+    pub fn get(&self, h: usize, w: usize, c: usize) -> i32 {
+        debug_assert!(c < self.c_logical);
+        let word = self.pixel_words(h, w)[c / WORD_BITS];
+        if (word >> (c % WORD_BITS)) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Sets channel `c` at (h, w) from a logical sign (+1 ↦ bit 1).
+    pub fn set(&mut self, h: usize, w: usize, c: usize, v: i32) {
+        assert!(c < self.c_logical);
+        let i = self.pixel_words_index(h, w) + c / WORD_BITS;
+        let bit = 1u64 << (c % WORD_BITS);
+        if v >= 0 {
+            self.words[i] |= bit;
+        } else {
+            self.words[i] &= !bit;
+        }
+    }
+
+    /// Decodes back to a float NHWC tensor of {−1.0, +1.0}.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_fn(
+            Shape::hwc(self.h, self.w, self.c_logical),
+            Layout::Nhwc,
+            |_, h, w, c| self.get(h, w, c) as f32,
+        )
+    }
+
+    /// Verifies the press-tail invariant: all bits above `c_logical` in
+    /// every pixel word are zero. Used by tests and debug assertions.
+    pub fn tail_is_zero(&self) -> bool {
+        let tail_bits = self.c_words * WORD_BITS - self.c_logical;
+        if tail_bits == 0 {
+            return true;
+        }
+        let mask = !0u64 << (WORD_BITS - tail_bits);
+        (0..self.h).all(|h| {
+            (0..self.w).all(|w| self.pixel_words(h, w)[self.c_words - 1] & mask == 0)
+        })
+    }
+}
+
+/// A bank of binarized convolution filters, channel-packed like the
+/// activations they convolve with.
+///
+/// Filter `k` occupies `kh·kw·c_words` consecutive words, laid out
+/// (kh, kw, c_words) — the same (spatial, pressed-channel) order as a
+/// [`BitTensor`] window, so filter and input words stream in lock-step.
+#[derive(Clone, Debug)]
+pub struct BitFilterBank {
+    words: AlignedVec<u64>,
+    shape: FilterShape,
+    c_words: usize,
+}
+
+impl BitFilterBank {
+    /// Allocates an all-zero bank.
+    pub fn zeros(shape: FilterShape) -> Self {
+        let c_words = words_for(shape.c);
+        Self {
+            words: AlignedVec::zeroed(shape.k * shape.kh * shape.kw * c_words),
+            shape,
+            c_words,
+        }
+    }
+
+    /// Packs a float filter bank given as K tensors… in practice weights
+    /// arrive as one flat slice in (k, kh, kw, c) order; this is the
+    /// network-initialization-time packing (paper's network-level
+    /// optimization: binarize + pack weights once, before inference).
+    pub fn from_floats(weights: &[f32], shape: FilterShape) -> Self {
+        assert_eq!(weights.len(), shape.numel(), "weight count vs shape");
+        let mut bank = Self::zeros(shape);
+        let c = shape.c;
+        let cw = bank.c_words;
+        for k in 0..shape.k {
+            for i in 0..shape.kh {
+                for j in 0..shape.kw {
+                    let src = &weights[((k * shape.kh + i) * shape.kw + j) * c..][..c];
+                    let dst_off = bank.tap_index(k, i, j);
+                    pack_slice(src, &mut bank.words[dst_off..dst_off + cw]);
+                }
+            }
+        }
+        bank
+    }
+
+    /// Filter-bank shape.
+    #[inline]
+    pub fn shape(&self) -> FilterShape {
+        self.shape
+    }
+
+    /// Packed words per channel vector.
+    #[inline]
+    pub fn c_words(&self) -> usize {
+        self.c_words
+    }
+
+    /// Word offset of tap (k, i, j).
+    #[inline]
+    pub fn tap_index(&self, k: usize, i: usize, j: usize) -> usize {
+        debug_assert!(k < self.shape.k && i < self.shape.kh && j < self.shape.kw);
+        ((k * self.shape.kh + i) * self.shape.kw + j) * self.c_words
+    }
+
+    /// The entire packed bank, filter-major — filter `k` starts at word
+    /// `k · kh · kw · c_words` (the layout the fused window kernels need).
+    #[inline]
+    pub fn filter_words_all(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// All words of filter `k`, in (kh, kw, c_words) order.
+    #[inline]
+    pub fn filter_words(&self, k: usize) -> &[u64] {
+        let per = self.shape.kh * self.shape.kw * self.c_words;
+        &self.words[k * per..(k + 1) * per]
+    }
+
+    /// Packed channel words of tap (k, i, j).
+    #[inline]
+    pub fn tap_words(&self, k: usize, i: usize, j: usize) -> &[u64] {
+        let off = self.tap_index(k, i, j);
+        &self.words[off..off + self.c_words]
+    }
+
+    /// One contiguous row of taps (k, i, 0..kw) — streams against
+    /// [`BitTensor::row_words`].
+    #[inline]
+    pub fn tap_row_words(&self, k: usize, i: usize) -> &[u64] {
+        let off = self.tap_index(k, i, 0);
+        &self.words[off..off + self.shape.kw * self.c_words]
+    }
+
+    /// Logical {−1,+1} weight at (k, i, j, c).
+    pub fn get(&self, k: usize, i: usize, j: usize, c: usize) -> i32 {
+        assert!(c < self.shape.c);
+        let w = self.tap_words(k, i, j)[c / WORD_BITS];
+        if (w >> (c % WORD_BITS)) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Total packed size in bytes — used for the model-size rows of the
+    /// paper's Table V (32× compression claim).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pack_round_trip_exact_multiple() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::random(Shape::hwc(3, 4, 128), Layout::Nhwc, &mut rng);
+        let bt = BitTensor::from_tensor(&t);
+        assert_eq!(bt.c_words(), 2);
+        assert!(bt.tail_is_zero());
+        let back = bt.to_tensor();
+        assert_eq!(back.max_abs_diff(&t.sign()), 0.0);
+    }
+
+    #[test]
+    fn pack_round_trip_ragged_channels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [1usize, 3, 31, 63, 65, 100] {
+            let t = Tensor::random(Shape::hwc(2, 2, c), Layout::Nhwc, &mut rng);
+            let bt = BitTensor::from_tensor(&t);
+            assert!(bt.tail_is_zero(), "c={c}");
+            assert_eq!(bt.to_tensor().max_abs_diff(&t.sign()), 0.0, "c={c}");
+        }
+    }
+
+    #[test]
+    fn from_nchw_matches_nhwc_pack() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for c in [1usize, 64, 70, 129] {
+            let t = Tensor::random(Shape::hwc(4, 5, c), Layout::Nhwc, &mut rng);
+            let nchw = crate::layout::nhwc_to_nchw(&t);
+            let a = BitTensor::from_tensor(&t);
+            let b = BitTensor::from_nchw(&nchw, 4, 5, c);
+            assert_eq!(a.words(), b.words(), "c={c}");
+            assert!(b.tail_is_zero());
+        }
+    }
+
+    #[test]
+    fn padded_pack_leaves_margin_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::random(Shape::hwc(3, 3, 64), Layout::Nhwc, &mut rng);
+        let bt = BitTensor::from_tensor_padded(&t, 1);
+        assert_eq!((bt.h(), bt.w()), (5, 5));
+        for w in 0..5 {
+            assert!(bt.pixel_words(0, w).iter().all(|&x| x == 0));
+            assert!(bt.pixel_words(4, w).iter().all(|&x| x == 0));
+        }
+        for h in 0..5 {
+            assert!(bt.pixel_words(h, 0).iter().all(|&x| x == 0));
+            assert!(bt.pixel_words(h, 4).iter().all(|&x| x == 0));
+        }
+        // Interior matches the unpadded packing.
+        let plain = BitTensor::from_tensor(&t);
+        for h in 0..3 {
+            for w in 0..3 {
+                assert_eq!(bt.pixel_words(h + 1, w + 1), plain.pixel_words(h, w));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut bt = BitTensor::zeros(2, 2, 70);
+        bt.set(1, 1, 69, 1);
+        bt.set(0, 1, 3, -1);
+        assert_eq!(bt.get(1, 1, 69), 1);
+        assert_eq!(bt.get(0, 1, 3), -1);
+        assert_eq!(bt.get(1, 1, 68), -1);
+        assert!(bt.tail_is_zero());
+    }
+
+    #[test]
+    fn row_words_is_contiguous() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::random(Shape::hwc(2, 5, 64), Layout::Nhwc, &mut rng);
+        let bt = BitTensor::from_tensor(&t);
+        let row = bt.row_words(1, 1, 4);
+        assert_eq!(row.len(), 3 * bt.c_words());
+        assert_eq!(&row[..1], bt.pixel_words(1, 1));
+        assert_eq!(&row[2..3], bt.pixel_words(1, 3));
+    }
+
+    #[test]
+    fn filter_bank_pack_and_get() {
+        let shape = FilterShape::new(2, 3, 3, 5);
+        let weights: Vec<f32> = (0..shape.numel())
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let bank = BitFilterBank::from_floats(&weights, shape);
+        for k in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    for c in 0..5 {
+                        let flat = ((k * 3 + i) * 3 + j) * 5 + c;
+                        let expect = if flat % 3 == 0 { 1 } else { -1 };
+                        assert_eq!(bank.get(k, i, j, c), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_words_partition() {
+        let shape = FilterShape::new(3, 2, 2, 64);
+        let bank = BitFilterBank::zeros(shape);
+        assert_eq!(bank.filter_words(0).len(), 4);
+        assert_eq!(bank.tap_row_words(1, 0).len(), 2);
+        assert_eq!(bank.packed_bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn compression_is_32x_or_better() {
+        // 512-channel 3x3 bank: float bytes = numel*4; packed = numel/64*8.
+        let shape = FilterShape::new(512, 3, 3, 512);
+        let bank = BitFilterBank::zeros(shape);
+        let float_bytes = shape.numel() * 4;
+        assert_eq!(float_bytes / bank.packed_bytes(), 32);
+    }
+}

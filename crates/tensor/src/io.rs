@@ -1,0 +1,144 @@
+//! Serialization of tensors and packed weights.
+//!
+//! BitFlow is a stand-alone engine; models are stored in a simple
+//! self-describing binary container (magic + JSON-serializable header +
+//! raw little-endian payload) built on `serde` + `bytes`. This is enough to
+//! persist trained weights from `bitflow-train` and reload them into the
+//! inference engine, and to measure on-disk model size for Table V.
+
+use crate::shape::{Layout, Shape};
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Container magic: "BTFL".
+pub const MAGIC: u32 = 0x4254_464C;
+
+/// Header describing one serialized tensor.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorHeader {
+    /// Logical shape.
+    pub shape: Shape,
+    /// Memory layout of the payload.
+    pub layout: Layout,
+    /// Element kind of the payload.
+    pub dtype: DType,
+}
+
+/// Payload element type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit float payload.
+    F32,
+    /// Packed 64-bit word payload (pressed tensors).
+    U64,
+}
+
+/// Errors from decoding a tensor container.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Bad magic number.
+    BadMagic,
+    /// Header did not parse.
+    BadHeader,
+    /// Payload shorter than the header promises.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic (not a BitFlow tensor)"),
+            DecodeError::BadHeader => write!(f, "malformed tensor header"),
+            DecodeError::Truncated => write!(f, "payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a float tensor into the container format.
+pub fn encode_tensor(t: &Tensor) -> Bytes {
+    let header = TensorHeader {
+        shape: t.shape(),
+        layout: t.layout(),
+        dtype: DType::F32,
+    };
+    let header_json = serde_json::to_vec(&header).expect("header serializes");
+    let mut buf = BytesMut::with_capacity(12 + header_json.len() + t.data().len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(header_json.len() as u32);
+    buf.put_slice(&header_json);
+    for &x in t.data() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a float tensor from the container format.
+pub fn decode_tensor(mut data: &[u8]) -> Result<Tensor, DecodeError> {
+    if data.remaining() < 8 || data.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let hlen = data.get_u32_le() as usize;
+    if data.remaining() < hlen {
+        return Err(DecodeError::Truncated);
+    }
+    let header: TensorHeader =
+        serde_json::from_slice(&data[..hlen]).map_err(|_| DecodeError::BadHeader)?;
+    data.advance(hlen);
+    if header.dtype != DType::F32 {
+        return Err(DecodeError::BadHeader);
+    }
+    let n = header.shape.numel();
+    if data.remaining() < n * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(data.get_f32_le());
+    }
+    Ok(Tensor::from_vec(values, header.shape, header.layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::random(Shape::new(1, 3, 4, 5), Layout::Nhwc, &mut rng);
+        let bytes = encode_tensor(&t);
+        let back = decode_tensor(&bytes).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.layout(), t.layout());
+        assert_eq!(back.max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let t = Tensor::zeros(Shape::vec(4), Layout::Nhwc);
+        let mut bytes = encode_tensor(&t).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_tensor(&bytes), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Tensor::zeros(Shape::vec(100), Layout::Nhwc);
+        let bytes = encode_tensor(&t);
+        let cut = &bytes[..bytes.len() - 10];
+        assert!(matches!(decode_tensor(cut), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(4);
+        buf.put_slice(b"oops");
+        assert!(matches!(decode_tensor(&buf), Err(DecodeError::BadHeader)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Layout transformation helpers (NCHW ↔ NHWC).
+//!
+//! Mainstream frameworks ship weights/activations in NCHW; BitFlow's
+//! locality-aware layout is NHWC. These converters run once at model-import
+//! time (network level), never on the inference hot path.
+
+use crate::shape::{Layout, Shape};
+use crate::tensor::Tensor;
+
+/// Converts a flat NCHW buffer into an NHWC [`Tensor`] (batch included).
+pub fn nchw_to_nhwc(data: &[f32], shape: Shape) -> Tensor {
+    assert_eq!(data.len(), shape.numel());
+    let mut out = Tensor::zeros(shape, Layout::Nhwc);
+    for n in 0..shape.n {
+        for c in 0..shape.c {
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    let src = ((n * shape.c + c) * shape.h + h) * shape.w + w;
+                    *out.at_mut(n, h, w, c) = data[src];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts an NHWC [`Tensor`] into a flat NCHW buffer.
+pub fn nhwc_to_nchw(t: &Tensor) -> Vec<f32> {
+    assert_eq!(t.layout(), Layout::Nhwc);
+    let s = t.shape();
+    let mut out = vec![0.0f32; s.numel()];
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out[((n * s.c + c) * s.h + h) * s.w + w] = t.at(n, h, w, c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reorders convolution weights from the framework-standard (K, C, kh, kw)
+/// order into BitFlow's (K, kh, kw, C) order expected by
+/// [`crate::bittensor::BitFilterBank::from_floats`].
+pub fn kchw_to_khwc(weights: &[f32], k: usize, c: usize, kh: usize, kw: usize) -> Vec<f32> {
+    assert_eq!(weights.len(), k * c * kh * kw);
+    let mut out = vec![0.0f32; weights.len()];
+    for kk in 0..k {
+        for cc in 0..c {
+            for i in 0..kh {
+                for j in 0..kw {
+                    let src = ((kk * c + cc) * kh + i) * kw + j;
+                    let dst = ((kk * kh + i) * kw + j) * c + cc;
+                    out[dst] = weights[src];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn nchw_nhwc_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let shape = Shape::new(2, 3, 4, 5);
+        let data: Vec<f32> = (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let t = nchw_to_nhwc(&data, shape);
+        assert_eq!(nhwc_to_nchw(&t), data);
+    }
+
+    #[test]
+    fn nchw_to_nhwc_places_elements() {
+        // 1x2x2x2 NCHW: [c0: a b / c d, c1: e f / g h]
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let t = nchw_to_nhwc(&data, Shape::new(1, 2, 2, 2));
+        assert_eq!(t.at(0, 0, 0, 0), 1.0);
+        assert_eq!(t.at(0, 0, 0, 1), 5.0);
+        assert_eq!(t.at(0, 1, 1, 0), 4.0);
+        assert_eq!(t.at(0, 1, 1, 1), 8.0);
+    }
+
+    #[test]
+    fn weight_reorder_round_trip_spot_check() {
+        let (k, c, kh, kw) = (2, 3, 2, 2);
+        let w: Vec<f32> = (0..k * c * kh * kw).map(|i| i as f32).collect();
+        let r = kchw_to_khwc(&w, k, c, kh, kw);
+        // (k=1, c=2, i=1, j=0) in KCHW order: ((1*3+2)*2+1)*2+0 = 22
+        // lands at ((1*2+1)*2+0)*3+2 = 20 in KHWC order.
+        assert_eq!(r[20], 22.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # bitflow-tensor
+//!
+//! Tensor substrate for the BitFlow binary-neural-network engine
+//! (reproduction of *BitFlow: Exploiting Vector Parallelism for Binary
+//! Neural Networks on CPU*, IPDPS 2018).
+//!
+//! This crate provides the data-layer primitives every other BitFlow crate
+//! builds on:
+//!
+//! * [`Shape`] / [`Layout`] — 4-D tensor geometry with the paper's
+//!   locality-aware **NHWC** layout (channels innermost, so that bit-packing
+//!   along the channel dimension touches contiguous memory) as well as the
+//!   conventional NCHW layout used by mainstream frameworks.
+//! * [`AlignedVec`] — 64-byte-aligned heap buffers so SSE/AVX2/AVX-512 loads
+//!   never straddle cache lines.
+//! * [`Tensor`] — dense `f32` tensor with either layout.
+//! * [`BitTensor`] — the *pressed* tensor of the paper's PressedConv
+//!   algorithm: activations/weights binarized to {−1,+1}, encoded as
+//!   {0,1} bits and packed along the channel dimension into `u64` words
+//!   (a ×32–×64 "press", paper Fig. 3).
+//! * [`bits::Bit64`] — the Rust equivalent of the paper's `bit64_t`/`bit64_u`
+//!   bit-field/union pair (paper Table II) used for fused binarization and
+//!   bit-packing.
+//!
+//! Encoding convention (paper §III): the logical value **+1 is stored as
+//! bit 1**, **−1 as bit 0**, and `sign(0) = +1`.
+
+pub mod alloc;
+pub mod bits;
+pub mod bittensor;
+pub mod io;
+pub mod layout;
+pub mod shape;
+pub mod tensor;
+
+pub use alloc::AlignedVec;
+pub use bits::{binarize_f32, Bit64};
+pub use bittensor::{BitFilterBank, BitTensor};
+pub use shape::{FilterShape, Layout, Shape};
+pub use tensor::Tensor;
+
+/// Number of channel bits packed into one storage word.
+///
+/// The paper packs into 32-bit `unsigned int`s first and then widens into
+/// 128/256/512-bit SIMD registers; we pack directly into `u64` words (the
+/// natural scalar word on x86-64) and let the SIMD layer widen further.
+pub const WORD_BITS: usize = 64;
+
+/// Returns the number of `u64` words needed to hold `c` channel bits.
+#[inline]
+pub const fn words_for(c: usize) -> usize {
+    c.div_ceil(WORD_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_rounds_up() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(512), 8);
+        assert_eq!(words_for(513), 9);
+    }
+}

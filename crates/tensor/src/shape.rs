@@ -1,0 +1,226 @@
+//! 4-D tensor geometry: shapes, layouts and linear indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory layout of a 4-D activation tensor.
+///
+/// BitFlow adopts **NHWC** (channels innermost) as its locality-aware layout
+/// (paper §III-B): bit-packing runs along the channel dimension, so channels
+/// of a pixel must be contiguous; retrieving the h×w×C neighborhood a
+/// convolution needs then touches dense, sequential memory. NCHW — the
+/// default in Caffe/MXNet/PyTorch — is provided for interop and for the
+/// layout-cost ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// batch, height, width, channel — channels innermost (BitFlow default).
+    Nhwc,
+    /// batch, channel, height, width — framework default, pack-unfriendly.
+    Nchw,
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Nhwc => write!(f, "NHWC"),
+            Layout::Nchw => write!(f, "NCHW"),
+        }
+    }
+}
+
+/// Logical shape of a 4-D tensor, stored as (n, h, w, c) regardless of the
+/// memory layout. BitFlow targets batch-1 inference, but `n` is kept general.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Batch size (1 for latency-oriented inference).
+    pub n: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates a full 4-D shape.
+    pub const fn new(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Self { n, h, w, c }
+    }
+
+    /// Single-image shape (n = 1), the common case in this engine.
+    pub const fn hwc(h: usize, w: usize, c: usize) -> Self {
+        Self { n: 1, h, w, c }
+    }
+
+    /// A flat vector shape (n=1, h=1, w=1), used for FC activations.
+    pub const fn vec(c: usize) -> Self {
+        Self { n: 1, h: 1, w: 1, c }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn numel(&self) -> usize {
+        self.n * self.h * self.w * self.c
+    }
+
+    /// Number of spatial positions per image.
+    #[inline]
+    pub const fn pixels(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Linear offset of element (n, h, w, c) in the given layout.
+    ///
+    /// For NHWC this is the paper's formula `(h·W + w)·C + c` (extended with
+    /// the batch dimension).
+    #[inline]
+    pub fn offset(&self, layout: Layout, n: usize, h: usize, w: usize, c: usize) -> usize {
+        debug_assert!(n < self.n && h < self.h && w < self.w && c < self.c);
+        match layout {
+            Layout::Nhwc => ((n * self.h + h) * self.w + w) * self.c + c,
+            Layout::Nchw => ((n * self.c + c) * self.h + h) * self.w + w,
+        }
+    }
+
+    /// Shape after spatially padding by `p` on every border.
+    pub const fn padded(&self, p: usize) -> Self {
+        Self {
+            n: self.n,
+            h: self.h + 2 * p,
+            w: self.w + 2 * p,
+            c: self.c,
+        }
+    }
+
+    /// Output spatial shape of a conv/pool with the given kernel and stride
+    /// over *this* (already padded, if any) shape. Returns (out_h, out_w).
+    ///
+    /// This is the *shape inferer* arithmetic of the vector execution
+    /// scheduler (paper §III-B).
+    pub const fn conv_out(&self, kh: usize, kw: usize, stride: usize) -> (usize, usize) {
+        ((self.h - kh) / stride + 1, (self.w - kw) / stride + 1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.h, self.w, self.c)
+    }
+}
+
+/// Shape of a convolution filter bank: K filters of kh×kw×C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilterShape {
+    /// Number of output features (filters).
+    pub k: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Input channels.
+    pub c: usize,
+}
+
+impl FilterShape {
+    /// Creates a filter-bank shape.
+    pub const fn new(k: usize, kh: usize, kw: usize, c: usize) -> Self {
+        Self { k, kh, kw, c }
+    }
+
+    /// Total number of weights.
+    pub const fn numel(&self) -> usize {
+        self.k * self.kh * self.kw * self.c
+    }
+
+    /// Weights per single filter.
+    pub const fn per_filter(&self) -> usize {
+        self.kh * self.kw * self.c
+    }
+}
+
+impl fmt::Display for FilterShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x({}x{}x{})", self.k, self.kh, self.kw, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_pixels() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.pixels(), 12);
+        assert_eq!(Shape::vec(10).numel(), 10);
+    }
+
+    #[test]
+    fn nhwc_offset_matches_paper_formula() {
+        // Paper: A[h,w,c] at (h·W + w)·C + c for n = 0.
+        let s = Shape::hwc(3, 5, 7);
+        for h in 0..3 {
+            for w in 0..5 {
+                for c in 0..7 {
+                    assert_eq!(s.offset(Layout::Nhwc, 0, h, w, c), (h * 5 + w) * 7 + c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nchw_offset() {
+        let s = Shape::hwc(3, 5, 7);
+        assert_eq!(s.offset(Layout::Nchw, 0, 0, 0, 0), 0);
+        assert_eq!(s.offset(Layout::Nchw, 0, 0, 1, 0), 1);
+        assert_eq!(s.offset(Layout::Nchw, 0, 1, 0, 0), 5);
+        assert_eq!(s.offset(Layout::Nchw, 0, 0, 0, 1), 15);
+    }
+
+    #[test]
+    fn offsets_are_bijective() {
+        let s = Shape::new(2, 3, 4, 5);
+        for &layout in &[Layout::Nhwc, Layout::Nchw] {
+            let mut seen = vec![false; s.numel()];
+            for n in 0..s.n {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        for c in 0..s.c {
+                            let off = s.offset(layout, n, h, w, c);
+                            assert!(!seen[off], "duplicate offset in {layout}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn padding_and_conv_out() {
+        let s = Shape::hwc(112, 112, 64);
+        let p = s.padded(1);
+        assert_eq!((p.h, p.w), (114, 114));
+        // 3x3 stride-1 conv over the padded input keeps 112x112.
+        assert_eq!(p.conv_out(3, 3, 1), (112, 112));
+        // 2x2 stride-2 pool halves.
+        assert_eq!(s.conv_out(2, 2, 2), (56, 56));
+    }
+
+    #[test]
+    fn filter_shape_counts() {
+        let f = FilterShape::new(128, 3, 3, 64);
+        assert_eq!(f.numel(), 128 * 9 * 64);
+        assert_eq!(f.per_filter(), 576);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape::hwc(2, 3, 4).to_string(), "1x2x3x4");
+        assert_eq!(FilterShape::new(8, 3, 3, 16).to_string(), "8x(3x3x16)");
+        assert_eq!(Layout::Nhwc.to_string(), "NHWC");
+    }
+}

@@ -1,0 +1,238 @@
+//! Dense `f32` tensors with NHWC or NCHW layout.
+
+use crate::alloc::AlignedVec;
+use crate::shape::{Layout, Shape};
+use rand::Rng;
+
+/// A dense 4-D `f32` tensor.
+///
+/// The float domain serves three roles in BitFlow: (1) the full-precision
+/// baseline operators; (2) the pre-binarization inputs of the first network
+/// layer; (3) the accumulator domain of binary operators (xor+popcount
+/// produces integer dot products which are scaled back to float).
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    data: AlignedVec<f32>,
+    shape: Shape,
+    layout: Layout,
+}
+
+impl Tensor {
+    /// Allocates a zero-filled tensor.
+    pub fn zeros(shape: Shape, layout: Layout) -> Self {
+        Self {
+            data: AlignedVec::zeroed(shape.numel()),
+            shape,
+            layout,
+        }
+    }
+
+    /// Builds a tensor from existing data in the given layout.
+    ///
+    /// # Panics
+    /// If `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: Shape, layout: Layout) -> Self {
+        assert_eq!(data.len(), shape.numel(), "data length vs shape");
+        Self {
+            data: AlignedVec::from_slice(&data),
+            shape,
+            layout,
+        }
+    }
+
+    /// Builds a tensor by evaluating `f(n, h, w, c)` for every element.
+    pub fn from_fn(
+        shape: Shape,
+        layout: Layout,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut t = Self::zeros(shape, layout);
+        for n in 0..shape.n {
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    for c in 0..shape.c {
+                        *t.at_mut(n, h, w, c) = f(n, h, w, c);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Fills with uniform random values in [-1, 1) — the standard input for
+    /// performance experiments, where values only matter through their sign.
+    pub fn random(shape: Shape, layout: Layout, rng: &mut impl Rng) -> Self {
+        let mut t = Self::zeros(shape, layout);
+        for x in t.data.as_mut_slice() {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        t
+    }
+
+    /// Shape accessor.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Layout accessor.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Flat data slice in storage order.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice in storage order.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, h: usize, w: usize, c: usize) -> f32 {
+        self.data[self.shape.offset(self.layout, n, h, w, c)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, h: usize, w: usize, c: usize) -> &mut f32 {
+        let off = self.shape.offset(self.layout, n, h, w, c);
+        &mut self.data[off]
+    }
+
+    /// Returns the channel vector at pixel (n, h, w) as a contiguous slice.
+    ///
+    /// Only valid in NHWC layout — this contiguity is exactly why BitFlow
+    /// picks NHWC: the bit-packer consumes whole channel vectors.
+    #[inline]
+    pub fn pixel_channels(&self, n: usize, h: usize, w: usize) -> &[f32] {
+        assert_eq!(self.layout, Layout::Nhwc, "channel slices need NHWC");
+        let start = self.shape.offset(self.layout, n, h, w, 0);
+        &self.data[start..start + self.shape.c]
+    }
+
+    /// Converts to the other layout, copying (see [`crate::layout`]).
+    pub fn to_layout(&self, layout: Layout) -> Tensor {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Tensor::zeros(self.shape, layout);
+        for n in 0..self.shape.n {
+            for h in 0..self.shape.h {
+                for w in 0..self.shape.w {
+                    for c in 0..self.shape.c {
+                        *out.at_mut(n, h, w, c) = self.at(n, h, w, c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise `sign` into a new float tensor of {−1.0, +1.0} — the
+    /// binarized-but-unpacked domain used by reference implementations.
+    pub fn sign(&self) -> Tensor {
+        let mut out = self.clone();
+        for x in out.data.as_mut_slice() {
+            *x = if *x >= 0.0 { 1.0 } else { -1.0 };
+        }
+        out
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape
+    /// and layout.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        assert_eq!(self.layout, other.layout);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zeros_and_accessors() {
+        let mut t = Tensor::zeros(Shape::hwc(2, 3, 4), Layout::Nhwc);
+        assert_eq!(t.data().len(), 24);
+        *t.at_mut(0, 1, 2, 3) = 5.0;
+        assert_eq!(t.at(0, 1, 2, 3), 5.0);
+        assert_eq!(t.data()[(3 + 2) * 4 + 3], 5.0);
+    }
+
+    #[test]
+    fn from_fn_addresses_every_element() {
+        let s = Shape::new(2, 2, 2, 2);
+        for &layout in &[Layout::Nhwc, Layout::Nchw] {
+            let t = Tensor::from_fn(s, layout, |n, h, w, c| {
+                (n * 1000 + h * 100 + w * 10 + c) as f32
+            });
+            assert_eq!(t.at(1, 0, 1, 0), 1010.0);
+            assert_eq!(t.at(0, 1, 1, 1), 111.0);
+        }
+    }
+
+    #[test]
+    fn layout_round_trip_preserves_elements() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::random(Shape::new(1, 4, 5, 6), Layout::Nhwc, &mut rng);
+        let u = t.to_layout(Layout::Nchw);
+        let back = u.to_layout(Layout::Nhwc);
+        assert_eq!(t.max_abs_diff(&back), 0.0);
+        // Logical elements agree across layouts.
+        assert_eq!(t.at(0, 2, 3, 4), u.at(0, 2, 3, 4));
+    }
+
+    #[test]
+    fn pixel_channels_contiguous_nhwc() {
+        let t = Tensor::from_fn(Shape::hwc(2, 2, 3), Layout::Nhwc, |_, h, w, c| {
+            (h * 100 + w * 10 + c) as f32
+        });
+        assert_eq!(t.pixel_channels(0, 1, 0), &[100.0, 101.0, 102.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NHWC")]
+    fn pixel_channels_rejects_nchw() {
+        let t = Tensor::zeros(Shape::hwc(2, 2, 3), Layout::Nchw);
+        let _ = t.pixel_channels(0, 0, 0);
+    }
+
+    #[test]
+    fn sign_maps_to_pm_one() {
+        let t = Tensor::from_vec(
+            vec![0.5, -0.5, 0.0, -7.0],
+            Shape::vec(4),
+            Layout::Nhwc,
+        );
+        assert_eq!(t.sign().data(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn random_in_range_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = Tensor::random(Shape::vec(100), Layout::Nhwc, &mut r1);
+        let b = Tensor::random(Shape::vec(100), Layout::Nhwc, &mut r2);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(a.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(vec![0.0; 3], Shape::vec(4), Layout::Nhwc);
+    }
+}

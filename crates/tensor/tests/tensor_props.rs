@@ -1,0 +1,165 @@
+//! Property tests for the tensor substrate: indexing bijectivity, packing
+//! round-trips, layout conversions, padding invariants, serialization.
+
+use bitflow_tensor::io::{decode_tensor, encode_tensor};
+use bitflow_tensor::layout::{kchw_to_khwc, nchw_to_nhwc, nhwc_to_nchw};
+use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (1usize..3, 1usize..6, 1usize..6, 1usize..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn offsets_bijective_both_layouts((n, h, w, c) in small_dims()) {
+        let s = Shape::new(n, h, w, c);
+        for layout in [Layout::Nhwc, Layout::Nchw] {
+            let mut seen = vec![false; s.numel()];
+            for nn in 0..n {
+                for hh in 0..h {
+                    for ww in 0..w {
+                        for cc in 0..c {
+                            let off = s.offset(layout, nn, hh, ww, cc);
+                            prop_assert!(!seen[off]);
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn bit_pack_roundtrip(
+        h in 1usize..5,
+        w in 1usize..5,
+        c in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::from_fn(Shape::hwc(h, w, c), Layout::Nhwc, |_, _, _, _| {
+            rng.gen_range(-1.0f32..1.0)
+        });
+        let bt = BitTensor::from_tensor(&t);
+        prop_assert!(bt.tail_is_zero());
+        prop_assert_eq!(bt.to_tensor().max_abs_diff(&t.sign()), 0.0);
+    }
+
+    #[test]
+    fn padded_pack_interior_equals_plain(
+        h in 1usize..5,
+        w in 1usize..5,
+        c in 1usize..100,
+        pad in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::random(Shape::hwc(h, w, c), Layout::Nhwc, &mut rng);
+        let plain = BitTensor::from_tensor(&t);
+        let padded = BitTensor::from_tensor_padded(&t, pad);
+        prop_assert_eq!((padded.h(), padded.w()), (h + 2 * pad, w + 2 * pad));
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(padded.pixel_words(y + pad, x + pad), plain.pixel_words(y, x));
+            }
+        }
+        // Margin all-zero (logical −1).
+        for y in 0..padded.h() {
+            for x in 0..padded.w() {
+                let inside = y >= pad && y < h + pad && x >= pad && x < w + pad;
+                if !inside {
+                    prop_assert!(padded.pixel_words(y, x).iter().all(|&v| v == 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_roundtrip((n, h, w, c) in small_dims(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::random(Shape::new(n, h, w, c), Layout::Nhwc, &mut rng);
+        let nchw = nhwc_to_nchw(&t);
+        let back = nchw_to_nhwc(&nchw, t.shape());
+        prop_assert_eq!(back.max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn weight_reorder_preserves_elements(
+        k in 1usize..4,
+        c in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (kh, kw) = (3usize, 3usize);
+        let w: Vec<f32> = (0..k * c * kh * kw).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let r = kchw_to_khwc(&w, k, c, kh, kw);
+        // Check every element lands at the right place.
+        for kk in 0..k {
+            for cc in 0..c {
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let src = ((kk * c + cc) * kh + i) * kw + j;
+                        let dst = ((kk * kh + i) * kw + j) * c + cc;
+                        prop_assert_eq!(w[src], r[dst]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_bank_decode_matches_sign(
+        k in 1usize..4,
+        c in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fshape = FilterShape::new(k, 3, 3, c);
+        let w: Vec<f32> = (0..fshape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let bank = BitFilterBank::from_floats(&w, fshape);
+        for kk in 0..k {
+            for i in 0..3 {
+                for j in 0..3 {
+                    for cc in 0..c {
+                        let v = w[((kk * 3 + i) * 3 + j) * c + cc];
+                        let want = if v >= 0.0 { 1 } else { -1 };
+                        prop_assert_eq!(bank.get(kk, i, j, cc), want);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrip((n, h, w, c) in small_dims(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::random(Shape::new(n, h, w, c), Layout::Nhwc, &mut rng);
+        let bytes = encode_tensor(&t);
+        let back = decode_tensor(&bytes).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        prop_assert_eq!(back.max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn io_rejects_any_truncation(
+        cut in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::random(Shape::vec(40), Layout::Nhwc, &mut rng);
+        let bytes = encode_tensor(&t);
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(decode_tensor(&bytes[..bytes.len() - cut]).is_err());
+    }
+}

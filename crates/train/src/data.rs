@@ -1,0 +1,287 @@
+//! Synthetic image datasets for the accuracy experiment.
+//!
+//! Table V substitutes (DESIGN.md §3):
+//!
+//! * [`glyphs`] — the MNIST analogue: 10 classes of procedural glyphs
+//!   (bar/cross/box/diagonal motifs) on a 12×12 single-channel canvas with
+//!   jitter and additive noise. Linearly separable-ish; both float and
+//!   binary models should score high.
+//! * [`textures`] — the CIFAR/ImageNet-difficulty analogue: each class is a
+//!   random ±1 texture prototype; samples are the prototype with a large
+//!   fraction of pixels flipped and Gaussian noise added. Much harder;
+//!   binarization costs visibly more accuracy here, reproducing the
+//!   paper's widening gap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of classes in both datasets.
+pub const NUM_CLASSES: usize = 10;
+/// Canvas side length.
+pub const SIDE: usize = 12;
+
+/// A labeled dataset of single-channel SIDE×SIDE images in [−1, 1].
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Flat images, sample-major, NHWC (c = 1).
+    pub images: Vec<f32>,
+    /// Labels in `0..NUM_CLASSES`.
+    pub labels: Vec<usize>,
+    /// Canvas height/width.
+    pub side: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Pixels per image.
+    pub fn image_len(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Image `i` as a slice.
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.images[i * self.image_len()..(i + 1) * self.image_len()]
+    }
+}
+
+fn glyph_prototype(class: usize, canvas: &mut [f32]) {
+    let s = SIDE;
+    let set = |canvas: &mut [f32], y: usize, x: usize| canvas[y * s + x] = 1.0;
+    match class {
+        0 => {
+            // horizontal bar, upper third
+            for x in 1..s - 1 {
+                set(canvas, 3, x);
+            }
+        }
+        1 => {
+            // vertical bar, center
+            for y in 1..s - 1 {
+                set(canvas, y, s / 2);
+            }
+        }
+        2 => {
+            // cross
+            for t in 1..s - 1 {
+                set(canvas, t, s / 2);
+                set(canvas, s / 2, t);
+            }
+        }
+        3 => {
+            // box outline
+            for t in 2..s - 2 {
+                set(canvas, 2, t);
+                set(canvas, s - 3, t);
+                set(canvas, t, 2);
+                set(canvas, t, s - 3);
+            }
+        }
+        4 => {
+            // main diagonal
+            for t in 0..s {
+                set(canvas, t, t);
+            }
+        }
+        5 => {
+            // anti-diagonal
+            for t in 0..s {
+                set(canvas, t, s - 1 - t);
+            }
+        }
+        6 => {
+            // two horizontal bars
+            for x in 1..s - 1 {
+                set(canvas, 3, x);
+                set(canvas, s - 4, x);
+            }
+        }
+        7 => {
+            // two vertical bars
+            for y in 1..s - 1 {
+                set(canvas, y, 3);
+                set(canvas, y, s - 4);
+            }
+        }
+        8 => {
+            // filled square center
+            for y in s / 2 - 2..s / 2 + 2 {
+                for x in s / 2 - 2..s / 2 + 2 {
+                    set(canvas, y, x);
+                }
+            }
+        }
+        _ => {
+            // X shape
+            for t in 0..s {
+                set(canvas, t, t);
+                set(canvas, t, s - 1 - t);
+            }
+        }
+    }
+}
+
+/// The MNIST-analogue glyph dataset: `n` samples, seeded.
+///
+/// Each sample: class prototype, shifted by ±1 pixel in each axis,
+/// background −1, foreground +1, plus N(0, noise) additive noise.
+pub fn glyphs(n: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pixels = SIDE * SIDE;
+    let mut images = Vec::with_capacity(n * pixels);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % NUM_CLASSES;
+        let mut proto = vec![-1.0f32; pixels];
+        glyph_prototype(class, &mut proto);
+        let (dy, dx) = (rng.gen_range(-1i32..=1), rng.gen_range(-1i32..=1));
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let sy = y as i32 - dy;
+                let sx = x as i32 - dx;
+                let v = if sy >= 0 && sy < SIDE as i32 && sx >= 0 && sx < SIDE as i32 {
+                    proto[(sy as usize) * SIDE + sx as usize]
+                } else {
+                    -1.0
+                };
+                // Box–Muller Gaussian noise.
+                let u1: f32 = rng.gen_range(1e-6f32..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                images.push((v + noise * g).clamp(-1.5, 1.5));
+            }
+        }
+        labels.push(class);
+    }
+    Dataset {
+        images,
+        labels,
+        side: SIDE,
+    }
+}
+
+/// The hard texture dataset: class prototypes are random ±1 **block
+/// textures** — a 4×4 grid of 3×3 constant-sign cells — so the signal
+/// survives convolution + pooling (a pixel-i.i.d. prototype would not);
+/// each sample flips `flip_prob` of the pixels and adds noise.
+///
+/// Prototypes depend only on `proto_seed = seed / 1000` (pass seeds like
+/// 3000, 3001 for a train/test pair over the same classes).
+pub fn textures(n: usize, flip_prob: f32, noise: f32, seed: u64) -> Dataset {
+    textures_cell(n, flip_prob, noise, seed, 3)
+}
+
+/// [`textures`] with a configurable cell size. Smaller cells mean finer
+/// spatial detail that pooling + activation binarization progressively
+/// destroy — the "ImageNet-difficulty" rung of the accuracy experiment
+/// uses `cell = 2`.
+pub fn textures_cell(n: usize, flip_prob: f32, noise: f32, seed: u64, cell: usize) -> Dataset {
+    assert!(cell > 0 && SIDE % cell == 0, "cell must divide SIDE");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pixels = SIDE * SIDE;
+    let grid = SIDE / cell;
+    // Fixed prototypes shared by all seeds in the same thousand-block, so
+    // train/test splits see the same classes.
+    let mut proto_rng = StdRng::seed_from_u64((seed / 1000) ^ 0x5EED_7E47);
+    let prototypes: Vec<Vec<f32>> = (0..NUM_CLASSES)
+        .map(|_| {
+            let cells: Vec<f32> = (0..grid * grid)
+                .map(|_| if proto_rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            (0..pixels)
+                .map(|p| {
+                    let (y, x) = (p / SIDE, p % SIDE);
+                    cells[(y / cell) * grid + x / cell]
+                })
+                .collect()
+        })
+        .collect();
+    let mut images = Vec::with_capacity(n * pixels);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % NUM_CLASSES;
+        for p in 0..pixels {
+            let mut v = prototypes[class][p];
+            if rng.gen::<f32>() < flip_prob {
+                v = -v;
+            }
+            let u1: f32 = rng.gen_range(1e-6f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            images.push((v + noise * g).clamp(-1.5, 1.5));
+        }
+        labels.push(class);
+    }
+    Dataset {
+        images,
+        labels,
+        side: SIDE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_shapes_and_labels() {
+        let d = glyphs(100, 0.1, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.images.len(), 100 * 144);
+        assert!(d.labels.iter().all(|&l| l < NUM_CLASSES));
+        // Balanced classes.
+        for c in 0..NUM_CLASSES {
+            assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn glyphs_deterministic_per_seed() {
+        let a = glyphs(20, 0.2, 42);
+        let b = glyphs(20, 0.2, 42);
+        let c = glyphs(20, 0.2, 43);
+        assert_eq!(a.images, b.images);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn noiseless_glyphs_are_pm1() {
+        let d = glyphs(10, 0.0, 7);
+        assert!(d.images.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn texture_prototypes_shared_across_calls() {
+        // Same seed, different sample counts → same class-0 prototype
+        // (modulo per-sample noise); verify via majority vote over samples.
+        let d = textures(500, 0.0, 0.0, 9);
+        let first = d.image(0).to_vec();
+        // With flip_prob 0, every class-0 sample equals the prototype.
+        assert_eq!(d.image(10), &first[..]);
+        assert_eq!(d.image(490), &first[..]);
+    }
+
+    #[test]
+    fn textures_get_harder_with_flip_prob() {
+        let easy = textures(50, 0.0, 0.0, 3);
+        let hard = textures(50, 0.4, 0.0, 3);
+        // Hamming distance of sample 0 to sample 10 (same class) grows.
+        let dist = |d: &Dataset| {
+            d.image(0)
+                .iter()
+                .zip(d.image(10))
+                .filter(|(a, b)| (**a >= 0.0) != (**b >= 0.0))
+                .count()
+        };
+        assert_eq!(dist(&easy), 0);
+        assert!(dist(&hard) > 20, "hard dist {}", dist(&hard));
+    }
+}

@@ -1,0 +1,115 @@
+//! Mini-batch container for training.
+
+/// A batch of activations: `b` samples, each either a flat feature vector
+/// or an NHWC map. Data is row-major `(sample, h, w, c)` / `(sample, feat)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    /// Flat storage.
+    pub data: Vec<f32>,
+    /// Samples in the batch.
+    pub b: usize,
+    /// Per-sample geometry.
+    pub shape: SampleShape,
+}
+
+/// Geometry of one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleShape {
+    /// Spatial map (NHWC within the sample).
+    Map {
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+        /// Channels.
+        c: usize,
+    },
+    /// Flat vector.
+    Vec {
+        /// Features.
+        n: usize,
+    },
+}
+
+impl SampleShape {
+    /// Elements per sample.
+    pub fn numel(&self) -> usize {
+        match *self {
+            SampleShape::Map { h, w, c } => h * w * c,
+            SampleShape::Vec { n } => n,
+        }
+    }
+}
+
+impl Batch {
+    /// Zero-filled batch.
+    pub fn zeros(b: usize, shape: SampleShape) -> Self {
+        Self {
+            data: vec![0.0; b * shape.numel()],
+            b,
+            shape,
+        }
+    }
+
+    /// Wraps existing data.
+    pub fn new(data: Vec<f32>, b: usize, shape: SampleShape) -> Self {
+        assert_eq!(data.len(), b * shape.numel(), "batch size mismatch");
+        Self { data, b, shape }
+    }
+
+    /// Elements per sample.
+    pub fn sample_len(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Immutable view of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let n = self.sample_len();
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Mutable view of sample `i`.
+    pub fn sample_mut(&mut self, i: usize) -> &mut [f32] {
+        let n = self.sample_len();
+        &mut self.data[i * n..(i + 1) * n]
+    }
+
+    /// Reinterprets a map batch as flat vectors (the flatten layer; NHWC
+    /// order is preserved, matching the engine's flatten).
+    pub fn flattened(mut self) -> Batch {
+        let n = self.sample_len();
+        self.shape = SampleShape::Vec { n };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_views() {
+        let mut b = Batch::zeros(3, SampleShape::Vec { n: 4 });
+        b.sample_mut(1)[2] = 5.0;
+        assert_eq!(b.sample(1), &[0.0, 0.0, 5.0, 0.0]);
+        assert_eq!(b.sample(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn flatten_keeps_data() {
+        let b = Batch::new(
+            (0..2 * 2 * 2 * 3).map(|i| i as f32).collect(),
+            2,
+            SampleShape::Map { h: 2, w: 2, c: 3 },
+        );
+        let f = b.clone().flattened();
+        assert_eq!(f.shape, SampleShape::Vec { n: 12 });
+        assert_eq!(f.data, b.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn size_checked() {
+        let _ = Batch::new(vec![0.0; 5], 2, SampleShape::Vec { n: 3 });
+    }
+}

@@ -1,0 +1,283 @@
+//! Batch normalization over the channel/feature dimension.
+//!
+//! Works on both map batches (per-channel, NHWC) and vector batches
+//! (per-feature). Training uses batch statistics and maintains running
+//! statistics for inference; γ is re-clamped positive after each step so
+//! the pool/sign reordering that maps this model onto the BitFlow engine
+//! stays exact (see `bitflow-train` crate docs and `export`).
+
+use super::batch::{Batch, SampleShape};
+
+/// Batch-norm layer with learnable γ/β and running statistics.
+pub struct BatchNorm {
+    /// Scale (kept positive).
+    pub gamma: Vec<f32>,
+    /// Shift.
+    pub beta: Vec<f32>,
+    /// Running mean (inference).
+    pub running_mean: Vec<f32>,
+    /// Running variance (inference).
+    pub running_var: Vec<f32>,
+    /// Feature width (channels for maps).
+    pub c: usize,
+    /// EMA momentum for running stats.
+    pub ema: f32,
+    eps: f32,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    // Forward caches.
+    cache_xhat: Vec<f32>,
+    cache_std_inv: Vec<f32>,
+    cache_b: usize,
+    cache_shape: Option<SampleShape>,
+}
+
+impl BatchNorm {
+    /// New identity-initialized batch norm over `c` features.
+    pub fn new(c: usize) -> Self {
+        Self {
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            c,
+            ema: 0.1,
+            eps: 1e-5,
+            grad_gamma: vec![0.0; c],
+            grad_beta: vec![0.0; c],
+            cache_xhat: Vec::new(),
+            cache_std_inv: Vec::new(),
+            cache_b: 0,
+            cache_shape: None,
+        }
+    }
+
+    /// The epsilon used in normalization (needed by the export fold).
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    fn feature_of(&self, shape: SampleShape, idx_in_sample: usize) -> usize {
+        match shape {
+            SampleShape::Map { c, .. } => idx_in_sample % c,
+            SampleShape::Vec { .. } => idx_in_sample,
+        }
+    }
+
+    /// Forward pass. `train = true` uses batch statistics and updates the
+    /// running ones; `train = false` normalizes with the running stats
+    /// (what the export fold uses).
+    pub fn forward(&mut self, x: &Batch, train: bool) -> Batch {
+        let shape = x.shape;
+        match shape {
+            SampleShape::Map { c, .. } => assert_eq!(c, self.c, "bn channels"),
+            SampleShape::Vec { n } => assert_eq!(n, self.c, "bn features"),
+        }
+        let sample_len = x.sample_len();
+        let per_feature = x.b * sample_len / self.c;
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; self.c];
+            let mut var = vec![0.0f32; self.c];
+            for s in 0..x.b {
+                for (i, &v) in x.sample(s).iter().enumerate() {
+                    mean[self.feature_of(shape, i)] += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= per_feature as f32;
+            }
+            for s in 0..x.b {
+                for (i, &v) in x.sample(s).iter().enumerate() {
+                    let f = self.feature_of(shape, i);
+                    var[f] += (v - mean[f]).powi(2);
+                }
+            }
+            for v in &mut var {
+                *v /= per_feature as f32;
+            }
+            for f in 0..self.c {
+                self.running_mean[f] =
+                    (1.0 - self.ema) * self.running_mean[f] + self.ema * mean[f];
+                self.running_var[f] = (1.0 - self.ema) * self.running_var[f] + self.ema * var[f];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut out = Batch::zeros(x.b, shape);
+        let mut xhat = vec![0.0f32; x.data.len()];
+        for s in 0..x.b {
+            let xs = x.sample(s);
+            let ys = out.sample_mut(s);
+            for i in 0..sample_len {
+                let f = self.feature_of(shape, i);
+                let xh = (xs[i] - mean[f]) * std_inv[f];
+                xhat[s * sample_len + i] = xh;
+                ys[i] = self.gamma[f] * xh + self.beta[f];
+            }
+        }
+        if train {
+            self.cache_xhat = xhat;
+            self.cache_std_inv = std_inv;
+            self.cache_b = x.b;
+            self.cache_shape = Some(shape);
+        }
+        out
+    }
+
+    /// Backward pass (training statistics).
+    pub fn backward(&mut self, grad_out: &Batch) -> Batch {
+        let shape = self.cache_shape.expect("backward before forward(train)");
+        assert_eq!(grad_out.shape, shape);
+        assert_eq!(grad_out.b, self.cache_b);
+        let sample_len = grad_out.sample_len();
+        let per_feature = (self.cache_b * sample_len / self.c) as f32;
+
+        // Accumulate dγ, dβ and the two reduction terms of the BN backward.
+        let mut sum_gy = vec![0.0f32; self.c];
+        let mut sum_gy_xhat = vec![0.0f32; self.c];
+        for s in 0..self.cache_b {
+            let gys = grad_out.sample(s);
+            for i in 0..sample_len {
+                let f = self.feature_of(shape, i);
+                let xh = self.cache_xhat[s * sample_len + i];
+                sum_gy[f] += gys[i];
+                sum_gy_xhat[f] += gys[i] * xh;
+            }
+        }
+        for f in 0..self.c {
+            self.grad_beta[f] += sum_gy[f];
+            self.grad_gamma[f] += sum_gy_xhat[f];
+        }
+
+        let mut grad_in = Batch::zeros(self.cache_b, shape);
+        for s in 0..self.cache_b {
+            let gys = grad_out.sample(s);
+            let gxs = grad_in.sample_mut(s);
+            for i in 0..sample_len {
+                let f = self.feature_of(shape, i);
+                let xh = self.cache_xhat[s * sample_len + i];
+                // Standard BN backward:
+                // dx = γ·σ⁻¹/N · (N·gy − Σgy − x̂·Σ(gy·x̂))
+                gxs[i] = self.gamma[f] * self.cache_std_inv[f] / per_feature
+                    * (per_feature * gys[i] - sum_gy[f] - xh * sum_gy_xhat[f]);
+            }
+        }
+        grad_in
+    }
+
+    /// SGD step; γ is clamped to stay strictly positive (export-exactness
+    /// requirement, see module docs).
+    pub fn step(&mut self, lr: f32, _momentum: f32) {
+        let scale = 1.0 / self.cache_b.max(1) as f32;
+        for f in 0..self.c {
+            self.gamma[f] -= lr * self.grad_gamma[f] * scale;
+            self.beta[f] -= lr * self.grad_beta[f] * scale;
+            self.gamma[f] = self.gamma[f].max(1e-3);
+            self.grad_gamma[f] = 0.0;
+            self.grad_beta[f] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm::new(1);
+        let x = Batch::new(vec![1.0, 2.0, 3.0, 4.0], 4, SampleShape::Vec { n: 1 });
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_channel_on_maps() {
+        let mut bn = BatchNorm::new(2);
+        // 1 sample, 2x1 map, 2 channels: ch0 = [0, 10], ch1 = [5, 5].
+        let x = Batch::new(
+            vec![0.0, 5.0, 10.0, 5.0],
+            1,
+            SampleShape::Map { h: 2, w: 1, c: 2 },
+        );
+        let y = bn.forward(&x, true);
+        // ch0 normalizes to ±1; ch1 is constant → 0.
+        assert!((y.data[0] + 1.0).abs() < 1e-2);
+        assert!((y.data[2] - 1.0).abs() < 1e-2);
+        assert!(y.data[1].abs() < 1e-3 && y.data[3].abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        // Drive running stats toward mean 10 var 4 with many train passes.
+        let x = Batch::new(vec![8.0, 12.0], 2, SampleShape::Vec { n: 1 });
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&Batch::new(vec![10.0], 1, SampleShape::Vec { n: 1 }), false);
+        assert!(y.data[0].abs() < 0.05, "mean input should map near 0, got {}", y.data[0]);
+    }
+
+    #[test]
+    fn backward_zero_mean_gradients() {
+        // For L = Σ y, dx must be ~0 (BN output is mean-invariant under
+        // shifts: gradient of the mean direction cancels).
+        let mut bn = BatchNorm::new(1);
+        let x = Batch::new(vec![1.0, 2.0, 3.0, 6.0], 4, SampleShape::Vec { n: 1 });
+        let _ = bn.forward(&x, true);
+        let g = Batch::new(vec![1.0; 4], 4, SampleShape::Vec { n: 1 });
+        let gi = bn.backward(&g);
+        for v in &gi.data {
+            assert!(v.abs() < 1e-4, "grad {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_stays_positive() {
+        let mut bn = BatchNorm::new(1);
+        let x = Batch::new(vec![-1.0, 1.0], 2, SampleShape::Vec { n: 1 });
+        let _ = bn.forward(&x, true);
+        // A huge gradient trying to push gamma negative.
+        let g = Batch::new(vec![-100.0, 100.0], 2, SampleShape::Vec { n: 1 });
+        let _ = bn.backward(&g);
+        bn.step(100.0, 0.0);
+        assert!(bn.gamma[0] > 0.0);
+    }
+
+    #[test]
+    fn finite_difference_input_grad() {
+        let mut bn = BatchNorm::new(1);
+        let data = vec![0.3f32, -0.7, 1.1, 0.2];
+        let x = Batch::new(data.clone(), 4, SampleShape::Vec { n: 1 });
+        let _ = bn.forward(&x, true);
+        // L = Σ w_i·y_i with fixed w to break symmetry.
+        let wvec = [1.0f32, -2.0, 0.5, 3.0];
+        let g = Batch::new(wvec.to_vec(), 4, SampleShape::Vec { n: 1 });
+        let gi = bn.backward(&g);
+        let eps = 1e-3f32;
+        let loss = |bn: &mut BatchNorm, d: &[f32]| -> f32 {
+            let xb = Batch::new(d.to_vec(), 4, SampleShape::Vec { n: 1 });
+            let y = bn.forward(&xb, true);
+            y.data.iter().zip(&wvec).map(|(a, b)| a * b).sum()
+        };
+        for idx in 0..4 {
+            let mut dp = data.clone();
+            dp[idx] += eps;
+            let mut dm = data.clone();
+            dm[idx] -= eps;
+            let fd = (loss(&mut bn, &dp) - loss(&mut bn, &dm)) / (2.0 * eps);
+            assert!(
+                (gi.data[idx] - fd).abs() < 2e-2,
+                "idx {idx}: analytic {} vs fd {fd}",
+                gi.data[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Trainable layers with manual backpropagation.
+//!
+//! A deliberately small layer zoo — exactly what the Table V experiment
+//! needs: dense and 3×3 convolution in float and binary (STE) variants,
+//! max-pooling, batch normalization, and ReLU. Each layer caches what its
+//! backward pass needs; the optimizer is a per-layer SGD step (see
+//! [`crate::optim`]).
+
+pub mod batch;
+pub mod bn;
+pub mod conv;
+pub mod dense;
+pub mod pool;
+
+pub use batch::Batch;
+pub use bn::BatchNorm;
+pub use conv::Conv3x3;
+pub use dense::Dense;
+pub use pool::MaxPool2x2;
+
+/// Straight-through estimator gate: gradient of `sign` approximated by
+/// `1{|x| <= 1}` (BinaryNet's clipped identity).
+#[inline]
+pub fn ste_gate(x: f32) -> f32 {
+    if x.abs() <= 1.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Sign with the engine's convention (`sign(0) = +1`).
+#[inline]
+pub fn sign(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Precision mode of a parametric layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain float layer.
+    Float,
+    /// Binarized weights & input activations (STE training).
+    Binary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ste_gate_window() {
+        assert_eq!(ste_gate(0.0), 1.0);
+        assert_eq!(ste_gate(1.0), 1.0);
+        assert_eq!(ste_gate(-1.0), 1.0);
+        assert_eq!(ste_gate(1.0001), 0.0);
+        assert_eq!(ste_gate(-7.0), 0.0);
+    }
+
+    #[test]
+    fn sign_convention() {
+        assert_eq!(sign(0.0), 1.0);
+        assert_eq!(sign(-0.0), 1.0);
+        assert_eq!(sign(-1e-9), -1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! 2×2 stride-2 max-pooling with argmax gradient routing.
+
+use super::batch::{Batch, SampleShape};
+
+/// Max-pool 2×2 stride 2 over NHWC map batches.
+#[derive(Default)]
+pub struct MaxPool2x2 {
+    argmax: Vec<usize>,
+    in_shape: Option<(usize, usize, usize, usize)>, // (b, h, w, c)
+}
+
+impl MaxPool2x2 {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; caches per-output argmax indices for backward.
+    pub fn forward(&mut self, x: &Batch) -> Batch {
+        let (h, w, c) = match x.shape {
+            SampleShape::Map { h, w, c } => (h, w, c),
+            _ => panic!("pool needs a map input"),
+        };
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_shape = Some((x.b, h, w, c));
+        self.argmax = vec![0; x.b * oh * ow * c];
+        let mut out = Batch::zeros(x.b, SampleShape::Map { h: oh, w: ow, c });
+        for s in 0..x.b {
+            let xs = x.sample(s);
+            let ys = out.sample_mut(s);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for cc in 0..c {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for i in 0..2 {
+                            for j in 0..2 {
+                                let idx = ((2 * oy + i) * w + 2 * ox + j) * c + cc;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        ys[(oy * ow + ox) * c + cc] = best;
+                        self.argmax[((s * oh + oy) * ow + ox) * c + cc] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: routes each output gradient to its argmax input.
+    pub fn backward(&mut self, grad_out: &Batch) -> Batch {
+        let (b, h, w, c) = self.in_shape.expect("backward before forward");
+        let (oh, ow) = (h / 2, w / 2);
+        assert_eq!(grad_out.shape, SampleShape::Map { h: oh, w: ow, c });
+        let mut grad_in = Batch::zeros(b, SampleShape::Map { h, w, c });
+        for s in 0..b {
+            let gys = grad_out.sample(s);
+            let gxs = grad_in.sample_mut(s);
+            for o in 0..oh * ow * c {
+                gxs[self.argmax[s * oh * ow * c + o]] += gys[o];
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_takes_max() {
+        let x = Batch::new(
+            vec![1.0, 5.0, 2.0, 3.0], // 2x2x1
+            1,
+            SampleShape::Map { h: 2, w: 2, c: 1 },
+        );
+        let mut pool = MaxPool2x2::new();
+        let y = pool.forward(&x);
+        assert_eq!(y.data, vec![5.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let x = Batch::new(
+            vec![1.0, 5.0, 2.0, 3.0],
+            1,
+            SampleShape::Map { h: 2, w: 2, c: 1 },
+        );
+        let mut pool = MaxPool2x2::new();
+        let _ = pool.forward(&x);
+        let g = Batch::new(vec![7.0], 1, SampleShape::Map { h: 1, w: 1, c: 1 });
+        let gi = pool.backward(&g);
+        assert_eq!(gi.data, vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        // 2x2x2: channel 0 max at (0,0), channel 1 max at (1,1).
+        let x = Batch::new(
+            vec![9.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 8.0],
+            1,
+            SampleShape::Map { h: 2, w: 2, c: 2 },
+        );
+        let mut pool = MaxPool2x2::new();
+        let y = pool.forward(&x);
+        assert_eq!(y.data, vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn batch_dimension_independent() {
+        let x = Batch::new(
+            vec![1.0, 2.0, 3.0, 4.0, /* s1 */ 40.0, 30.0, 20.0, 10.0],
+            2,
+            SampleShape::Map { h: 2, w: 2, c: 1 },
+        );
+        let mut pool = MaxPool2x2::new();
+        let y = pool.forward(&x);
+        assert_eq!(y.data, vec![4.0, 40.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Softmax cross-entropy loss.
+
+use crate::layers::batch::{Batch, SampleShape};
+
+/// Computes mean softmax cross-entropy over a batch of logits and returns
+/// `(loss, grad_logits)` where the gradient is `(softmax − one_hot)`
+/// (already averaged semantics are handled by layer steps dividing by B).
+pub fn softmax_cross_entropy(logits: &Batch, labels: &[usize]) -> (f32, Batch) {
+    let k = match logits.shape {
+        SampleShape::Vec { n } => n,
+        _ => panic!("loss expects vector logits"),
+    };
+    assert_eq!(labels.len(), logits.b, "one label per sample");
+    let mut grad = Batch::zeros(logits.b, logits.shape);
+    let mut total = 0.0f32;
+    for s in 0..logits.b {
+        let xs = logits.sample(s);
+        let label = labels[s];
+        assert!(label < k, "label out of range");
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        total += log_sum - xs[label];
+        let gs = grad.sample_mut(s);
+        for i in 0..k {
+            gs[i] = exps[i] / sum - if i == label { 1.0 } else { 0.0 };
+        }
+    }
+    (total / logits.b as f32, grad)
+}
+
+/// Argmax predictions from logits.
+pub fn predictions(logits: &Batch) -> Vec<usize> {
+    (0..logits.b)
+        .map(|s| {
+            logits
+                .sample(s)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Fraction of correct predictions.
+pub fn accuracy(logits: &Batch, labels: &[usize]) -> f32 {
+    let preds = predictions(logits);
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Batch::new(vec![10.0, -10.0, -10.0], 1, SampleShape::Vec { n: 3 });
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        assert!(grad.data.iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_ln_k() {
+        let logits = Batch::new(vec![0.0; 4], 1, SampleShape::Vec { n: 4 });
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot() {
+        let logits = Batch::new(vec![1.0, 2.0, 3.0], 1, SampleShape::Vec { n: 3 });
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let sum: f32 = grad.data.iter().sum();
+        assert!(sum.abs() < 1e-5, "gradient sums to zero");
+        assert!(grad.data[1] < 0.0, "true-class grad negative");
+        assert!(grad.data[0] > 0.0 && grad.data[2] > 0.0);
+    }
+
+    #[test]
+    fn finite_difference_gradient() {
+        let base = vec![0.5f32, -0.2, 1.3];
+        let logits = Batch::new(base.clone(), 1, SampleShape::Vec { n: 3 });
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut p = base.clone();
+            p[i] += eps;
+            let (lp, _) = softmax_cross_entropy(&Batch::new(p, 1, SampleShape::Vec { n: 3 }), &[2]);
+            let mut m = base.clone();
+            m[i] -= eps;
+            let (lm, _) = softmax_cross_entropy(&Batch::new(m, 1, SampleShape::Vec { n: 3 }), &[2]);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grad.data[i] - fd).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Batch::new(
+            vec![1.0, 0.0, /* s1 */ 0.0, 1.0, /* s2 */ 1.0, 0.0],
+            3,
+            SampleShape::Vec { n: 2 },
+        );
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(predictions(&logits), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn numerically_stable() {
+        let logits = Batch::new(vec![1000.0, -1000.0], 1, SampleShape::Vec { n: 2 });
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data.iter().all(|g| g.is_finite()));
+    }
+}

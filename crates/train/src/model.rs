@@ -1,0 +1,363 @@
+//! Sequential models, the training loop, and evaluation.
+//!
+//! Architectures are constructed *engine-compatible*: the binary variants
+//! order their layers so that the trained forward pass equals the BitFlow
+//! engine's `conv → folded-BN+sign → OR-pool → … → binary FC` pipeline
+//! exactly (the sign∘BN∘max = max∘sign∘BN commutation holds because γ is
+//! kept positive — see [`crate::layers::bn`]).
+
+use crate::data::Dataset;
+use crate::layers::batch::{Batch, SampleShape};
+use crate::layers::{BatchNorm, Conv3x3, Dense, MaxPool2x2, Mode};
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::optim::Sgd;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One layer of a sequential model.
+pub enum ModelLayer {
+    /// 3×3 convolution (float or binary).
+    Conv(Conv3x3),
+    /// 2×2 max-pool.
+    Pool(MaxPool2x2),
+    /// Batch normalization.
+    Bn(BatchNorm),
+    /// ReLU (float models only).
+    Relu(ReluLayer),
+    /// Flatten map → vector.
+    Flatten,
+    /// Dense layer (float or binary).
+    Dense(Dense),
+}
+
+/// ReLU with cached mask.
+#[derive(Default)]
+pub struct ReluLayer {
+    mask: Vec<bool>,
+}
+
+impl ReluLayer {
+    fn forward(&mut self, x: &Batch) -> Batch {
+        self.mask = x.data.iter().map(|&v| v > 0.0).collect();
+        let mut out = x.clone();
+        for v in &mut out.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+    fn backward(&self, g: &Batch) -> Batch {
+        let mut out = g.clone();
+        for (v, &m) in out.data.iter_mut().zip(&self.mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+}
+
+/// A sequential model plus its precision mode.
+pub struct Model {
+    /// Layers in order.
+    pub layers: Vec<ModelLayer>,
+    /// Precision of the parametric layers.
+    pub mode: Mode,
+    /// Input geometry.
+    pub input: SampleShape,
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer settings.
+    pub sgd: Sgd,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 15,
+            batch_size: 32,
+            sgd: Sgd::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Training accuracy per epoch.
+    pub acc_history: Vec<f32>,
+}
+
+impl Model {
+    /// Builds a conv-net for `side`×`side`×`in_c` inputs:
+    /// per block `Conv3x3(k) → Pool → BN` (+ ReLU in float mode), then
+    /// flatten and a dense head to `classes` logits.
+    pub fn conv_net(
+        side: usize,
+        in_c: usize,
+        blocks: &[usize],
+        classes: usize,
+        mode: Mode,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut layers = Vec::new();
+        let mut c = in_c;
+        let mut s = side;
+        for &k in blocks {
+            layers.push(ModelLayer::Conv(Conv3x3::new(c, k, mode, rng)));
+            layers.push(ModelLayer::Pool(MaxPool2x2::new()));
+            layers.push(ModelLayer::Bn(BatchNorm::new(k)));
+            if mode == Mode::Float {
+                layers.push(ModelLayer::Relu(ReluLayer::default()));
+            }
+            c = k;
+            s /= 2;
+        }
+        layers.push(ModelLayer::Flatten);
+        layers.push(ModelLayer::Dense(Dense::new(s * s * c, classes, mode, rng)));
+        Self {
+            layers,
+            mode,
+            input: SampleShape::Map {
+                h: side,
+                w: side,
+                c: in_c,
+            },
+        }
+    }
+
+    /// Builds an MLP: `Dense(h) → BN` (+ ReLU in float mode) per hidden
+    /// layer, then a dense head.
+    pub fn mlp(
+        input_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+        mode: Mode,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut layers = Vec::new();
+        let mut n = input_dim;
+        for &h in hidden {
+            layers.push(ModelLayer::Dense(Dense::new(n, h, mode, rng)));
+            layers.push(ModelLayer::Bn(BatchNorm::new(h)));
+            if mode == Mode::Float {
+                layers.push(ModelLayer::Relu(ReluLayer::default()));
+            }
+            n = h;
+        }
+        layers.push(ModelLayer::Dense(Dense::new(n, classes, mode, rng)));
+        Self {
+            layers,
+            mode,
+            input: SampleShape::Vec { n: input_dim },
+        }
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, x: &Batch, train: bool) -> Batch {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                ModelLayer::Conv(l) => l.forward(&cur),
+                ModelLayer::Pool(l) => l.forward(&cur),
+                ModelLayer::Bn(l) => l.forward(&cur, train),
+                ModelLayer::Relu(l) => l.forward(&cur),
+                ModelLayer::Flatten => cur.flattened(),
+                ModelLayer::Dense(l) => l.forward(&cur),
+            };
+        }
+        cur
+    }
+
+    /// Backward pass (after a training-mode forward).
+    pub fn backward(&mut self, grad: &Batch) {
+        let pre_flatten = self.pre_flatten_shape();
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = match layer {
+                ModelLayer::Conv(l) => l.backward(&cur),
+                ModelLayer::Pool(l) => l.backward(&cur),
+                ModelLayer::Bn(l) => l.backward(&cur),
+                ModelLayer::Relu(l) => l.backward(&cur),
+                ModelLayer::Flatten => {
+                    // Un-flatten: restore the map shape of the producer.
+                    let mut shaped = cur.clone();
+                    shaped.shape = pre_flatten;
+                    shaped
+                }
+                ModelLayer::Dense(l) => l.backward(&cur),
+            };
+        }
+    }
+
+    fn pre_flatten_shape(&self) -> SampleShape {
+        // Walk the net to recompute the shape feeding Flatten.
+        let mut shape = self.input;
+        for layer in &self.layers {
+            shape = match (layer, shape) {
+                (ModelLayer::Conv(l), SampleShape::Map { h, w, .. }) => SampleShape::Map {
+                    h,
+                    w,
+                    c: l.k,
+                },
+                (ModelLayer::Pool(_), SampleShape::Map { h, w, c }) => SampleShape::Map {
+                    h: h / 2,
+                    w: w / 2,
+                    c,
+                },
+                (ModelLayer::Flatten, s) => return s,
+                (_, s) => s,
+            };
+        }
+        shape
+    }
+
+    /// Optimizer step for every parametric layer.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        for layer in &mut self.layers {
+            match layer {
+                ModelLayer::Conv(l) => l.step(lr, momentum),
+                ModelLayer::Bn(l) => l.step(lr, momentum),
+                ModelLayer::Dense(l) => l.step(lr, momentum),
+                _ => {}
+            }
+        }
+    }
+
+    /// Trains on a dataset; returns per-epoch loss/accuracy.
+    pub fn fit(&mut self, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = data.len();
+        let img_len = data.image_len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut loss_history = Vec::with_capacity(cfg.epochs);
+        let mut acc_history = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.sgd.lr_at(epoch);
+            let mut total_loss = 0.0f32;
+            let mut total_correct = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let b = chunk.len();
+                let mut xdata = Vec::with_capacity(b * img_len);
+                let mut labels = Vec::with_capacity(b);
+                for &i in chunk {
+                    xdata.extend_from_slice(data.image(i));
+                    labels.push(data.labels[i]);
+                }
+                let x = Batch::new(xdata, b, self.input);
+                let logits = self.forward(&x, true);
+                let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+                total_loss += loss * b as f32;
+                total_correct += (accuracy(&logits, &labels) * b as f32).round() as usize;
+                self.backward(&grad);
+                self.step(lr, cfg.sgd.momentum);
+            }
+            loss_history.push(total_loss / n as f32);
+            acc_history.push(total_correct as f32 / n as f32);
+        }
+        TrainReport {
+            loss_history,
+            acc_history,
+        }
+    }
+
+    /// Evaluation accuracy (inference mode: running BN statistics).
+    pub fn evaluate(&mut self, data: &Dataset) -> f32 {
+        let logits = self.predict(data);
+        accuracy(&logits, &data.labels)
+    }
+
+    /// Full-dataset logits in inference mode.
+    pub fn predict(&mut self, data: &Dataset) -> Batch {
+        let x = Batch::new(data.images.clone(), data.len(), self.input);
+        self.forward(&x, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{glyphs, SIDE};
+
+    #[test]
+    fn float_mlp_learns_glyphs() {
+        let train = glyphs(400, 0.15, 1);
+        let test = glyphs(100, 0.15, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut model = Model::mlp(SIDE * SIDE, &[64], 10, Mode::Float, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let report = model.fit(&train, &cfg);
+        let acc = model.evaluate(&test);
+        assert!(acc > 0.9, "float MLP accuracy {acc}");
+        assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+    }
+
+    #[test]
+    fn binary_mlp_learns_glyphs() {
+        let train = glyphs(400, 0.15, 3);
+        let test = glyphs(100, 0.15, 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = Model::mlp(SIDE * SIDE, &[128], 10, Mode::Binary, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let _ = model.fit(&train, &cfg);
+        let acc = model.evaluate(&test);
+        assert!(acc > 0.7, "binary MLP accuracy {acc}");
+    }
+
+    #[test]
+    fn binary_conv_net_trains_without_nan() {
+        let train = glyphs(120, 0.1, 5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut model = Model::conv_net(SIDE, 1, &[8], 10, Mode::Binary, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let report = model.fit(&train, &cfg);
+        assert!(report.loss_history.iter().all(|l| l.is_finite()));
+        let logits = model.predict(&train);
+        assert!(logits.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_improves_over_init() {
+        let train = glyphs(200, 0.1, 6);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut model = Model::mlp(SIDE * SIDE, &[32], 10, Mode::Float, &mut rng);
+        let before = model.evaluate(&train);
+        let _ = model.fit(
+            &train,
+            &TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
+        let after = model.evaluate(&train);
+        assert!(after > before + 0.2, "before {before}, after {after}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Optimizer configuration.
+//!
+//! Parameter updates live in each layer's `step` (they own their velocity
+//! state); this module holds the shared hyper-parameters and the learning
+//! rate schedule.
+
+use serde::{Deserialize, Serialize};
+
+/// SGD-with-momentum hyper-parameters plus a step-decay schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Multiply the lr by this every `decay_every` epochs.
+    pub decay: f32,
+    /// Decay period in epochs (0 = never).
+    pub decay_every: usize,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self {
+            lr: 0.05,
+            momentum: 0.9,
+            decay: 0.5,
+            decay_every: 10,
+        }
+    }
+}
+
+impl Sgd {
+    /// Learning rate at a given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        if self.decay_every == 0 {
+            return self.lr;
+        }
+        self.lr * self.decay.powi((epoch / self.decay_every) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_decays_stepwise() {
+        let s = Sgd {
+            lr: 1.0,
+            momentum: 0.9,
+            decay: 0.1,
+            decay_every: 5,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(4), 1.0);
+        assert!((s.lr_at(5) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(10) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_period_is_constant() {
+        let s = Sgd {
+            decay_every: 0,
+            ..Sgd::default()
+        };
+        assert_eq!(s.lr_at(100), s.lr);
+    }
+}

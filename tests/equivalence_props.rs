@@ -1,0 +1,144 @@
+//! Property-based cross-crate equivalence tests: the binary kernels must
+//! agree exactly with float references over the full input space, for all
+//! SIMD levels, arbitrary shapes, and both padding conventions.
+
+use bitflow::prelude::*;
+use proptest::prelude::*;
+
+fn sign(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Strategy: a ±1 tensor of the given size.
+fn pm1_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![Just(-1.0f32), Just(1.0f32)], len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// PressedConv equals the float direct convolution (with −1 padding)
+    /// for random geometry, channels across all scheduler tiers, and every
+    /// SIMD level.
+    #[test]
+    fn pressed_conv_equals_float_reference(
+        h in 3usize..8,
+        w in 3usize..8,
+        c_idx in 0usize..5,
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let c = [3usize, 32, 64, 96, 130][c_idx];
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_in = h * w * c;
+        let input_v: Vec<f32> = (0..n_in).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let fshape = FilterShape::new(k, 3, 3, c);
+        let weights: Vec<f32> = (0..fshape.numel()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let input = Tensor::from_vec(input_v, Shape::hwc(h, w, c), Layout::Nhwc);
+
+        // Float reference with explicit −1 border.
+        let padded = Tensor::from_fn(Shape::hwc(h + 2, w + 2, c), Layout::Nhwc, |_, y, x, cc| {
+            if y == 0 || y == h + 1 || x == 0 || x == w + 1 { -1.0 } else { input.at(0, y - 1, x - 1, cc) }
+        });
+        let want = bitflow::ops::float::conv_direct(
+            &padded, &weights, fshape, ConvParams::new(3, 3, 1, 0),
+        );
+
+        let pressed = BitTensor::from_tensor_padded(&input, 1);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+            let got = pressed_conv(level, &pressed, &bank, 1);
+            prop_assert_eq!(got.max_abs_diff(&want), 0.0, "level {}", level);
+        }
+    }
+
+    /// Binary FC equals the sign-matmul float reference for arbitrary
+    /// (non-±1) float inputs — binarization happens inside.
+    #[test]
+    fn binary_fc_equals_sign_matmul(
+        n in 1usize..300,
+        k in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let weights: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let packed = BinaryFcWeights::pack(&weights, n, k);
+        let got = binary_fc(SimdLevel::Avx512, &input, &packed);
+        for kk in 0..k {
+            let want: f32 = (0..n).map(|i| sign(input[i]) * sign(weights[i * k + kk])).sum();
+            prop_assert_eq!(got[kk], want);
+        }
+    }
+
+    /// Binary max-pool equals float max-pool on ±1 data for any window
+    /// geometry that fits.
+    #[test]
+    fn binary_pool_equals_float_pool(
+        h in 2usize..9,
+        w in 2usize..9,
+        c_idx in 0usize..4,
+        win in 1usize..3,
+        data in pm1_vec(8 * 8 * 96), // upper-bound size, sliced below
+    ) {
+        let c = [1usize, 33, 64, 96][c_idx];
+        let needed = h * w * c;
+        prop_assume!(needed <= data.len());
+        prop_assume!(win <= h && win <= w);
+        let stride = win; // non-overlapping windows
+        let t = Tensor::from_vec(data[..needed].to_vec(), Shape::hwc(h, w, c), Layout::Nhwc);
+        let want = bitflow::ops::float::max_pool(&t, ConvParams::new(win, win, stride, 0));
+        let pressed = BitTensor::from_tensor(&t);
+        let got = binary_max_pool(SimdLevel::Avx512, &pressed, win, win, stride).to_tensor();
+        prop_assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+
+    /// bgemm (via the facade's binary FC weights) matches sgemm over signed
+    /// matrices: the gemm-level contract.
+    #[test]
+    fn bgemm_matches_sgemm_on_signs(
+        m in 1usize..4,
+        n in 1usize..150,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut got = vec![0.0f32; m * k];
+        bitflow::gemm::bgemm_f32(SimdLevel::Avx2, &a, &b, &mut got, m, n, k);
+        let sa: Vec<f32> = a.iter().copied().map(sign).collect();
+        let sb: Vec<f32> = b.iter().copied().map(sign).collect();
+        let mut want = vec![0.0f32; m * k];
+        bitflow::gemm::sgemm_naive(&sa, &sb, &mut want, m, n, k);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Packing is involutive: pack → unpack → pack is the identity on the
+    /// packed form (press-tail invariant holds throughout).
+    #[test]
+    fn pack_unpack_pack_identity(
+        h in 1usize..5,
+        w in 1usize..5,
+        c in 1usize..130,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::from_fn(Shape::hwc(h, w, c), Layout::Nhwc, |_, _, _, _| {
+            rng.gen_range(-1.0f32..1.0)
+        });
+        let packed = BitTensor::from_tensor(&t);
+        prop_assert!(packed.tail_is_zero());
+        let unpacked = packed.to_tensor();
+        let repacked = BitTensor::from_tensor(&unpacked);
+        prop_assert_eq!(packed.words(), repacked.words());
+    }
+}
