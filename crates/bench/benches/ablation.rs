@@ -31,7 +31,12 @@ fn bench_kernel_width(c: &mut Criterion) {
     let w = table_iv()[3]; // conv5.1, C=512 divides every tier
     let p = prepare(&w, 60);
     let bank = p.bank.as_ref().unwrap();
-    for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+    for level in [
+        SimdLevel::Scalar,
+        SimdLevel::Sse,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ] {
         group.bench_function(format!("conv5.1/{level}"), |b| {
             b.iter(|| black_box(pressed_conv(level, &p.bit_input, bank, 1)));
         });
@@ -120,7 +125,12 @@ fn bench_popcount_impls(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(63);
     let a: Vec<u64> = (0..1 << 16).map(|_| rng.gen()).collect();
     let b: Vec<u64> = (0..1 << 16).map(|_| rng.gen()).collect();
-    for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+    for level in [
+        SimdLevel::Scalar,
+        SimdLevel::Sse,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ] {
         group.bench_function(format!("xor-popcount-512KiB/{level}"), |bch| {
             bch.iter(|| black_box(xor_popcount(level, &a, &b)));
         });

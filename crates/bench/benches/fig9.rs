@@ -16,7 +16,10 @@ fn bench_fig9(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(250));
     // Conv2.1 and conv5.1 bracket the paper's scaling story (best and
     // worst scaling); keep the sweep focused to bound bench time.
-    for w in table_iv().into_iter().filter(|w| w.name == "conv2.1" || w.name == "conv5.1") {
+    for w in table_iv()
+        .into_iter()
+        .filter(|w| w.name == "conv2.1" || w.name == "conv5.1")
+    {
         let p = prepare(&w, 43);
         for threads in [1usize, 4, 16, 64] {
             group.bench_function(format!("{}/threads{}", w.name, threads), |b| {

@@ -13,7 +13,10 @@ fn bench_table3(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1500))
         .warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(50);
-    for (name, n, k) in [("fc7-4096x4096", 4096usize, 4096usize), ("fc8-4096x1000", 4096, 1000)] {
+    for (name, n, k) in [
+        ("fc7-4096x4096", 4096usize, 4096usize),
+        ("fc8-4096x1000", 4096, 1000),
+    ] {
         let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         group.bench_function(format!("{name}/fused"), |bch| {
             bch.iter(|| std::hint::black_box(pack_b_fused(&b, n, k)));

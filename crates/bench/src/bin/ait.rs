@@ -1,8 +1,8 @@
 //! §III-A — arithmetic-intensity analysis of image-to-column vs direct
 //! (Pressed) convolution, float and binary, using the paper's Eqs. 4–8.
 
-use bitflow_ops::ait::ConvAit;
 use bitflow_bench::workloads::{table_iv_convs, OpKind};
+use bitflow_ops::ait::ConvAit;
 use bitflow_tensor::FilterShape;
 
 fn main() {

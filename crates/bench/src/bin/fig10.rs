@@ -31,7 +31,10 @@ fn main() {
     );
     let gpu = GpuModel::gtx1080();
     let mut rows = Vec::new();
-    println!("{:<9} {:>14} {:>14} {:>12}", "op", "GTX1080(model)", "BitFlow", "CPU/GPU");
+    println!(
+        "{:<9} {:>14} {:>14} {:>12}",
+        "op", "GTX1080(model)", "BitFlow", "CPU/GPU"
+    );
     for w in table_iv() {
         // GPU model always uses the paper-size workload; quick mode only
         // shrinks the measured CPU side, so don't mix scales:

@@ -8,10 +8,10 @@
 
 use bitflow_bench::timing::{measure, with_pool};
 use bitflow_bench::write_json;
+use bitflow_gpumodel::GpuModel;
 use bitflow_graph::models::{vgg16, vgg19};
 use bitflow_graph::weights::NetworkWeights;
 use bitflow_graph::Network;
-use bitflow_gpumodel::GpuModel;
 use bitflow_tensor::{Layout, Tensor};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::Serialize;
@@ -29,10 +29,15 @@ struct Row {
 
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!("Fig. 11 reproduction — VGG end-to-end, BitFlow ({threads} threads) vs GTX 1080 model");
+    eprintln!(
+        "Fig. 11 reproduction — VGG end-to-end, BitFlow ({threads} threads) vs GTX 1080 model"
+    );
     let gpu = GpuModel::gtx1080();
     let mut rows = Vec::new();
-    println!("{:<7} {:>16} {:>12} {:>12}", "model", "GTX1080(model)", "paper GPU", "BitFlow");
+    println!(
+        "{:<7} {:>16} {:>12} {:>12}",
+        "model", "GTX1080(model)", "paper GPU", "BitFlow"
+    );
     for (spec, paper_gpu_ms) in [(vgg16(), 12.87f64), (vgg19(), 14.92f64)] {
         let mut rng = StdRng::seed_from_u64(7);
         let weights = NetworkWeights::random(&spec, &mut rng);

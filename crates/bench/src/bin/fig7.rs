@@ -28,7 +28,11 @@ fn main() {
     let quick = quick_mode();
     eprintln!(
         "Fig. 7 reproduction — single-thread operators, float = 1x{}",
-        if quick { " (quick mode, 4x smaller)" } else { "" }
+        if quick {
+            " (quick mode, 4x smaller)"
+        } else {
+            ""
+        }
     );
     eprintln!("host SIMD: {}", bitflow_simd::features());
     let mut rows = Vec::new();

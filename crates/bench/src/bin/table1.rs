@@ -6,7 +6,7 @@ use bitflow_simd::features;
 fn main() {
     let f = features();
     println!("Table I reproduction — SIMD instructions used by BitFlow\n");
-    println!("{:<34} {:<10} {}", "instruction", "available", "used by");
+    println!("{:<34} {:<10} used by", "instruction", "available");
     let rows: [(&str, bool, &str); 6] = [
         (
             "_mm_xor_si128",
@@ -40,7 +40,12 @@ fn main() {
         ),
     ];
     for (instr, avail, used_by) in rows {
-        println!("{:<34} {:<10} {}", instr, if avail { "yes" } else { "no" }, used_by);
+        println!(
+            "{:<34} {:<10} {}",
+            instr,
+            if avail { "yes" } else { "no" },
+            used_by
+        );
     }
     println!("\nhost feature summary: {f}");
     println!("widest xor+popcount path: {} bits", f.max_width_bits());

@@ -6,33 +6,29 @@ use bitflow_tensor::Bit64;
 
 fn main() {
     println!("Table II reproduction — BitFlow data structures (Rust forms)\n");
-    println!("{:<28} {:<8} {}", "type", "bytes", "role");
+    println!("{:<28} {:<8} role", "type", "bytes");
     println!(
-        "{:<28} {:<8} {}",
+        "{:<28} {:<8} fused binarization + bit-packing word (paper bit64_t/bit64_u)",
         "tensor::Bit64",
-        std::mem::size_of::<Bit64>(),
-        "fused binarization + bit-packing word (paper bit64_t/bit64_u)"
+        std::mem::size_of::<Bit64>()
     );
     #[cfg(target_arch = "x86_64")]
     {
         use bitflow_simd::vec_u::{M128U, M256U, M512U};
         println!(
-            "{:<28} {:<8} {}",
+            "{:<28} {:<8} SSE register <-> 2x u64 lanes (paper m128_u)",
             "simd::vec_u::M128U",
-            std::mem::size_of::<M128U>(),
-            "SSE register <-> 2x u64 lanes (paper m128_u)"
+            std::mem::size_of::<M128U>()
         );
         println!(
-            "{:<28} {:<8} {}",
+            "{:<28} {:<8} AVX2 register <-> 4x u64 lanes (paper m256_u)",
             "simd::vec_u::M256U",
-            std::mem::size_of::<M256U>(),
-            "AVX2 register <-> 4x u64 lanes (paper m256_u)"
+            std::mem::size_of::<M256U>()
         );
         println!(
-            "{:<28} {:<8} {}",
+            "{:<28} {:<8} AVX-512 register <-> 8x u64 lanes (paper m512_u)",
             "simd::vec_u::M512U",
-            std::mem::size_of::<M512U>(),
-            "AVX-512 register <-> 8x u64 lanes (paper m512_u)"
+            std::mem::size_of::<M512U>()
         );
     }
     // Demonstrate the fused binarize+pack on 64 floats.
@@ -40,6 +36,11 @@ fn main() {
     xs[0] = 1.0;
     xs[63] = 0.0; // sign(0) = +1
     let word = Bit64::pack64(&xs);
-    println!("\nfused binarize+pack demo: bit0={}, bit63={}, word={:#018x}", word.bit(0), word.bit(63), word.0);
+    println!(
+        "\nfused binarize+pack demo: bit0={}, bit63={}, word={:#018x}",
+        word.bit(0),
+        word.bit(63),
+        word.0
+    );
     assert_eq!(word.0, 1 | (1 << 63));
 }

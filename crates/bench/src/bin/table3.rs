@@ -27,7 +27,10 @@ fn main() {
     println!("Table III reproduction — fused binarize+pack+transpose vs staged\n");
     let mut rng = StdRng::seed_from_u64(50);
     let mut rows = Vec::new();
-    println!("{:<16} {:>12} {:>12} {:>9}", "weight matrix", "fused", "staged", "speedup");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "weight matrix", "fused", "staged", "speedup"
+    );
     for (name, n, k) in [
         ("fc7 (4096x4096)", 4096usize, 4096usize),
         ("fc8 (4096x1000)", 4096, 1000),

@@ -111,19 +111,34 @@ fn main() {
     let rows = vec![
         run_dataset(
             "glyphs n=0.45 (MNIST analog)",
-            |rep| (glyphs(2000, 0.45, 1 + 10 * rep), glyphs(500, 0.45, 2 + 10 * rep)),
+            |rep| {
+                (
+                    glyphs(2000, 0.45, 1 + 10 * rep),
+                    glyphs(500, 0.45, 2 + 10 * rep),
+                )
+            },
             12,
             REPS,
         ),
         run_dataset(
             "glyphs n=0.60 (CIFAR analog)",
-            |rep| (glyphs(2000, 0.6, 3 + 10 * rep), glyphs(500, 0.6, 4 + 10 * rep)),
+            |rep| {
+                (
+                    glyphs(2000, 0.6, 3 + 10 * rep),
+                    glyphs(500, 0.6, 4 + 10 * rep),
+                )
+            },
             12,
             REPS,
         ),
         run_dataset(
             "glyphs n=0.70 (ImageNet analog)",
-            |rep| (glyphs(2000, 0.7, 5 + 10 * rep), glyphs(500, 0.7, 6 + 10 * rep)),
+            |rep| {
+                (
+                    glyphs(2000, 0.7, 5 + 10 * rep),
+                    glyphs(500, 0.7, 6 + 10 * rep),
+                )
+            },
             12,
             REPS,
         ),

@@ -1,11 +1,10 @@
 //! Operator runners: one timed closure per (implementation, workload).
 
-use crate::timing::{measure, with_pool};
+use crate::timing::{measure, measure_interleaved, with_pool};
 use crate::workloads::{OpKind, Prepared};
 use bitflow_ops::binary::{binary_max_pool, pressed_conv, pressed_conv_parallel};
 use bitflow_ops::float::{
-    conv_im2col, conv_im2col_parallel, fc_parallel, fc_pretransposed, max_pool,
-    max_pool_parallel,
+    conv_im2col, conv_im2col_parallel, fc_parallel, fc_pretransposed, max_pool, max_pool_parallel,
 };
 use bitflow_ops::SimdLevel;
 use bitflow_simd::VectorScheduler;
@@ -45,7 +44,12 @@ pub fn run_once(imp: Impl, p: &Prepared, threads: usize) {
             if threads == 1 {
                 black_box(conv_im2col(&p.input, &p.weights, f, p.workload.params));
             } else {
-                black_box(conv_im2col_parallel(&p.input, &p.weights, f, p.workload.params));
+                black_box(conv_im2col_parallel(
+                    &p.input,
+                    &p.weights,
+                    f,
+                    p.workload.params,
+                ));
             }
         }
         (Impl::Float, OpKind::Fc { k }) => {
@@ -74,7 +78,12 @@ pub fn run_once(imp: Impl, p: &Prepared, threads: usize) {
                 OpKind::Conv { .. } => {
                     let bank = p.bank.as_ref().unwrap();
                     if threads == 1 {
-                        black_box(pressed_conv(level, &p.bit_input, bank, p.workload.params.stride));
+                        black_box(pressed_conv(
+                            level,
+                            &p.bit_input,
+                            bank,
+                            p.workload.params.stride,
+                        ));
                     } else {
                         black_box(pressed_conv_parallel(
                             level,
@@ -99,8 +108,11 @@ pub fn run_once(imp: Impl, p: &Prepared, threads: usize) {
                     black_box(out);
                 }
                 OpKind::Pool => {
-                    let (kh, kw, s) =
-                        (p.workload.params.kh, p.workload.params.kw, p.workload.params.stride);
+                    let (kh, kw, s) = (
+                        p.workload.params.kh,
+                        p.workload.params.kw,
+                        p.workload.params.stride,
+                    );
                     if threads == 1 {
                         black_box(binary_max_pool(level, &p.bit_input, kh, kw, s));
                     } else {
@@ -128,6 +140,28 @@ pub fn time_config(imp: Impl, p: &Prepared, threads: usize, budget: Duration) ->
 /// Convenience: time with the default 600 ms budget.
 pub fn time_default(imp: Impl, p: &Prepared, threads: usize) -> Duration {
     time_config(imp, p, threads, Duration::from_millis(600))
+}
+
+/// Times two implementations on the same workload with their iterations
+/// interleaved, so both see identical machine load. Use this for A/B
+/// speedup claims; separate [`time_config`] calls measure in disjoint
+/// windows and can disagree by tens of percent on a busy machine.
+pub fn time_pair(
+    a: Impl,
+    b: Impl,
+    p: &Prepared,
+    threads: usize,
+    budget: Duration,
+) -> (Duration, Duration) {
+    with_pool(threads, || {
+        measure_interleaved(
+            || run_once(a, p, threads),
+            || run_once(b, p, threads),
+            budget,
+            3,
+            200,
+        )
+    })
 }
 
 #[cfg(test)]
@@ -160,8 +194,13 @@ mod tests {
         // the float baseline comfortably on one thread.
         let w = table_iv()[1].shrunk(2); // conv3.1 at 28x28
         let p = prepare(&w, 4);
-        let tf = time_config(Impl::Float, &p, 1, Duration::from_millis(300));
-        let tb = time_config(Impl::BitFlow, &p, 1, Duration::from_millis(300));
+        let (tf, tb) = time_pair(
+            Impl::Float,
+            Impl::BitFlow,
+            &p,
+            1,
+            Duration::from_millis(300),
+        );
         assert!(
             tb < tf,
             "binary {:?} should beat float {:?} on conv",
@@ -174,9 +213,17 @@ mod tests {
     fn unopt_is_not_faster_than_bitflow_wide_channels() {
         let w = table_iv()[3]; // conv5.1 (C=512) at full size — small anyway
         let p = prepare(&w, 5);
-        let tu = time_config(Impl::BinaryUnopt, &p, 1, Duration::from_millis(300));
-        let tb = time_config(Impl::BitFlow, &p, 1, Duration::from_millis(300));
+        let (tu, tb) = time_pair(
+            Impl::BinaryUnopt,
+            Impl::BitFlow,
+            &p,
+            1,
+            Duration::from_millis(300),
+        );
         // SIMD should not lose; allow 10% jitter head-room.
-        assert!(tb.as_secs_f64() <= tu.as_secs_f64() * 1.10, "bitflow {tb:?} vs unopt {tu:?}");
+        assert!(
+            tb.as_secs_f64() <= tu.as_secs_f64() * 1.10,
+            "bitflow {tb:?} vs unopt {tu:?}"
+        );
     }
 }

@@ -7,7 +7,12 @@ use std::time::{Duration, Instant};
 /// were made (whichever first, always ≥ `min_iters`). Returns the minimum
 /// observed time — the standard estimator for CPU microbenchmarks (least
 /// contaminated by interference).
-pub fn measure(mut f: impl FnMut(), budget: Duration, min_iters: usize, max_iters: usize) -> Duration {
+pub fn measure(
+    mut f: impl FnMut(),
+    budget: Duration,
+    min_iters: usize,
+    max_iters: usize,
+) -> Duration {
     f(); // warm-up (page faults, cache, branch predictors)
     let mut best = Duration::MAX;
     let mut spent = Duration::ZERO;
@@ -26,6 +31,44 @@ pub fn measure(mut f: impl FnMut(), budget: Duration, min_iters: usize, max_iter
 /// Default measurement: 1 s budget, 3–50 iterations.
 pub fn measure_default(f: impl FnMut()) -> Duration {
     measure(f, Duration::from_secs(1), 3, 50)
+}
+
+/// Measures two closures under the *same* load conditions by interleaving
+/// their iterations (a, b, a, b, ...) and returning each one's minimum
+/// observed time.
+///
+/// Timing `a` to completion and then `b` (as two [`measure`] calls) biases
+/// the comparison whenever background load changes between the two
+/// windows — minima only reject interference that pauses during *that*
+/// closure's window. Interleaving gives both closures the same exposure to
+/// whatever else the machine is doing, which is what an A/B comparison
+/// needs.
+pub fn measure_interleaved(
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    budget: Duration,
+    min_rounds: usize,
+    max_rounds: usize,
+) -> (Duration, Duration) {
+    a(); // warm-up both sides
+    b();
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    let mut spent = Duration::ZERO;
+    let mut rounds = 0usize;
+    while rounds < min_rounds || (spent < budget && rounds < max_rounds) {
+        let t0 = Instant::now();
+        a();
+        let da = t0.elapsed();
+        let t1 = Instant::now();
+        b();
+        let db = t1.elapsed();
+        best_a = best_a.min(da);
+        best_b = best_b.min(db);
+        spent += da + db;
+        rounds += 1;
+    }
+    (best_a, best_b)
 }
 
 /// Runs `f` inside a fresh rayon pool of `threads` threads and returns its

@@ -179,8 +179,9 @@ pub fn prepare(w: &Workload, seed: u64) -> Prepared {
     match w.kind {
         OpKind::Conv { k } => {
             let fshape = FilterShape::new(k, w.params.kh, w.params.kw, w.c);
-            let weights =
-                Tensor::random(Shape::vec(fshape.numel()), Layout::Nhwc, &mut rng).data().to_vec();
+            let weights = Tensor::random(Shape::vec(fshape.numel()), Layout::Nhwc, &mut rng)
+                .data()
+                .to_vec();
             let bank = BitFilterBank::from_floats(&weights, fshape);
             let bit_input = BitTensor::from_tensor_padded(&input, w.params.pad);
             Prepared {
@@ -197,8 +198,9 @@ pub fn prepare(w: &Workload, seed: u64) -> Prepared {
         }
         OpKind::Fc { k } => {
             let n = w.flat_n();
-            let weights =
-                Tensor::random(Shape::vec(n * k), Layout::Nhwc, &mut rng).data().to_vec();
+            let weights = Tensor::random(Shape::vec(n * k), Layout::Nhwc, &mut rng)
+                .data()
+                .to_vec();
             let weights_t = bitflow_gemm::sgemm::transpose(&weights, n, k);
             let fc_weights = bitflow_ops::binary::BinaryFcWeights::pack(&weights, n, k);
             Prepared {

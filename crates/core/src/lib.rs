@@ -44,7 +44,7 @@ pub mod prelude {
     pub use bitflow_graph::models::{mlp, small_cnn, tiered_cnn, vgg16, vgg19};
     pub use bitflow_graph::spec::{LayerSpec, NetworkSpec};
     pub use bitflow_graph::weights::{BnParams, LayerWeights, NetworkWeights};
-    pub use bitflow_graph::{FloatNetwork, Network};
+    pub use bitflow_graph::{CompiledModel, FloatNetwork, InferenceContext, Network};
     pub use bitflow_ops::binary::{
         binary_conv_im2col, binary_fc, binary_max_pool, pressed_conv, pressed_conv_parallel,
         BinaryFcWeights,

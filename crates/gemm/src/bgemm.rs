@@ -35,49 +35,66 @@ pub fn bgemm_packed(level: SimdLevel, a: &PackedMatrix, bt: &PackedMatrix, c: &m
 /// One output row: A-row against all K packed B-rows, unrolled by 4.
 #[inline]
 fn bgemm_row(level: SimdLevel, arow: &[u64], bt: &PackedMatrix, n: usize, crow: &mut [f32]) {
-    let quads = bt.rows / 4;
+    bgemm_block(level, arow, bt, 0, n, crow);
+}
+
+/// The shared micro-kernel: A-row against B-rows `kbase..kbase + out.len()`,
+/// unrolled by 4. Both the serial row loop and the parallel chunk tasks land
+/// here, so the two paths execute identical per-element code.
+#[inline]
+fn bgemm_block(
+    level: SimdLevel,
+    arow: &[u64],
+    bt: &PackedMatrix,
+    kbase: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let quads = out.len() / 4;
     for q in 0..quads {
-        let k0 = 4 * q;
+        let k0 = kbase + 4 * q;
         // Four independent popcount streams: the A-row words stay hot in
         // registers/L1 across all four (loop unrolling per paper §IV).
         let d0 = binary_dot(level, arow, bt.row(k0), n);
         let d1 = binary_dot(level, arow, bt.row(k0 + 1), n);
         let d2 = binary_dot(level, arow, bt.row(k0 + 2), n);
         let d3 = binary_dot(level, arow, bt.row(k0 + 3), n);
-        crow[k0] = d0 as f32;
-        crow[k0 + 1] = d1 as f32;
-        crow[k0 + 2] = d2 as f32;
-        crow[k0 + 3] = d3 as f32;
+        out[4 * q] = d0 as f32;
+        out[4 * q + 1] = d1 as f32;
+        out[4 * q + 2] = d2 as f32;
+        out[4 * q + 3] = d3 as f32;
     }
-    for k in quads * 4..bt.rows {
-        crow[k] = binary_dot(level, arow, bt.row(k), n) as f32;
+    for (j, o) in out.iter_mut().enumerate().skip(quads * 4) {
+        *o = binary_dot(level, arow, bt.row(kbase + j), n) as f32;
     }
 }
 
+/// K-dimension chunk granted to each parallel task. Fixed (not derived from
+/// the pool size) so the work partition — and thus the exact sequence of
+/// kernel calls per chunk — is identical for every thread count. A multiple
+/// of 4 keeps every full chunk on the unrolled quad path of
+/// [`bgemm_block`].
+const PAR_K_CHUNK: usize = 32;
+
 /// Multi-threaded binary GEMM: output columns (K) are distributed over the
 /// installed rayon pool in contiguous chunks — the paper's multi-core
-/// parallelism over the K dimension for binary FC operators.
-pub fn bgemm_packed_parallel(
-    level: SimdLevel,
-    a: &PackedMatrix,
-    bt: &PackedMatrix,
-    c: &mut [f32],
-) {
+/// parallelism over the K dimension for binary FC operators. Each chunk
+/// runs the same 4-way unrolled micro-kernel as [`bgemm_packed`], and the
+/// chunk boundaries are deterministic (independent of the pool size), so
+/// output is bit-identical to the serial path.
+pub fn bgemm_packed_parallel(level: SimdLevel, a: &PackedMatrix, bt: &PackedMatrix, c: &mut [f32]) {
     assert_eq!(a.n_logical, bt.n_logical, "reduction widths differ");
     assert_eq!(c.len(), a.rows * bt.rows, "output size");
     let n = a.n_logical;
     let k = bt.rows;
-    // Chunk K so each task is substantial; rayon balances across the pool.
-    let chunk = k.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
     for mi in 0..a.rows {
         let arow = a.row(mi);
         let crow = &mut c[mi * k..(mi + 1) * k];
-        crow.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
-            let kbase = ci * chunk;
-            for (j, o) in out.iter_mut().enumerate() {
-                *o = binary_dot(level, arow, bt.row(kbase + j), n) as f32;
-            }
-        });
+        crow.par_chunks_mut(PAR_K_CHUNK)
+            .enumerate()
+            .for_each(|(ci, out)| {
+                bgemm_block(level, arow, bt, ci * PAR_K_CHUNK, n, out);
+            });
     }
 }
 
@@ -106,8 +123,16 @@ pub fn bgemm_f32(
 /// Raw xor+popcount throughput primitive exposed for benches: total
 /// popcount between two packed matrices' storage. Exercises the same memory
 /// stream as bgemm without the per-row bookkeeping.
+///
+/// # Panics
+/// If the two matrices' logical geometry differs. Equal `words.len()` alone
+/// is not enough: two matrices with the same storage size but different
+/// `n_logical`/`words_per_row` splits would line up different press-tail
+/// positions and silently count tail bits as data.
 pub fn xnor_popcount_throughput(level: SimdLevel, a: &PackedMatrix, b: &PackedMatrix) -> u64 {
-    assert_eq!(a.words.len(), b.words.len());
+    assert_eq!(a.n_logical, b.n_logical, "reduction widths differ");
+    assert_eq!(a.words_per_row, b.words_per_row, "row geometries differ");
+    assert_eq!(a.words.len(), b.words.len(), "storage sizes differ");
     xor_popcount(level, &a.words, &b.words)
 }
 
@@ -136,7 +161,12 @@ mod tests {
     }
 
     fn levels() -> [SimdLevel; 4] {
-        [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512]
+        [
+            SimdLevel::Scalar,
+            SimdLevel::Sse,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ]
     }
 
     #[test]
@@ -177,6 +207,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bit_exact_across_pool_sizes() {
+        // The chunk partition must not depend on the installed pool, and
+        // every chunk shares the serial micro-kernel — so any thread count
+        // yields the serial result bit-for-bit. K values probe chunk
+        // boundaries: below one chunk, exactly one, straddling, and a
+        // non-multiple-of-4 tail inside the last chunk.
+        let mut rng = StdRng::seed_from_u64(52);
+        for k in [1usize, 31, 32, 33, 64, 70, 129] {
+            let (m, n) = (3usize, 200usize);
+            let a: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let pa = pack_a_rows(&a, m, n);
+            let pb = pack_b_fused(&b, n, k);
+            let mut serial = vec![0.0f32; m * k];
+            bgemm_packed(SimdLevel::Avx512, &pa, &pb, &mut serial);
+            for threads in [1usize, 2, 5] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                let mut par = vec![0.0f32; m * k];
+                pool.install(|| bgemm_packed_parallel(SimdLevel::Avx512, &pa, &pb, &mut par));
+                assert_eq!(serial, par, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn all_plus_one_inputs() {
         // A, B all +1: every dot product equals N exactly.
         let (m, n, k) = (1usize, 200usize, 6usize);
@@ -192,7 +250,9 @@ mod tests {
         // A = +1s, B column alternating ±1 over even N: dot = 0.
         let (n, k) = (64usize, 1usize);
         let a = vec![1.0f32; n];
-        let b: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut c = vec![0.0f32; 1];
         bgemm_f32(SimdLevel::Scalar, &a, &b, &mut c, 1, n, k);
         assert_eq!(c[0], 0.0);
@@ -222,5 +282,33 @@ mod tests {
         let b = PackedMatrix::zeros(1, 128);
         let mut c = vec![0.0f32; 1];
         bgemm_packed(SimdLevel::Scalar, &a, &b, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction widths")]
+    fn throughput_rejects_mismatched_geometry() {
+        // Same words.len() (8 words each), different logical splits:
+        // 2 rows × 256 bits vs 4 rows × 128 bits. Before the geometry
+        // asserts this silently xor'd rows against misaligned press-tails.
+        let a = PackedMatrix::zeros(2, 256);
+        let b = PackedMatrix::zeros(4, 128);
+        assert_eq!(a.words.len(), b.words.len());
+        xnor_popcount_throughput(SimdLevel::Scalar, &a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row geometries")]
+    fn throughput_rejects_mismatched_words_per_row() {
+        // Equal n_logical and words.len() can still disagree on rows ×
+        // words_per_row if one matrix was built with extra padding.
+        let a = PackedMatrix::zeros(2, 100); // 2 rows × 2 words
+        let b = PackedMatrix {
+            words: vec![0u64; 4],
+            rows: 1,
+            n_logical: 100,
+            words_per_row: 4,
+        };
+        assert_eq!(a.words.len(), b.words.len());
+        xnor_popcount_throughput(SimdLevel::Scalar, &a, &b);
     }
 }

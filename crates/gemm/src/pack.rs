@@ -64,7 +64,10 @@ pub fn pack_a_rows(a: &[f32], m: usize, n: usize) -> PackedMatrix {
     let mut out = PackedMatrix::zeros(m, n);
     let wpr = out.words_per_row;
     for mi in 0..m {
-        pack_f32(&a[mi * n..(mi + 1) * n], &mut out.words[mi * wpr..(mi + 1) * wpr]);
+        pack_f32(
+            &a[mi * n..(mi + 1) * n],
+            &mut out.words[mi * wpr..(mi + 1) * wpr],
+        );
     }
     out
 }
@@ -148,12 +151,55 @@ mod tests {
     #[test]
     fn fused_equals_staged() {
         let mut rng = StdRng::seed_from_u64(40);
-        for (n, k) in [(1usize, 1usize), (64, 4), (65, 3), (128, 10), (100, 7), (513, 2)] {
+        for (n, k) in [
+            (1usize, 1usize),
+            (64, 4),
+            (65, 3),
+            (128, 10),
+            (100, 7),
+            (513, 2),
+        ] {
             let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let fused = pack_b_fused(&b, n, k);
             let staged = pack_b_staged(&b, n, k);
             assert_eq!(fused, staged, "n={n} k={k}");
         }
+    }
+
+    #[test]
+    fn degenerate_shapes_yield_well_formed_empties() {
+        // n == 0: rows exist but carry zero words each.
+        let p = pack_b_fused(&[], 0, 3);
+        assert_eq!(
+            (p.rows, p.n_logical, p.words_per_row, p.words.len()),
+            (3, 0, 0, 0)
+        );
+        assert_eq!(p.row(2), &[] as &[u64]);
+        assert_eq!(p, pack_b_staged(&[], 0, 3));
+        assert_eq!(p, pack_b_fused_columnwise(&[], 0, 3));
+
+        // k == 0: no rows at all.
+        let p = pack_b_fused(&[], 5, 0);
+        assert_eq!(
+            (p.rows, p.n_logical, p.words_per_row, p.words.len()),
+            (0, 5, 1, 0)
+        );
+        assert_eq!(p, pack_b_staged(&[], 5, 0));
+
+        // pack_a_rows mirrors both cases.
+        let p = pack_a_rows(&[], 0, 5);
+        assert_eq!((p.rows, p.words.len()), (0, 0));
+        let p = pack_a_rows(&[], 2, 0);
+        assert_eq!((p.rows, p.words_per_row, p.words.len()), (2, 0, 0));
+        assert_eq!(p.row(1), &[] as &[u64]);
+
+        // zeros with no rows still records the row geometry.
+        let p = PackedMatrix::zeros(0, 128);
+        assert_eq!(
+            (p.rows, p.n_logical, p.words_per_row, p.words.len()),
+            (0, 128, 2, 0)
+        );
+        assert_eq!(p.bytes(), 0);
     }
 
     #[test]
@@ -178,9 +224,20 @@ mod tests {
     #[test]
     fn blocked_equals_columnwise() {
         let mut rng = StdRng::seed_from_u64(45);
-        for (n, k) in [(1usize, 1usize), (64, 64), (65, 63), (100, 70), (200, 130), (513, 5)] {
+        for (n, k) in [
+            (1usize, 1usize),
+            (64, 64),
+            (65, 63),
+            (100, 70),
+            (200, 130),
+            (513, 5),
+        ] {
             let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            assert_eq!(pack_b_fused(&b, n, k), pack_b_fused_columnwise(&b, n, k), "n={n} k={k}");
+            assert_eq!(
+                pack_b_fused(&b, n, k),
+                pack_b_fused_columnwise(&b, n, k),
+                "n={n} k={k}"
+            );
         }
     }
 

@@ -145,7 +145,13 @@ mod tests {
     #[test]
     fn opt_matches_naive() {
         let mut rng = StdRng::seed_from_u64(30);
-        for (m, n, k) in [(1, 4, 4), (3, 5, 7), (2, 300, 70), (1, 1000, 33), (4, 64, 64)] {
+        for (m, n, k) in [
+            (1, 4, 4),
+            (3, 5, 7),
+            (2, 300, 70),
+            (1, 1000, 33),
+            (4, 64, 64),
+        ] {
             let a = random_mat(&mut rng, m * n);
             let b = random_mat(&mut rng, n * k);
             let mut c1 = vec![0.0; m * k];

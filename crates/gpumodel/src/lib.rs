@@ -71,11 +71,8 @@ impl GpuModel {
     /// Modeled time of one full-precision convolution (batch 1).
     pub fn conv_time(&self, input: Shape, f: FilterShape, params: ConvParams) -> Duration {
         let g = params.conv_out(input, f.k);
-        let flops = 2.0
-            * (g.out_h * g.out_w) as f64
-            * (f.k * f.kh * f.kw * f.c) as f64;
-        let bytes = 4.0
-            * (input.numel() + f.numel() + g.out_h * g.out_w * f.k) as f64;
+        let flops = 2.0 * (g.out_h * g.out_w) as f64 * (f.k * f.kh * f.kw * f.c) as f64;
+        let bytes = 4.0 * (input.numel() + f.numel() + g.out_h * g.out_w * f.k) as f64;
         self.roofline(flops, bytes)
     }
 
@@ -146,14 +143,20 @@ mod tests {
     fn calibrated_to_paper_vgg16() {
         let t = GpuModel::gtx1080().network_time(&vgg16()).as_secs_f64() * 1e3;
         let err = (t - PAPER_VGG16_MS).abs() / PAPER_VGG16_MS;
-        assert!(err < 0.15, "VGG16 model {t:.2} ms vs paper {PAPER_VGG16_MS} ms");
+        assert!(
+            err < 0.15,
+            "VGG16 model {t:.2} ms vs paper {PAPER_VGG16_MS} ms"
+        );
     }
 
     #[test]
     fn held_out_check_vgg19() {
         let t = GpuModel::gtx1080().network_time(&vgg19()).as_secs_f64() * 1e3;
         let err = (t - PAPER_VGG19_MS).abs() / PAPER_VGG19_MS;
-        assert!(err < 0.15, "VGG19 model {t:.2} ms vs paper {PAPER_VGG19_MS} ms");
+        assert!(
+            err < 0.15,
+            "VGG19 model {t:.2} ms vs paper {PAPER_VGG19_MS} ms"
+        );
     }
 
     #[test]

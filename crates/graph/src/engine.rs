@@ -1,20 +1,29 @@
 //! The BitFlow inference engine.
 //!
-//! [`Network::compile`] turns a [`NetworkSpec`] + [`NetworkWeights`] into a
-//! ready-to-run binary engine, performing the paper's network-level work up
-//! front:
+//! [`CompiledModel::compile`] turns a [`NetworkSpec`] + [`NetworkWeights`]
+//! into a ready-to-run binary engine, performing the paper's network-level
+//! work up front:
 //!
 //! * weights → [`BitFilterBank`]/[`BinaryFcWeights`] (binarize + pack +
 //!   fused transpose, once);
 //! * batch-norm → per-channel sign thresholds (folded);
-//! * every activation/scratch buffer pre-allocated, with each buffer sized
-//!   at the *padded* geometry its consumer requires (zero-cost padding);
+//! * every activation/scratch buffer *planned* (sized at the padded
+//!   geometry its consumer requires — zero-cost padding);
 //! * per-layer SIMD kernels chosen by the vector execution scheduler.
 //!
-//! [`Network::infer`] then runs the chain with **zero allocation**.
+//! The compiled model is **immutable and `Send + Sync`**: one
+//! `Arc<CompiledModel>` serves any number of request threads. The mutable
+//! half — the pre-allocated activation/scratch buffers the plan describes —
+//! lives in a per-session [`InferenceContext`] ([`CompiledModel::new_context`]).
+//! [`CompiledModel::infer`] then runs the chain with **zero allocation**,
+//! and [`CompiledModel::infer_batch`] fans a batch of images out over the
+//! installed rayon pool with one context per worker chunk (bit-identical to
+//! running the images serially).
 //!
-//! [`FloatNetwork`] compiles the same spec into the full-precision baseline
-//! engine (im2col conv + sgemm, float max-pool, sgemm FC).
+//! [`Network`] is the single-threaded convenience wrapper (one model + one
+//! context), and [`FloatNetwork`] compiles the same spec into the
+//! full-precision baseline engine (im2col conv + sgemm, float max-pool,
+//! sgemm FC).
 
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use crate::weights::{LayerWeights, NetworkWeights};
@@ -102,6 +111,34 @@ impl Slot {
     }
 }
 
+/// The compile-time description of one runtime buffer: the model keeps the
+/// *plan* (immutable, shareable), each [`InferenceContext`] allocates the
+/// actual [`Slot`]s from it.
+#[derive(Clone, Copy, Debug)]
+enum SlotSpec {
+    /// Pressed activation map of the given padded geometry.
+    Bit { h: usize, w: usize, c: usize },
+    /// Float scratch map.
+    Map { h: usize, w: usize, c: usize },
+    /// Float vector.
+    Vec { len: usize },
+    /// Single-row packed vector of `n` logical bits.
+    Packed { n: usize },
+}
+
+impl SlotSpec {
+    fn allocate(&self) -> Slot {
+        match *self {
+            SlotSpec::Bit { h, w, c } => Slot::Bit(BitTensor::zeros(h, w, c)),
+            SlotSpec::Map { h, w, c } => {
+                Slot::Map(Tensor::zeros(Shape::hwc(h, w, c), Layout::Nhwc))
+            }
+            SlotSpec::Vec { len } => Slot::Vec(vec![0.0f32; len]),
+            SlotSpec::Packed { n } => Slot::Packed(PackedMatrix::zeros(1, n)),
+        }
+    }
+}
+
 /// Source of an FC layer's input.
 #[derive(Clone, Copy)]
 enum FcIn {
@@ -176,20 +213,46 @@ impl RtOp {
     }
 }
 
-/// The compiled binary inference engine.
-pub struct Network {
+/// The immutable compiled binary inference engine: packed weights, folded
+/// batch-norm thresholds, per-layer kernel choices, and the activation
+/// buffer plan. `Send + Sync` by construction — share one instance across
+/// request threads via `Arc`, giving each thread its own
+/// [`InferenceContext`].
+pub struct CompiledModel {
     spec: NetworkSpec,
     ops: Vec<RtOp>,
-    slots: Vec<Slot>,
+    slot_specs: Vec<SlotSpec>,
     logits_slot: usize,
-    /// Use the multi-threaded operator variants (over the installed rayon
-    /// pool). Results are bit-identical either way.
-    pub parallel: bool,
     float_bytes: usize,
     packed_bytes: usize,
 }
 
-impl Network {
+// Compile-enforced: an `Arc<CompiledModel>` must be usable from any thread.
+// If a future weight/op representation picks up interior mutability or raw
+// pointers without the matching guarantees, this line stops the build.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<CompiledModel>();
+
+/// The mutable half of an inference session: the pre-allocated
+/// activation/scratch buffers one in-flight request needs. Cheap to create
+/// (a handful of zeroed buffers, no weight work) and tied to the
+/// [`CompiledModel`] that produced it — using it with a different model
+/// panics on the first geometry mismatch.
+pub struct InferenceContext {
+    slots: Vec<Slot>,
+    /// Use the multi-threaded operator variants (over the installed rayon
+    /// pool) for this session. Results are bit-identical either way.
+    pub parallel: bool,
+}
+
+impl InferenceContext {
+    /// Total pre-allocated activation/scratch memory in bytes.
+    pub fn activation_bytes(&self) -> usize {
+        self.slots.iter().map(Slot::bytes).sum()
+    }
+}
+
+impl CompiledModel {
     /// Compiles a spec + weights into a ready engine (paper: all
     /// "pre-processions to save run time cost" happen here).
     ///
@@ -209,16 +272,16 @@ impl Network {
         let scheduler = VectorScheduler::new();
         let shapes = spec.infer_shapes();
         let mut ops = Vec::new();
-        let mut slots = Vec::new();
+        let mut slot_specs = Vec::new();
 
         // Input stage: binarize+pack the float input into a buffer padded
         // for the first layer.
         let in_pad = spec.layers[0].input_pad();
-        slots.push(Slot::Bit(BitTensor::zeros(
-            spec.input.h + 2 * in_pad,
-            spec.input.w + 2 * in_pad,
-            spec.input.c,
-        )));
+        slot_specs.push(SlotSpec::Bit {
+            h: spec.input.h + 2 * in_pad,
+            w: spec.input.w + 2 * in_pad,
+            c: spec.input.c,
+        });
         ops.push(RtOp::BinarizeInput {
             out: 0,
             pad: in_pad,
@@ -243,22 +306,24 @@ impl Network {
                 (LayerSpec::Conv { name, k, params }, LayerWeights::Conv { w, fshape, bn }) => {
                     assert_eq!(*fshape, FilterShape::new(*k, params.kh, params.kw, in_c));
                     let bank = BitFilterBank::from_floats(w, *fshape);
-                    let fold = fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                    let fold =
+                        fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
                     let (oh, ow) = match shapes[i] {
                         LayerIo::Map { h, w, .. } => (h, w),
                         _ => unreachable!(),
                     };
-                    let scratch = slots.len();
-                    slots.push(Slot::Map(Tensor::zeros(
-                        Shape::hwc(oh, ow, *k),
-                        Layout::Nhwc,
-                    )));
-                    let out = slots.len();
-                    slots.push(Slot::Bit(BitTensor::zeros(
-                        oh + 2 * out_pad,
-                        ow + 2 * out_pad,
-                        *k,
-                    )));
+                    let scratch = slot_specs.len();
+                    slot_specs.push(SlotSpec::Map {
+                        h: oh,
+                        w: ow,
+                        c: *k,
+                    });
+                    let out = slot_specs.len();
+                    slot_specs.push(SlotSpec::Bit {
+                        h: oh + 2 * out_pad,
+                        w: ow + 2 * out_pad,
+                        c: *k,
+                    });
                     ops.push(RtOp::ConvSign {
                         name: name.clone(),
                         bank,
@@ -279,12 +344,12 @@ impl Network {
                         _ => unreachable!(),
                     };
                     let _ = (in_h, in_w);
-                    let out = slots.len();
-                    slots.push(Slot::Bit(BitTensor::zeros(
-                        oh + 2 * out_pad,
-                        ow + 2 * out_pad,
-                        oc,
-                    )));
+                    let out = slot_specs.len();
+                    slot_specs.push(SlotSpec::Bit {
+                        h: oh + 2 * out_pad,
+                        w: ow + 2 * out_pad,
+                        c: oc,
+                    });
                     ops.push(RtOp::Pool {
                         name: name.clone(),
                         kh: params.kh,
@@ -301,17 +366,20 @@ impl Network {
                     assert_eq!(k, wk, "fc width mismatch");
                     let fc_in = match cur {
                         CurSlot::Bit(slot) => {
-                            let bt = slots[slot].bit();
+                            let (bh, bw, bc) = match slot_specs[slot] {
+                                SlotSpec::Bit { h, w, c } => (h, w, c),
+                                _ => unreachable!("FC input slot is pressed"),
+                            };
                             // Direct flatten works when pixels are
                             // word-tight (no press-tail gaps between
                             // pixels) and the buffer carries no padding.
-                            let tight = bt.c() % 64 == 0 || (bt.h() == 1 && bt.w() == 1);
-                            assert_eq!(bt.h() * bt.w() * bt.c(), *n, "flatten width");
+                            let tight = bc % 64 == 0 || (bh == 1 && bw == 1);
+                            assert_eq!(bh * bw * bc, *n, "flatten width");
                             if tight {
                                 FcIn::Bit(slot)
                             } else {
-                                let flat = slots.len();
-                                slots.push(Slot::Packed(PackedMatrix::zeros(1, *n)));
+                                let flat = slot_specs.len();
+                                slot_specs.push(SlotSpec::Packed { n: *n });
                                 ops.push(RtOp::Reflatten {
                                     input: slot,
                                     out: flat,
@@ -325,8 +393,8 @@ impl Network {
                     let level = scheduler.streaming_level();
                     let is_last = i + 1 == spec.layers.len();
                     if is_last {
-                        let out = slots.len();
-                        slots.push(Slot::Vec(vec![0.0f32; *k]));
+                        let out = slot_specs.len();
+                        slot_specs.push(SlotSpec::Vec { len: *k });
                         ops.push(RtOp::FcOut {
                             name: name.clone(),
                             weights: weights_packed,
@@ -338,10 +406,10 @@ impl Network {
                     } else {
                         let fold =
                             fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
-                        let scratch = slots.len();
-                        slots.push(Slot::Vec(vec![0.0f32; *k]));
-                        let out = slots.len();
-                        slots.push(Slot::Packed(PackedMatrix::zeros(1, *k)));
+                        let scratch = slot_specs.len();
+                        slot_specs.push(SlotSpec::Vec { len: *k });
+                        let out = slot_specs.len();
+                        slot_specs.push(SlotSpec::Packed { n: *k });
                         ops.push(RtOp::FcSign {
                             name: name.clone(),
                             weights: weights_packed,
@@ -359,15 +427,23 @@ impl Network {
             }
         }
 
-        let logits_slot = slots.len() - 1;
+        let logits_slot = slot_specs.len() - 1;
         Self {
             spec: spec.clone(),
             ops,
-            slots,
+            slot_specs,
             logits_slot,
-            parallel: false,
             float_bytes: weights.float_bytes(),
             packed_bytes: weights.packed_bytes(),
+        }
+    }
+
+    /// Allocates a fresh inference session: every activation/scratch buffer
+    /// the plan describes, zeroed. One context per concurrent request.
+    pub fn new_context(&self) -> InferenceContext {
+        InferenceContext {
+            slots: self.slot_specs.iter().map(SlotSpec::allocate).collect(),
+            parallel: false,
         }
     }
 
@@ -386,36 +462,74 @@ impl Network {
         self.packed_bytes
     }
 
-    /// Total pre-allocated activation/scratch memory in bytes.
-    pub fn activation_bytes(&self) -> usize {
-        self.slots.iter().map(Slot::bytes).sum()
+    /// Activation/scratch bytes each [`InferenceContext`] pre-allocates.
+    pub fn context_bytes(&self) -> usize {
+        // Planned sizes equal allocated sizes; summing a throwaway context
+        // keeps one source of truth for the byte accounting.
+        self.new_context().activation_bytes()
     }
 
-    /// Runs inference; returns the logits. Allocation-free after compile.
-    pub fn infer(&mut self, input: &Tensor) -> Vec<f32> {
+    /// Runs inference in `ctx`; returns the logits. Allocation-free.
+    pub fn infer(&self, ctx: &mut InferenceContext, input: &Tensor) -> Vec<f32> {
         assert_eq!(input.shape(), self.spec.input, "input shape");
+        assert_eq!(
+            ctx.slots.len(),
+            self.slot_specs.len(),
+            "context/model mismatch"
+        );
         for i in 0..self.ops.len() {
-            self.run_op(i, input);
+            self.run_op(&mut ctx.slots, ctx.parallel, i, input);
         }
-        self.slots[self.logits_slot].vec().clone()
+        ctx.slots[self.logits_slot].vec().clone()
     }
 
     /// Runs inference with per-operator wall-clock timing.
-    pub fn infer_profiled(&mut self, input: &Tensor) -> (Vec<f32>, Vec<(String, Duration)>) {
+    pub fn infer_profiled(
+        &self,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+    ) -> (Vec<f32>, Vec<(String, Duration)>) {
         assert_eq!(input.shape(), self.spec.input, "input shape");
+        assert_eq!(
+            ctx.slots.len(),
+            self.slot_specs.len(),
+            "context/model mismatch"
+        );
         let mut times = Vec::with_capacity(self.ops.len());
         for i in 0..self.ops.len() {
             let t0 = Instant::now();
-            self.run_op(i, input);
+            self.run_op(&mut ctx.slots, ctx.parallel, i, input);
             times.push((self.ops[i].name().to_string(), t0.elapsed()));
         }
-        (self.slots[self.logits_slot].vec().clone(), times)
+        (ctx.slots[self.logits_slot].vec().clone(), times)
     }
 
-    fn run_op(&mut self, i: usize, input: &Tensor) {
-        // Split borrows: ops and slots are separate fields.
-        let parallel = self.parallel;
-        let slots = &mut self.slots;
+    /// Runs a batch of images over the installed rayon pool: the batch is
+    /// split into contiguous chunks, each worker chunk gets its own
+    /// [`InferenceContext`], and every image runs the serial operator path
+    /// inside its worker. Images are independent, so the output is
+    /// bit-identical to calling [`CompiledModel::infer`] on each input in
+    /// order with a single context.
+    pub fn infer_batch(&self, inputs: &[Tensor]) -> Vec<Vec<f32>> {
+        use rayon::prelude::*;
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = inputs.len().div_ceil(threads).max(1);
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); inputs.len()];
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, outs)| {
+                let mut ctx = self.new_context();
+                for (j, o) in outs.iter_mut().enumerate() {
+                    *o = self.infer(&mut ctx, &inputs[ci * chunk + j]);
+                }
+            });
+        out
+    }
+
+    fn run_op(&self, slots: &mut [Slot], parallel: bool, i: usize, input: &Tensor) {
         match &self.ops[i] {
             RtOp::BinarizeInput { out, pad } => {
                 binarize_pack_into(input, slots[*out].bit_mut(), *pad);
@@ -438,13 +552,7 @@ impl Network {
                     let (inp, scr) = two_slots(slots, *in_slot, *scratch);
                     pressed_conv_parallel_into(*level, inp.bit(), bank, *stride, scr.map_mut());
                     let (scr, dst) = two_slots(slots, *scratch, *out);
-                    binarize_threshold_into(
-                        scr.map(),
-                        thresholds,
-                        flip,
-                        dst.bit_mut(),
-                        *out_pad,
-                    );
+                    binarize_threshold_into(scr.map(), thresholds, flip, dst.bit_mut(), *out_pad);
                 } else {
                     // Fused single pass (conv + BN-threshold + sign + pack).
                     let (inp, dst) = two_slots(slots, *in_slot, *out);
@@ -471,9 +579,20 @@ impl Network {
                 ..
             } => {
                 let (inp, dst) = two_slots(slots, *in_slot, *out);
-                binary_max_pool_into(*level, inp.bit(), *kh, *kw, *stride, dst.bit_mut(), *out_pad);
+                binary_max_pool_into(
+                    *level,
+                    inp.bit(),
+                    *kh,
+                    *kw,
+                    *stride,
+                    dst.bit_mut(),
+                    *out_pad,
+                );
             }
-            RtOp::Reflatten { input: in_slot, out } => {
+            RtOp::Reflatten {
+                input: in_slot,
+                out,
+            } => {
                 let (inp, dst) = two_slots(slots, *in_slot, *out);
                 reflatten(inp.bit(), dst.packed_mut());
             }
@@ -502,6 +621,78 @@ impl Network {
                 run_fc_into(slots, *fc_in, weights, *level, *out, parallel);
             }
         }
+    }
+}
+
+/// Single-session convenience engine: one [`CompiledModel`] plus one
+/// [`InferenceContext`], presenting the original owned `compile`/`infer`
+/// API. For concurrent serving, use [`Network::into_model`] (or compile a
+/// [`CompiledModel`] directly), wrap it in an `Arc`, and give each thread
+/// its own context.
+pub struct Network {
+    model: CompiledModel,
+    ctx: InferenceContext,
+    /// Use the multi-threaded operator variants (over the installed rayon
+    /// pool). Results are bit-identical either way.
+    pub parallel: bool,
+}
+
+impl Network {
+    /// Compiles a spec + weights into a ready single-session engine.
+    ///
+    /// # Panics
+    /// See [`CompiledModel::compile`].
+    pub fn compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Self {
+        let model = CompiledModel::compile(spec, weights);
+        let ctx = model.new_context();
+        Self {
+            model,
+            ctx,
+            parallel: false,
+        }
+    }
+
+    /// The shared, immutable half of this engine.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Extracts the compiled model (dropping this session's buffers), e.g.
+    /// to wrap it in an `Arc` for concurrent serving.
+    pub fn into_model(self) -> CompiledModel {
+        self.model
+    }
+
+    /// The spec this engine was compiled from.
+    pub fn spec(&self) -> &NetworkSpec {
+        self.model.spec()
+    }
+
+    /// Float model size in bytes (what a full-precision network ships).
+    pub fn float_model_bytes(&self) -> usize {
+        self.model.float_model_bytes()
+    }
+
+    /// Packed model size in bytes (what this engine holds) — Table V.
+    pub fn packed_model_bytes(&self) -> usize {
+        self.model.packed_model_bytes()
+    }
+
+    /// Total pre-allocated activation/scratch memory in bytes.
+    pub fn activation_bytes(&self) -> usize {
+        self.ctx.activation_bytes()
+    }
+
+    /// Runs inference; returns the logits. Allocation-free after compile.
+    pub fn infer(&mut self, input: &Tensor) -> Vec<f32> {
+        self.ctx.parallel = self.parallel;
+        self.model.infer(&mut self.ctx, input)
+    }
+
+    /// Runs inference with per-operator wall-clock timing.
+    pub fn infer_profiled(&mut self, input: &Tensor) -> (Vec<f32>, Vec<(String, Duration)>) {
+        self.ctx.parallel = self.parallel;
+        self.model.infer_profiled(&mut self.ctx, input)
     }
 }
 
@@ -695,7 +886,13 @@ impl FloatNetwork {
                     map = Some(max_pool_parallel(m, *params));
                     times.push((name.clone(), t0.elapsed()));
                 }
-                FloatRt::Fc { name, wt, n, k, last } => {
+                FloatRt::Fc {
+                    name,
+                    wt,
+                    n,
+                    k,
+                    last,
+                } => {
                     let flat: Vec<f32> = match (&map, &vec) {
                         (Some(m), _) => m.data().to_vec(),
                         (None, Some(v)) => v.clone(),
@@ -842,6 +1039,56 @@ mod tests {
             net.infer(&bad);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn model_context_split_matches_wrapper() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let want = net.infer(&input);
+
+        let model = CompiledModel::compile(&spec, &weights);
+        let mut a = model.new_context();
+        let mut b = model.new_context();
+        assert_eq!(model.infer(&mut a, &input), want);
+        assert_eq!(model.infer(&mut b, &input), want);
+        // Contexts stay independent: running one again changes nothing.
+        assert_eq!(model.infer(&mut a, &input), want);
+        assert_eq!(model.context_bytes(), net.activation_bytes());
+    }
+
+    #[test]
+    fn into_model_keeps_compiled_state() {
+        let (spec, weights, input) = setup();
+        let mut net = Network::compile(&spec, &weights);
+        let want = net.infer(&input);
+        let model = std::sync::Arc::new(net.into_model());
+        let mut ctx = model.new_context();
+        assert_eq!(model.infer(&mut ctx, &input), want);
+    }
+
+    #[test]
+    fn infer_batch_bit_identical_to_serial() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let mut rng = StdRng::seed_from_u64(13);
+        let inputs: Vec<Tensor> = (0..7)
+            .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+            .collect();
+        let mut ctx = model.new_context();
+        let serial: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|img| model.infer(&mut ctx, img))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let batch = pool.install(|| model.infer_batch(&inputs));
+            assert_eq!(batch, serial, "threads={threads}");
+        }
+        assert!(model.infer_batch(&[]).is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod plan;
 pub mod spec;
 pub mod weights;
 
-pub use engine::{FloatNetwork, Network};
+pub use engine::{CompiledModel, FloatNetwork, InferenceContext, Network};
 pub use model_io::{load_model, save_model};
 pub use models::{small_cnn, vgg16, vgg19};
 pub use spec::{LayerSpec, NetworkSpec};

@@ -254,6 +254,11 @@ mod tests {
         let weights = NetworkWeights::random(&spec, &mut rng);
         let bytes = encode_model(&spec, &weights);
         let raw = weights.float_bytes();
-        assert!(bytes.len() < raw + raw / 10 + 4096, "{} vs {}", bytes.len(), raw);
+        assert!(
+            bytes.len() < raw + raw / 10 + 4096,
+            "{} vs {}",
+            bytes.len(),
+            raw
+        );
     }
 }

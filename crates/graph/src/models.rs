@@ -155,19 +155,54 @@ mod tests {
             (i, shapes[i])
         };
         let (i, s) = at("conv2.1");
-        assert_eq!(s, LayerIo::Map { h: 112, w: 112, c: 128 });
+        assert_eq!(
+            s,
+            LayerIo::Map {
+                h: 112,
+                w: 112,
+                c: 128
+            }
+        );
         assert_eq!(spec.input_width(i, &shapes), 64);
         let (i, s) = at("conv3.1");
-        assert_eq!(s, LayerIo::Map { h: 56, w: 56, c: 256 });
+        assert_eq!(
+            s,
+            LayerIo::Map {
+                h: 56,
+                w: 56,
+                c: 256
+            }
+        );
         assert_eq!(spec.input_width(i, &shapes), 128);
         let (i, s) = at("conv4.1");
-        assert_eq!(s, LayerIo::Map { h: 28, w: 28, c: 512 });
+        assert_eq!(
+            s,
+            LayerIo::Map {
+                h: 28,
+                w: 28,
+                c: 512
+            }
+        );
         assert_eq!(spec.input_width(i, &shapes), 256);
         let (i, s) = at("conv5.1");
-        assert_eq!(s, LayerIo::Map { h: 14, w: 14, c: 512 });
+        assert_eq!(
+            s,
+            LayerIo::Map {
+                h: 14,
+                w: 14,
+                c: 512
+            }
+        );
         assert_eq!(spec.input_width(i, &shapes), 512);
         let (_, s) = at("pool4");
-        assert_eq!(s, LayerIo::Map { h: 14, w: 14, c: 512 });
+        assert_eq!(
+            s,
+            LayerIo::Map {
+                h: 14,
+                w: 14,
+                c: 512
+            }
+        );
         let (_, s) = at("pool5");
         assert_eq!(s, LayerIo::Map { h: 7, w: 7, c: 512 });
         let (i, s) = at("fc6");
@@ -179,8 +214,16 @@ mod tests {
 
     #[test]
     fn vgg19_has_three_more_convs() {
-        let convs16 = vgg16().layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
-        let convs19 = vgg19().layers.iter().filter(|l| matches!(l, LayerSpec::Conv { .. })).count();
+        let convs16 = vgg16()
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { .. }))
+            .count();
+        let convs19 = vgg19()
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { .. }))
+            .count();
         assert_eq!(convs16, 13);
         assert_eq!(convs19, 16);
     }

@@ -3,9 +3,14 @@
 //! The paper's network-level optimization pre-allocates "all the memory
 //! needed for storing the output and intermediate results by analysis of
 //! the neural network as a static computational graph". The engine does
-//! that at compile time; this module derives the same numbers *without*
-//! compiling, so tools and docs can report a model's runtime footprint
-//! from its spec alone.
+//! that at compile time — the plan lives in the shared
+//! [`crate::engine::CompiledModel`], and every
+//! [`crate::engine::InferenceContext`] allocates one copy of these buffers.
+//! This module derives the same numbers *without* compiling, so tools and
+//! docs can report a model's runtime footprint from its spec alone; for a
+//! concurrent deployment, total activation memory is
+//! [`MemoryPlan::contexts_bytes`] for the chosen session count on top of the
+//! one shared packed-weight copy.
 
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use serde::{Deserialize, Serialize};
@@ -97,9 +102,16 @@ impl MemoryPlan {
         Self { buffers }
     }
 
-    /// Total planned bytes.
+    /// Total planned bytes for one inference session (one
+    /// [`crate::engine::InferenceContext`]).
     pub fn total_bytes(&self) -> usize {
         self.buffers.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Activation bytes for `n` concurrent sessions sharing one compiled
+    /// model: contexts scale linearly, the packed weights do not.
+    pub fn contexts_bytes(&self, n: usize) -> usize {
+        n * self.total_bytes()
     }
 
     /// Bytes a naive float engine would hold for the same activations
@@ -136,6 +148,19 @@ mod tests {
         // flatten; the plan's total must match within that one buffer.
         let flatten_bytes = (4 * 4 * 32usize).div_ceil(64) * 8;
         assert_eq!(plan.total_bytes() + flatten_bytes, net.activation_bytes());
+        assert_eq!(plan.contexts_bytes(3), 3 * plan.total_bytes());
+    }
+
+    #[test]
+    fn plan_matches_every_fresh_context() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let model = crate::engine::CompiledModel::compile(&spec, &weights);
+        let a = model.new_context();
+        let b = model.new_context();
+        assert_eq!(a.activation_bytes(), model.context_bytes());
+        assert_eq!(b.activation_bytes(), model.context_bytes());
     }
 
     #[test]

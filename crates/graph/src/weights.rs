@@ -125,7 +125,9 @@ impl NetworkWeights {
             let lw = match layer {
                 LayerSpec::Conv { k, params, .. } => {
                     let fshape = FilterShape::new(*k, params.kh, params.kw, in_width);
-                    let w = (0..fshape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    let w = (0..fshape.numel())
+                        .map(|_| rng.gen_range(-1.0f32..1.0))
+                        .collect();
                     let bn = if random_bn {
                         BnParams::random(*k, rng)
                     } else {

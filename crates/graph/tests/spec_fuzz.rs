@@ -42,8 +42,13 @@ fn interpret(spec: &NetworkSpec, weights: &NetworkWeights, input: &Tensor) -> Ve
                 ))
             }
             (LayerSpec::Pool { params, .. }, LayerWeights::Pool, Cur::Bits(bits)) => {
-                let pooled =
-                    binary_max_pool(SimdLevel::Avx512, &bits, params.kh, params.kw, params.stride);
+                let pooled = binary_max_pool(
+                    SimdLevel::Avx512,
+                    &bits,
+                    params.kh,
+                    params.kw,
+                    params.stride,
+                );
                 // Re-pad for the next consumer (the oracle pays the copy the
                 // engine's zero-cost padding avoids).
                 let as_tensor = pooled.to_tensor();
@@ -88,10 +93,10 @@ fn interpret(spec: &NetworkSpec, weights: &NetworkWeights, input: &Tensor) -> Ve
 /// Random chain generator: [conv|pool]* then fc+, with geometry kept valid.
 fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
     (
-        4usize..10,                      // input side
+        4usize..10,                                              // input side
         prop_oneof![Just(3usize), Just(16), Just(64), Just(70)], // input channels
-        proptest::collection::vec(0u8..3, 0..3), // body layer picks
-        1usize..3,                       // fc count
+        proptest::collection::vec(0u8..3, 0..3),                 // body layer picks
+        1usize..3,                                               // fc count
     )
         .prop_map(|(side, c, body, fcs)| {
             let mut layers = Vec::new();

@@ -77,7 +77,8 @@ impl ConvAit {
     /// The paper's bound on the fraction of intrinsic AIT image-to-column
     /// can reach: `(|I|+|W|+|O|) / (2|U|+|W|+|O|)`.
     pub fn im2col_fraction(&self) -> f64 {
-        (self.input + self.weights + self.output) / (2.0 * self.unfolded + self.weights + self.output)
+        (self.input + self.weights + self.output)
+            / (2.0 * self.unfolded + self.weights + self.output)
     }
 }
 
@@ -102,7 +103,11 @@ mod tests {
 
     #[test]
     fn im2col_always_below_intrinsic() {
-        for (h, c, k) in [(14usize, 512usize, 512usize), (56, 128, 256), (112, 64, 128)] {
+        for (h, c, k) in [
+            (14usize, 512usize, 512usize),
+            (56, 128, 256),
+            (112, 64, 128),
+        ] {
             let s = Shape::hwc(h, h, c);
             let f = FilterShape::new(k, 3, 3, c);
             let a = ConvAit::full_precision(s, f);

@@ -186,7 +186,8 @@ mod tests {
     #[test]
     fn threshold_binarize_semantics() {
         let t = Tensor::from_vec(vec![0.5, -0.5, 3.0, 1.0], Shape::hwc(1, 1, 4), Layout::Nhwc);
-        let out = binarize_threshold_padded(&t, &[0.0, -1.0, 5.0, 1.0], &[false, true, false, false], 0);
+        let out =
+            binarize_threshold_padded(&t, &[0.0, -1.0, 5.0, 1.0], &[false, true, false, false], 0);
         assert_eq!(out.get(0, 0, 0), 1); // 0.5 >= 0
         assert_eq!(out.get(0, 0, 1), -1); // -0.5 >= -1 flipped
         assert_eq!(out.get(0, 0, 2), -1); // 3 < 5
@@ -197,7 +198,9 @@ mod tests {
     fn bn_fold_matches_explicit_bn_then_sign() {
         let mut rng = StdRng::seed_from_u64(132);
         let c = 32usize;
-        let gamma: Vec<f32> = (0..c).map(|_| rng.gen_range(0.1f32..2.0) * if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let gamma: Vec<f32> = (0..c)
+            .map(|_| rng.gen_range(0.1f32..2.0) * if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
         let beta: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let mean: Vec<f32> = (0..c).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
         let var: Vec<f32> = (0..c).map(|_| rng.gen_range(0.1f32..3.0)).collect();
@@ -217,8 +220,13 @@ mod tests {
 
     #[test]
     fn bn_fold_zero_scale_is_constant() {
-        let fold = fold_bn_into_thresholds(&[0.0, 0.0], &[1.0, -1.0], &[0.0, 0.0], &[1.0, 1.0], 0.0);
-        let t = Tensor::from_vec(vec![5.0, 5.0, -5.0, -5.0], Shape::hwc(2, 1, 2), Layout::Nhwc);
+        let fold =
+            fold_bn_into_thresholds(&[0.0, 0.0], &[1.0, -1.0], &[0.0, 0.0], &[1.0, 1.0], 0.0);
+        let t = Tensor::from_vec(
+            vec![5.0, 5.0, -5.0, -5.0],
+            Shape::hwc(2, 1, 2),
+            Layout::Nhwc,
+        );
         let out = binarize_threshold_padded(&t, &fold.thresholds, &fold.flip, 0);
         assert_eq!(out.get(0, 0, 0), 1);
         assert_eq!(out.get(0, 0, 1), -1);
@@ -230,7 +238,7 @@ mod tests {
     fn press_tail_invariant_held() {
         let mut rng = StdRng::seed_from_u64(133);
         let t = Tensor::random(Shape::hwc(2, 2, 65), Layout::Nhwc, &mut rng);
-        let out = binarize_threshold_padded(&t, &vec![0.0; 65], &vec![false; 65], 1);
+        let out = binarize_threshold_padded(&t, &vec![0.0; 65], &[false; 65], 1);
         assert!(out.tail_is_zero());
     }
 }

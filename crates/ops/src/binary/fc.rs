@@ -64,9 +64,13 @@ impl BinaryFcWeights {
             "input word count"
         );
         assert_eq!(out.len(), self.k, "output width");
-        out.par_iter_mut().enumerate().with_min_len(8).for_each(|(kk, o)| {
-            *o = bitflow_simd::binary_dot(level, input_words, self.packed.row(kk), self.n) as f32;
-        });
+        out.par_iter_mut()
+            .enumerate()
+            .with_min_len(8)
+            .for_each(|(kk, o)| {
+                *o = bitflow_simd::binary_dot(level, input_words, self.packed.row(kk), self.n)
+                    as f32;
+            });
     }
 }
 
@@ -79,11 +83,7 @@ pub fn binary_fc(level: SimdLevel, input: &[f32], weights: &BinaryFcWeights) -> 
 }
 
 /// Multi-threaded binary FC (output neurons over the installed pool).
-pub fn binary_fc_parallel(
-    level: SimdLevel,
-    input: &[f32],
-    weights: &BinaryFcWeights,
-) -> Vec<f32> {
+pub fn binary_fc_parallel(level: SimdLevel, input: &[f32], weights: &BinaryFcWeights) -> Vec<f32> {
     let pin = pack_input(input, weights.n);
     let mut out = vec![0.0f32; weights.k];
     bgemm_packed_parallel(level, &pin, &weights.packed, &mut out);
@@ -132,7 +132,9 @@ mod tests {
             let packed = BinaryFcWeights::pack(&weights, n, k);
             let got = binary_fc(SimdLevel::Avx512, &input, &packed);
             for kk in 0..k {
-                let want: f32 = (0..n).map(|i| sign(input[i]) * sign(weights[i * k + kk])).sum();
+                let want: f32 = (0..n)
+                    .map(|i| sign(input[i]) * sign(weights[i * k + kk]))
+                    .sum();
                 assert_eq!(got[kk], want, "n={n} k={k} kk={kk}");
             }
         }

@@ -22,8 +22,8 @@
 use crate::float::conv::im2col;
 use crate::params::ConvParams;
 use bitflow_gemm::pack::{pack_a_rows, PackedMatrix};
-use bitflow_simd::kernels::SimdLevel;
 use bitflow_simd::binary_dot;
+use bitflow_simd::kernels::SimdLevel;
 use bitflow_tensor::{FilterShape, Layout, Shape, Tensor};
 
 /// Packs the filter bank as rows of `kh·kw·C` bits, matching the unfolded
@@ -117,7 +117,9 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn rand_pm1(rng: &mut StdRng, n: usize) -> Vec<f32> {
-        (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+        (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect()
     }
 
     #[test]
@@ -144,7 +146,13 @@ mod tests {
         let fshape = FilterShape::new(3, 3, 3, 32);
         let input = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
         let weights = rand_pm1(&mut rng, fshape.numel());
-        let base = binary_conv_im2col(SimdLevel::Scalar, &input, &weights, fshape, ConvParams::VGG_CONV);
+        let base = binary_conv_im2col(
+            SimdLevel::Scalar,
+            &input,
+            &weights,
+            fshape,
+            ConvParams::VGG_CONV,
+        );
         for level in [SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
             let got = binary_conv_im2col(level, &input, &weights, fshape, ConvParams::VGG_CONV);
             assert_eq!(base.max_abs_diff(&got), 0.0, "{level}");

@@ -39,7 +39,11 @@ pub fn binary_max_pool_into(
 ) {
     let g = infer_pool(input.h(), input.w(), input.c(), kh, kw, stride);
     assert_eq!(out.c(), input.c(), "channel count");
-    assert_eq!(out.h(), g.out_h + 2 * out_pad, "output height incl. padding");
+    assert_eq!(
+        out.h(),
+        g.out_h + 2 * out_pad,
+        "output height incl. padding"
+    );
     assert_eq!(out.w(), g.out_w + 2 * out_pad, "output width incl. padding");
     let cw = input.c_words();
     for oy in 0..g.out_h {
@@ -124,7 +128,12 @@ mod tests {
             let t = rand_pm1_tensor(&mut rng, 8, 8, c);
             let want = max_pool(&t, ConvParams::VGG_POOL);
             let pressed = BitTensor::from_tensor(&t);
-            for level in [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for level in [
+                SimdLevel::Scalar,
+                SimdLevel::Sse,
+                SimdLevel::Avx2,
+                SimdLevel::Avx512,
+            ] {
                 let got = binary_max_pool(level, &pressed, 2, 2, 2).to_tensor();
                 assert_eq!(got.max_abs_diff(&want), 0.0, "c={c} {level}");
             }

@@ -208,7 +208,9 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn rand_pm1(rng: &mut StdRng, n: usize) -> Vec<f32> {
-        (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+        (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect()
     }
 
     /// Float reference with −1 padding: pre-pad the ±1 input with −1.0 and
@@ -241,7 +243,12 @@ mod tests {
     }
 
     fn levels() -> [SimdLevel; 4] {
-        [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512]
+        [
+            SimdLevel::Scalar,
+            SimdLevel::Sse,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ]
     }
 
     #[test]

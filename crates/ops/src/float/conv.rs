@@ -166,7 +166,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(60);
         let input = Tensor::random(Shape::hwc(6, 7, 5), Layout::Nhwc, &mut rng);
         let fshape = FilterShape::new(4, 3, 3, 5);
-        let weights: Vec<f32> = (0..fshape.numel()).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect();
+        let weights: Vec<f32> = (0..fshape.numel())
+            .map(|i| ((i % 13) as f32 - 6.0) / 6.0)
+            .collect();
         let params = ConvParams::new(3, 3, 1, 0);
         let a = conv_direct(&input, &weights, fshape, params);
         let b = conv_im2col(&input, &weights, fshape, params);
@@ -185,8 +187,9 @@ mod tests {
         ] {
             let input = Tensor::random(Shape::hwc(hw.0, hw.1, 3), Layout::Nhwc, &mut rng);
             let fshape = FilterShape::new(2, params.kh, params.kw, 3);
-            let weights: Vec<f32> =
-                (0..fshape.numel()).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect();
+            let weights: Vec<f32> = (0..fshape.numel())
+                .map(|i| ((i % 7) as f32 - 3.0) / 3.0)
+                .collect();
             let a = conv_direct(&input, &weights, fshape, params);
             let b = conv_im2col(&input, &weights, fshape, params);
             close(&a, &b, 1e-4);
@@ -198,7 +201,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(62);
         let input = Tensor::random(Shape::hwc(10, 10, 16), Layout::Nhwc, &mut rng);
         let fshape = FilterShape::new(8, 3, 3, 16);
-        let weights: Vec<f32> = (0..fshape.numel()).map(|i| ((i % 5) as f32 - 2.0) / 2.0).collect();
+        let weights: Vec<f32> = (0..fshape.numel())
+            .map(|i| ((i % 5) as f32 - 2.0) / 2.0)
+            .collect();
         let a = conv_im2col(&input, &weights, fshape, ConvParams::VGG_CONV);
         let b = conv_im2col_parallel(&input, &weights, fshape, ConvParams::VGG_CONV);
         close(&a, &b, 1e-4);

@@ -30,10 +30,13 @@ pub fn fc_parallel(input: &[f32], wt: &[f32], n: usize, k: usize) -> Vec<f32> {
     assert_eq!(input.len(), n);
     assert_eq!(wt.len(), n * k);
     let mut out = vec![0.0f32; k];
-    out.par_iter_mut().enumerate().with_min_len(8).for_each(|(ki, o)| {
-        let row = &wt[ki * n..(ki + 1) * n];
-        *o = input.iter().zip(row).map(|(a, b)| a * b).sum();
-    });
+    out.par_iter_mut()
+        .enumerate()
+        .with_min_len(8)
+        .for_each(|(ki, o)| {
+            let row = &wt[ki * n..(ki + 1) * n];
+            *o = input.iter().zip(row).map(|(a, b)| a * b).sum();
+        });
     out
 }
 

@@ -24,5 +24,5 @@ pub mod binary;
 pub mod float;
 pub mod params;
 
-pub use params::ConvParams;
 pub use bitflow_simd::kernels::SimdLevel;
+pub use params::ConvParams;

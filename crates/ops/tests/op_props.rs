@@ -25,11 +25,19 @@ fn pm1_tensor(seed: u64, h: usize, w: usize, c: usize) -> Tensor {
 fn pm1_weights(seed: u64, f: FilterShape) -> Vec<f32> {
     use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..f.numel()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+    (0..f.numel())
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
 }
 
 /// −1-padded float reference convolution.
-fn reference_conv(input: &Tensor, weights: &[f32], f: FilterShape, stride: usize, pad: usize) -> Tensor {
+fn reference_conv(
+    input: &Tensor,
+    weights: &[f32],
+    f: FilterShape,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let s = input.shape();
     let padded = Tensor::from_fn(
         Shape::hwc(s.h + 2 * pad, s.w + 2 * pad, s.c),

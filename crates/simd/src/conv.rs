@@ -46,9 +46,15 @@ fn window_3x3_1w(input: &[u64], filters: &[u64], g: WindowGeom, out: &mut [f32])
     debug_assert_eq!(g.kh, 3);
     let (i0, i1, i2) = (g.base, g.base + g.row_stride, g.base + 2 * g.row_stride);
     let a = [
-        input[i0], input[i0 + 1], input[i0 + 2], //
-        input[i1], input[i1 + 1], input[i1 + 2], //
-        input[i2], input[i2 + 1], input[i2 + 2],
+        input[i0],
+        input[i0 + 1],
+        input[i0 + 2], //
+        input[i1],
+        input[i1 + 1],
+        input[i1 + 2], //
+        input[i2],
+        input[i2 + 1],
+        input[i2 + 2],
     ];
     for (k, o) in out.iter_mut().enumerate() {
         let f = &filters[k * 9..k * 9 + 9];
@@ -250,7 +256,13 @@ unsafe fn window_avx512_lookup(input: &[u64], filters: &[u64], g: WindowGeom, ou
 /// Evaluates one convolution window against all K filters at the requested
 /// SIMD level, falling back to scalar when the level is unavailable.
 #[inline]
-pub fn conv_window(level: SimdLevel, input: &[u64], filters: &[u64], g: WindowGeom, out: &mut [f32]) {
+pub fn conv_window(
+    level: SimdLevel,
+    input: &[u64],
+    filters: &[u64],
+    g: WindowGeom,
+    out: &mut [f32],
+) {
     debug_assert!(g.base + (g.kh - 1) * g.row_stride + g.row_len <= input.len());
     debug_assert!(out.len() * g.kh * g.row_len <= filters.len());
     #[cfg(target_arch = "x86_64")]
@@ -321,8 +333,9 @@ mod tests {
             (3, 9, 30, 2),  // odd row_len: SSE pair tail + AVX-512 mask tail
             (2, 17, 50, 4), // tail > 8
         ] {
-            let input: Vec<u64> =
-                (0..row_stride * (kh + 2) + row_len).map(|_| rng.gen()).collect();
+            let input: Vec<u64> = (0..row_stride * (kh + 2) + row_len)
+                .map(|_| rng.gen())
+                .collect();
             let filters: Vec<u64> = (0..k * kh * row_len).map(|_| rng.gen()).collect();
             let g = WindowGeom {
                 base: 2,

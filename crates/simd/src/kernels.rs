@@ -493,8 +493,12 @@ mod tests {
         // Build two {−1,+1} vectors, pack manually, compare against i32 dot.
         let mut rng = StdRng::seed_from_u64(11);
         for n in [1usize, 5, 63, 64, 65, 200, 512, 700] {
-            let xs: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
-            let ys: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+            let xs: Vec<i32> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect();
+            let ys: Vec<i32> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect();
             let want: i32 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
             let pack = |v: &[i32]| -> Vec<u64> {
                 let mut words = vec![0u64; v.len().div_ceil(64)];
@@ -518,7 +522,10 @@ mod tests {
         assert_eq!(SimdLevel::Avx512.bits(), 512);
         assert!(SimdLevel::Scalar.available(crate::detect::HwFeatures::scalar_only()));
         assert!(!SimdLevel::Avx2.available(crate::detect::HwFeatures::scalar_only()));
-        assert_eq!(SimdLevel::best_for(crate::detect::HwFeatures::scalar_only()), SimdLevel::Scalar);
+        assert_eq!(
+            SimdLevel::best_for(crate::detect::HwFeatures::scalar_only()),
+            SimdLevel::Scalar
+        );
     }
 
     #[test]

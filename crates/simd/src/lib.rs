@@ -39,8 +39,8 @@
 
 pub mod conv;
 pub mod detect;
-pub mod pack;
 pub mod kernels;
+pub mod pack;
 pub mod popcount;
 pub mod scheduler;
 pub mod vec_u;

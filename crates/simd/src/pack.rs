@@ -31,13 +31,13 @@ pub unsafe fn pack_f32_avx512(src: &[f32], out: &mut [u64]) {
     assert_eq!(out.len(), src.len().div_ceil(64), "output word count");
     let zero = _mm512_setzero_ps();
     let full_words = src.len() / 64;
-    for wi in 0..full_words {
+    for (wi, word) in out.iter_mut().enumerate().take(full_words) {
         let base = src.as_ptr().add(wi * 64);
         let m0 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base), zero) as u64;
         let m1 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(16)), zero) as u64;
         let m2 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(32)), zero) as u64;
         let m3 = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(_mm512_loadu_ps(base.add(48)), zero) as u64;
-        out[wi] = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
+        *word = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
     }
     let rem = &src[full_words * 64..];
     if !rem.is_empty() {
@@ -107,7 +107,9 @@ mod tests {
                 return;
             }
             let mut rng = StdRng::seed_from_u64(21);
-            for len in [0usize, 1, 16, 17, 48, 63, 64, 65, 80, 127, 128, 129, 512, 999] {
+            for len in [
+                0usize, 1, 16, 17, 48, 63, 64, 65, 80, 127, 128, 129, 512, 999,
+            ] {
                 let src: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 let mut out = vec![0u64; len.div_ceil(64)];
                 // SAFETY: avx512f checked above.

@@ -74,7 +74,14 @@ pub fn infer_conv(
 }
 
 /// Shape inferer for pooling: window kh×kw with given stride, channels kept.
-pub fn infer_pool(h: usize, w: usize, c: usize, kh: usize, kw: usize, stride: usize) -> ConvGeometry {
+pub fn infer_pool(
+    h: usize,
+    w: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> ConvGeometry {
     assert!(kh <= h && kw <= w, "window larger than input");
     assert!(stride > 0, "stride must be positive");
     ConvGeometry {
@@ -119,11 +126,15 @@ impl VectorScheduler {
     /// Applies the paper's kernel-selection rules to a channel width.
     pub fn select(&self, c: usize) -> KernelChoice {
         let f = self.features;
-        let padded = c % 32 != 0;
+        let padded = !c.is_multiple_of(32);
         // We pack into u64 words, so pad to the next multiple of 64 whenever
         // padding is needed at all; for c ≡ 32 (mod 64) the top half of the
         // final word is a zero press-tail handled by the packing invariant.
-        let c_padded = if padded { c.div_ceil(PACK_BITS) * PACK_BITS } else { c };
+        let c_padded = if padded {
+            c.div_ceil(PACK_BITS) * PACK_BITS
+        } else {
+            c
+        };
         let c_words = c_padded.div_ceil(PACK_BITS);
         let level = Self::select_level(c_padded, f);
         KernelChoice {
@@ -137,11 +148,11 @@ impl VectorScheduler {
     fn select_level(c_bits: usize, f: HwFeatures) -> SimdLevel {
         // Paper rules, cascading to narrower ISAs when a width is not a
         // divisor or the ISA is absent.
-        if c_bits % 512 == 0 && f.avx512f {
+        if c_bits.is_multiple_of(512) && f.avx512f {
             SimdLevel::Avx512
-        } else if c_bits % 256 == 0 && f.avx2 {
+        } else if c_bits.is_multiple_of(256) && f.avx2 {
             SimdLevel::Avx2
-        } else if c_bits % 128 == 0 && f.sse2 {
+        } else if c_bits.is_multiple_of(128) && f.sse2 {
             SimdLevel::Sse
         } else {
             SimdLevel::Scalar
@@ -213,7 +224,14 @@ mod tests {
     #[test]
     fn padding_rule() {
         let s = VectorScheduler::with_features(full());
-        for (c, want_pad, want_c) in [(1usize, true, 64usize), (31, true, 64), (32, false, 32), (33, true, 64), (65, true, 128), (96, false, 96)] {
+        for (c, want_pad, want_c) in [
+            (1usize, true, 64usize),
+            (31, true, 64),
+            (32, false, 32),
+            (33, true, 64),
+            (65, true, 128),
+            (96, false, 96),
+        ] {
             let k = s.select(c);
             assert_eq!(k.padded, want_pad, "c={c}");
             assert_eq!(k.c_padded, want_c, "c={c}");

@@ -18,7 +18,10 @@ const LEVELS: [SimdLevel; 5] = [
 ];
 
 fn reference_pop(a: &[u64], b: &[u64]) -> u64 {
-    a.iter().zip(b).map(|(&x, &y)| popcount_swar(x ^ y) as u64).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| popcount_swar(x ^ y) as u64)
+        .sum()
 }
 
 proptest! {

@@ -202,9 +202,8 @@ impl BitTensor {
             return true;
         }
         let mask = !0u64 << (WORD_BITS - tail_bits);
-        (0..self.h).all(|h| {
-            (0..self.w).all(|w| self.pixel_words(h, w)[self.c_words - 1] & mask == 0)
-        })
+        (0..self.h)
+            .all(|h| (0..self.w).all(|w| self.pixel_words(h, w)[self.c_words - 1] & mask == 0))
     }
 }
 

@@ -70,7 +70,9 @@ mod tests {
     fn nchw_nhwc_round_trip() {
         let mut rng = StdRng::seed_from_u64(11);
         let shape = Shape::new(2, 3, 4, 5);
-        let data: Vec<f32> = (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f32> = (0..shape.numel())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let t = nchw_to_nhwc(&data, shape);
         assert_eq!(nhwc_to_nchw(&t), data);
     }

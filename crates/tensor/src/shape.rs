@@ -55,7 +55,12 @@ impl Shape {
 
     /// A flat vector shape (n=1, h=1, w=1), used for FC activations.
     pub const fn vec(c: usize) -> Self {
-        Self { n: 1, h: 1, w: 1, c }
+        Self {
+            n: 1,
+            h: 1,
+            w: 1,
+            c,
+        }
     }
 
     /// Total number of elements.

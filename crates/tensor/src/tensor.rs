@@ -212,11 +212,7 @@ mod tests {
 
     #[test]
     fn sign_maps_to_pm_one() {
-        let t = Tensor::from_vec(
-            vec![0.5, -0.5, 0.0, -7.0],
-            Shape::vec(4),
-            Layout::Nhwc,
-        );
+        let t = Tensor::from_vec(vec![0.5, -0.5, 0.0, -7.0], Shape::vec(4), Layout::Nhwc);
         assert_eq!(t.sign().data(), &[1.0, -1.0, 1.0, -1.0]);
     }
 

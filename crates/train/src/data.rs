@@ -184,7 +184,10 @@ pub fn textures(n: usize, flip_prob: f32, noise: f32, seed: u64) -> Dataset {
 /// destroy — the "ImageNet-difficulty" rung of the accuracy experiment
 /// uses `cell = 2`.
 pub fn textures_cell(n: usize, flip_prob: f32, noise: f32, seed: u64, cell: usize) -> Dataset {
-    assert!(cell > 0 && SIDE % cell == 0, "cell must divide SIDE");
+    assert!(
+        cell > 0 && SIDE.is_multiple_of(cell),
+        "cell must divide SIDE"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let pixels = SIDE * SIDE;
     let grid = SIDE / cell;
@@ -208,8 +211,8 @@ pub fn textures_cell(n: usize, flip_prob: f32, noise: f32, seed: u64, cell: usiz
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let class = i % NUM_CLASSES;
-        for p in 0..pixels {
-            let mut v = prototypes[class][p];
+        for &proto in &prototypes[class] {
+            let mut v = proto;
             if rng.gen::<f32>() < flip_prob {
                 v = -v;
             }

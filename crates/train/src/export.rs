@@ -147,11 +147,7 @@ mod tests {
     fn engine_predictions(net: &mut Network, data: &crate::data::Dataset) -> Vec<usize> {
         (0..data.len())
             .map(|i| {
-                let img = Tensor::from_vec(
-                    data.image(i).to_vec(),
-                    net.spec().input,
-                    Layout::Nhwc,
-                );
+                let img = Tensor::from_vec(data.image(i).to_vec(), net.spec().input, Layout::Nhwc);
                 let logits = net.infer(&img);
                 logits
                     .iter()

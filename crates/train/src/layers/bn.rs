@@ -96,8 +96,7 @@ impl BatchNorm {
                 *v /= per_feature as f32;
             }
             for f in 0..self.c {
-                self.running_mean[f] =
-                    (1.0 - self.ema) * self.running_mean[f] + self.ema * mean[f];
+                self.running_mean[f] = (1.0 - self.ema) * self.running_mean[f] + self.ema * mean[f];
                 self.running_var[f] = (1.0 - self.ema) * self.running_var[f] + self.ema * var[f];
             }
             (mean, var)
@@ -140,11 +139,11 @@ impl BatchNorm {
         let mut sum_gy_xhat = vec![0.0f32; self.c];
         for s in 0..self.cache_b {
             let gys = grad_out.sample(s);
-            for i in 0..sample_len {
+            for (i, &gy) in gys.iter().enumerate().take(sample_len) {
                 let f = self.feature_of(shape, i);
                 let xh = self.cache_xhat[s * sample_len + i];
-                sum_gy[f] += gys[i];
-                sum_gy_xhat[f] += gys[i] * xh;
+                sum_gy[f] += gy;
+                sum_gy_xhat[f] += gy * xh;
             }
         }
         for f in 0..self.c {
@@ -222,7 +221,11 @@ mod tests {
             let _ = bn.forward(&x, true);
         }
         let y = bn.forward(&Batch::new(vec![10.0], 1, SampleShape::Vec { n: 1 }), false);
-        assert!(y.data[0].abs() < 0.05, "mean input should map near 0, got {}", y.data[0]);
+        assert!(
+            y.data[0].abs() < 0.05,
+            "mean input should map near 0, got {}",
+            y.data[0]
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl Conv3x3 {
         let fan = (9 * c + 9 * k) as f32;
         let bound = (6.0 / fan).sqrt();
         Self {
-            w: (0..k * 9 * c).map(|_| rng.gen_range(-bound..bound)).collect(),
+            w: (0..k * 9 * c)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
             bias: vec![0.0; k],
             c,
             k,
@@ -231,7 +233,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(210);
         let (h, w, c, k) = (5usize, 4usize, 3usize, 2usize);
         let mut layer = Conv3x3::new(c, k, Mode::Float, &mut rng);
-        let data: Vec<f32> = (0..h * w * c).map(|i| ((i % 11) as f32 - 5.0) / 5.0).collect();
+        let data: Vec<f32> = (0..h * w * c)
+            .map(|i| ((i % 11) as f32 - 5.0) / 5.0)
+            .collect();
         let x = Batch::new(data.clone(), 1, SampleShape::Map { h, w, c });
         let y = layer.forward(&x);
         let t = Tensor::from_vec(data, Shape::hwc(h, w, c), Layout::Nhwc);
@@ -273,7 +277,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(212);
         let (h, w, c, k) = (3usize, 3usize, 2usize, 2usize);
         let mut layer = Conv3x3::new(c, k, Mode::Float, &mut rng);
-        let data: Vec<f32> = (0..h * w * c).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+        let data: Vec<f32> = (0..h * w * c)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0)
+            .collect();
         let x = Batch::new(data, 1, SampleShape::Map { h, w, c });
         let _ = layer.forward(&x);
         let ones = Batch::new(vec![1.0; h * w * k], 1, SampleShape::Map { h, w, c: k });

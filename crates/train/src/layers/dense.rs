@@ -62,8 +62,8 @@ impl Dense {
                 Mode::Float => {
                     for (kk, y) in ys.iter_mut().enumerate() {
                         let mut acc = self.bias[kk];
-                        for i in 0..self.n {
-                            acc += xs[i] * self.w[i * self.k + kk];
+                        for (i, &xv) in xs.iter().enumerate().take(self.n) {
+                            acc += xv * self.w[i * self.k + kk];
                         }
                         *y = acc;
                     }
@@ -71,8 +71,8 @@ impl Dense {
                 Mode::Binary => {
                     for (kk, y) in ys.iter_mut().enumerate() {
                         let mut acc = 0.0f32;
-                        for i in 0..self.n {
-                            acc += sign(xs[i]) * sign(self.w[i * self.k + kk]);
+                        for (i, &xv) in xs.iter().enumerate().take(self.n) {
+                            acc += sign(xv) * sign(self.w[i * self.k + kk]);
                         }
                         *y = acc;
                     }
@@ -177,7 +177,11 @@ mod tests {
             let fd = (yp - ym) / (2.0 * eps);
             match mode {
                 Mode::Float => {
-                    assert!((analytic[idx] - fd).abs() < 1e-2, "idx {idx}: {} vs {fd}", analytic[idx]);
+                    assert!(
+                        (analytic[idx] - fd).abs() < 1e-2,
+                        "idx {idx}: {} vs {fd}",
+                        analytic[idx]
+                    );
                 }
                 Mode::Binary => {
                     // sign() is flat almost everywhere: FD sees 0 unless the
@@ -203,7 +207,11 @@ mod tests {
     fn binary_forward_is_integer_counts() {
         let mut rng = StdRng::seed_from_u64(201);
         let mut layer = Dense::new(6, 2, Mode::Binary, &mut rng);
-        let x = Batch::new(vec![0.5, -0.5, 0.1, -0.1, 0.9, -0.9], 1, SampleShape::Vec { n: 6 });
+        let x = Batch::new(
+            vec![0.5, -0.5, 0.1, -0.1, 0.9, -0.9],
+            1,
+            SampleShape::Vec { n: 6 },
+        );
         let y = layer.forward(&x);
         for v in &y.data {
             assert_eq!(v.fract(), 0.0, "binary dense output must be integral");

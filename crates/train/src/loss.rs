@@ -13,9 +13,8 @@ pub fn softmax_cross_entropy(logits: &Batch, labels: &[usize]) -> (f32, Batch) {
     assert_eq!(labels.len(), logits.b, "one label per sample");
     let mut grad = Batch::zeros(logits.b, logits.shape);
     let mut total = 0.0f32;
-    for s in 0..logits.b {
+    for (s, &label) in labels.iter().enumerate() {
         let xs = logits.sample(s);
-        let label = labels[s];
         assert!(label < k, "label out of range");
         let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();

@@ -210,11 +210,9 @@ impl Model {
         let mut shape = self.input;
         for layer in &self.layers {
             shape = match (layer, shape) {
-                (ModelLayer::Conv(l), SampleShape::Map { h, w, .. }) => SampleShape::Map {
-                    h,
-                    w,
-                    c: l.k,
-                },
+                (ModelLayer::Conv(l), SampleShape::Map { h, w, .. }) => {
+                    SampleShape::Map { h, w, c: l.k }
+                }
                 (ModelLayer::Pool(_), SampleShape::Map { h, w, c }) => SampleShape::Map {
                     h: h / 2,
                     w: w / 2,

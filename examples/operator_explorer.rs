@@ -70,7 +70,11 @@ fn main() {
         if level == SimdLevel::Unvectorized {
             scalar_time = t;
         }
-        let marker = if level == pick.level { "  <- scheduled" } else { "" };
+        let marker = if level == pick.level {
+            "  <- scheduled"
+        } else {
+            ""
+        };
         println!(
             "{:<14} {:>10.2}ms {:>9.2}x{}",
             level.to_string(),

@@ -76,7 +76,10 @@ fn main() {
         engine_acc * 100.0,
         bin_acc * 100.0
     );
-    assert_eq!(engine_acc, bin_acc, "engine must reproduce the trained model");
+    assert_eq!(
+        engine_acc, bin_acc,
+        "engine must reproduce the trained model"
+    );
     println!(
         "\nmodel size through the engine: {:.1} KiB float -> {:.1} KiB packed",
         engine.float_model_bytes() as f64 / 1024.0,

@@ -18,7 +18,10 @@ fn main() {
         _ => vgg16(),
     };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("model: {} | input {} | host threads: {threads}", spec.name, spec.input);
+    println!(
+        "model: {} | input {} | host threads: {threads}",
+        spec.name, spec.input
+    );
 
     let mut rng = StdRng::seed_from_u64(7);
     println!("generating random weights (inference speed is weight-independent)…");
@@ -50,16 +53,23 @@ fn main() {
     println!("\nBitFlow end-to-end: {:.2} ms (best of 5)", best * 1e3);
 
     let gpu = GpuModel::gtx1080().network_time(&spec).as_secs_f64();
-    println!("GTX 1080 full-precision (calibrated model): {:.2} ms", gpu * 1e3);
+    println!(
+        "GTX 1080 full-precision (calibrated model): {:.2} ms",
+        gpu * 1e3
+    );
     println!(
         "paper reference (64-core Xeon Phi vs GTX 1080): {} ",
-        if spec.name == "VGG16" { "11.82 ms vs 12.87 ms" } else { "13.68 ms vs 14.92 ms" }
+        if spec.name == "VGG16" {
+            "11.82 ms vs 12.87 ms"
+        } else {
+            "13.68 ms vs 14.92 ms"
+        }
     );
 
     let (_, times) = engine.infer_profiled(&image);
     println!("\nslowest layers:");
     let mut sorted: Vec<_> = times.iter().collect();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (name, t) in sorted.iter().take(8) {
         println!("  {name:<16} {:>9.2} ms", t.as_secs_f64() * 1e3);
     }

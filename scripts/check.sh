@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command gate for PRs: formatting, lints, and the tier-1 tests.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # skip the release build (lints + debug tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "OK"

@@ -78,7 +78,10 @@ fn cmd_plan(name: &str) {
     };
     let plan = MemoryPlan::for_binary(&spec);
     println!("memory plan for {} (binary engine):", spec.name);
-    println!("{:<12} {:<12} {:>14} {:>12}", "producer", "kind", "logical elems", "bytes");
+    println!(
+        "{:<12} {:<12} {:>14} {:>12}",
+        "producer", "kind", "logical elems", "bytes"
+    );
     for b in &plan.buffers {
         println!(
             "{:<12} {:<12} {:>14} {:>12}",
@@ -194,7 +197,9 @@ fn main() {
         Some("plan") => cmd_plan(args.get(1).map(String::as_str).unwrap_or("vgg16")),
         Some("bench") => cmd_bench(
             args.get(1).map(String::as_str).unwrap_or("vgg16"),
-            args.get(2).and_then(|t| t.parse().ok()).unwrap_or(threads_default),
+            args.get(2)
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(threads_default),
         ),
         Some("train") => cmd_train(
             args.get(1).and_then(|e| e.parse().ok()).unwrap_or(10),

@@ -118,12 +118,8 @@ fn engine_matches_hand_chained_operators() {
     let bank = BitFilterBank::from_floats(&w_conv, fshape);
     let pressed = BitTensor::from_tensor_padded(&img, 1);
     let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
-    let signed = bitflow::ops::binary::binarize_threshold_padded(
-        &counts,
-        &vec![0.0; 128],
-        &vec![false; 128],
-        0,
-    );
+    let signed =
+        bitflow::ops::binary::binarize_threshold_padded(&counts, &vec![0.0; 128], &[false; 128], 0);
     let pooled = binary_max_pool(SimdLevel::Avx512, &signed, 2, 2, 2);
     let (w_fc, n, k) = match &weights.layers[2] {
         LayerWeights::Fc { w, n, k, .. } => (w.clone(), *n, *k),

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A functional wall-clock benchmark harness with the API surface this
+//! workspace's benches use: `Criterion::benchmark_group`, the
+//! `sample_size` / `measurement_time` / `warm_up_time` knobs,
+//! `bench_function` with `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It is deliberately simple — warm up for the configured time, then time
+//! batches until the measurement window closes, and report the median
+//! nanoseconds per iteration to stdout. No statistical outlier analysis,
+//! no HTML reports; the paper-figure numbers in this repo come from the
+//! dedicated `bitflow-bench` binaries, and these benches are for quick
+//! relative comparisons.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) or setting
+//! `BITFLOW_QUICK=1` runs every benchmark for a single iteration, just
+//! validating that it executes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. One per bench binary, created by `criterion_main!`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var("BITFLOW_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for untimed warm-up iterations.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+        } else if let Some(ns) = bencher.median_ns() {
+            println!("{}/{}: {} per iter", self.name, id, format_ns(ns));
+        } else {
+            println!("{}/{}: no samples", self.name, id);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (sample_budget / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        let measure_start = Instant::now();
+        while self.samples_ns.len() < self.sample_size
+            && measure_start.elapsed() < self.measurement_time * 2
+        {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples_ns.push(dt / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warmed = false;
+        while warm_start.elapsed() < self.warm_up_time || !warmed {
+            let input = setup();
+            black_box(routine(input));
+            warmed = true;
+        }
+        let measure_start = Instant::now();
+        while self.samples_ns.len() < self.sample_size
+            && measure_start.elapsed() < self.measurement_time * 2
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Hint for how expensive batched inputs are (ignored: every batch here is
+/// one input).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Input is cheap to hold many of.
+    SmallInput,
+    /// Input is large; set up one per measurement.
+    LargeInput,
+    /// Input per iteration.
+    PerIteration,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0usize;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_function("counts", |b| b.iter(|| count += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 1u32, |x| x + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        group.finish();
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of rayon's API the workspace uses, implemented with
+//! `std::thread::scope` fan-out instead of a work-stealing pool:
+//!
+//! * [`prelude`] with `par_chunks_mut` / `par_iter_mut` on slices, plus the
+//!   `enumerate` / `with_min_len` / `for_each` adaptors used on them;
+//! * [`ThreadPoolBuilder`] → [`ThreadPool::install`], which scopes the
+//!   thread count seen by [`current_num_threads`] (and therefore by every
+//!   parallel operation executed inside the closure);
+//! * [`current_num_threads`] and [`join`].
+//!
+//! Parallel operations here are *deterministic in output* by construction:
+//! work items are partitioned statically round-robin, each worker mutates
+//! only its own disjoint chunks, and no reduction order ever changes. Worker
+//! threads are spawned per call; for the coarse-grained kernels in this
+//! workspace (rows of GEMM output, output channels of a conv) the spawn cost
+//! is far below measurement noise, while still giving true multi-core
+//! scaling for the paper's thread-sweep figures.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations use on this thread: the installed
+/// pool size if inside [`ThreadPool::install`], else the machine
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| {
+        t.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here; kept for
+/// API compatibility with `.expect(..)` call sites).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a sized [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool size; 0 means machine parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool (infallible in this implementation).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A sized logical thread pool. Parallel operations executed inside
+/// [`ThreadPool::install`] fan out over this many OS threads.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let result = f();
+            t.set(prev);
+            result
+        })
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|scope| {
+            let ha = scope.spawn(a);
+            let rb = b();
+            (ha.join().expect("joined closure panicked"), rb)
+        })
+    }
+}
+
+/// Distributes `items` over the current thread count: each worker receives
+/// the items whose index ≡ worker-id (mod workers), preserving disjointness.
+/// `f` receives `(original_index, item)`.
+fn drive<T: Send, F: Fn(usize, T) + Sync>(items: Vec<T>, f: F) {
+    let threads = current_num_threads().max(1);
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    // Static round-robin partition: deterministic ownership, no shared
+    // mutable state between workers.
+    let mut per_worker: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        per_worker[i % workers].push((i, item));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for bucket in per_worker {
+            handles.push(scope.spawn(move || {
+                for (i, item) in bucket {
+                    f(i, item);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+/// Parallel iterator over mutable chunks of a slice
+/// (result of `par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> Enumerated<Self> {
+        Enumerated(self)
+    }
+
+    /// Lower bound on items per task — a load-balancing hint upstream;
+    /// partitioning here is already static, so it is a no-op.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every chunk, in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync + Send>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        drive(chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// Parallel iterator over mutable elements of a slice
+/// (result of `par_iter_mut`).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> Enumerated<Self> {
+        Enumerated(self)
+    }
+
+    /// Load-balancing hint; no-op under static partitioning.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every element, in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync + Send>(self, f: F) {
+        let items: Vec<&mut T> = self.slice.iter_mut().collect();
+        drive(items, |_, item| f(item));
+    }
+}
+
+/// Index-carrying wrapper produced by `enumerate`.
+pub struct Enumerated<I>(I);
+
+impl<'a, T: Send> Enumerated<ParChunksMut<'a, T>> {
+    /// Load-balancing hint; no-op under static partitioning.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every `(chunk_index, chunk)`, in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync + Send>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.0.slice.chunks_mut(self.0.chunk_size).collect();
+        drive(chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+impl<'a, T: Send> Enumerated<ParIterMut<'a, T>> {
+    /// Load-balancing hint; no-op under static partitioning.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every `(index, element)`, in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync + Send>(self, f: F) {
+        let items: Vec<&mut T> = self.0.slice.iter_mut().collect();
+        drive(items, |i, item| f((i, item)));
+    }
+}
+
+pub mod prelude {
+    //! Parallel-slice extension traits (subset of `rayon::prelude`).
+
+    use super::{ParChunksMut, ParIterMut};
+
+    /// `par_chunks_mut` / `par_iter_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel mutable chunks of `chunk_size` (last may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+
+        /// Parallel mutable elements.
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+            ParIterMut { slice: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element_once() {
+        let mut v = vec![0u64; 1000];
+        v.par_iter_mut()
+            .enumerate()
+            .with_min_len(8)
+            .for_each(|(i, x)| {
+                *x += i as u64;
+            });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_serially() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let mut v = [0usize; 17];
+        pool.install(|| {
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        });
+        assert_eq!(v[16], 16);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+}
