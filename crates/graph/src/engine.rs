@@ -25,6 +25,7 @@
 //! full-precision baseline engine (im2col conv + sgemm, float max-pool,
 //! sgemm FC).
 
+use crate::error::{BitFlowError, InputGeometry, SlotKind, SlotTypeError};
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use crate::weights::{LayerWeights, NetworkWeights};
 use bitflow_gemm::pack::PackedMatrix;
@@ -52,52 +53,64 @@ enum Slot {
 }
 
 impl Slot {
-    fn bit(&self) -> &BitTensor {
+    /// What this slot holds (diagnostic face of the enum).
+    fn kind(&self) -> SlotKind {
         match self {
-            Slot::Bit(t) => t,
-            _ => panic!("slot is not a BitTensor"),
+            Slot::Bit(_) => SlotKind::Bit,
+            Slot::Map(_) => SlotKind::Map,
+            Slot::Vec(_) => SlotKind::Vec,
+            Slot::Packed(_) => SlotKind::Packed,
         }
     }
-    fn bit_mut(&mut self) -> &mut BitTensor {
+    // The typed accessors: a mismatch yields the actual kind, and the
+    // operator dispatch turns it into a `SlotTypeError` carrying the layer
+    // name — one diagnosable path instead of eight anonymous panics.
+    fn bit(&self) -> Result<&BitTensor, SlotKind> {
         match self {
-            Slot::Bit(t) => t,
-            _ => panic!("slot is not a BitTensor"),
+            Slot::Bit(t) => Ok(t),
+            other => Err(other.kind()),
         }
     }
-    fn map(&self) -> &Tensor {
+    fn bit_mut(&mut self) -> Result<&mut BitTensor, SlotKind> {
         match self {
-            Slot::Map(t) => t,
-            _ => panic!("slot is not a float map"),
+            Slot::Bit(t) => Ok(t),
+            other => Err(other.kind()),
         }
     }
-    fn map_mut(&mut self) -> &mut Tensor {
+    fn map(&self) -> Result<&Tensor, SlotKind> {
         match self {
-            Slot::Map(t) => t,
-            _ => panic!("slot is not a float map"),
+            Slot::Map(t) => Ok(t),
+            other => Err(other.kind()),
         }
     }
-    fn vec(&self) -> &Vec<f32> {
+    fn map_mut(&mut self) -> Result<&mut Tensor, SlotKind> {
         match self {
-            Slot::Vec(v) => v,
-            _ => panic!("slot is not a float vector"),
+            Slot::Map(t) => Ok(t),
+            other => Err(other.kind()),
         }
     }
-    fn vec_mut(&mut self) -> &mut Vec<f32> {
+    fn vec(&self) -> Result<&Vec<f32>, SlotKind> {
         match self {
-            Slot::Vec(v) => v,
-            _ => panic!("slot is not a float vector"),
+            Slot::Vec(v) => Ok(v),
+            other => Err(other.kind()),
         }
     }
-    fn packed(&self) -> &PackedMatrix {
+    fn vec_mut(&mut self) -> Result<&mut Vec<f32>, SlotKind> {
         match self {
-            Slot::Packed(p) => p,
-            _ => panic!("slot is not a packed vector"),
+            Slot::Vec(v) => Ok(v),
+            other => Err(other.kind()),
         }
     }
-    fn packed_mut(&mut self) -> &mut PackedMatrix {
+    fn packed(&self) -> Result<&PackedMatrix, SlotKind> {
         match self {
-            Slot::Packed(p) => p,
-            _ => panic!("slot is not a packed vector"),
+            Slot::Packed(p) => Ok(p),
+            other => Err(other.kind()),
+        }
+    }
+    fn packed_mut(&mut self) -> Result<&mut PackedMatrix, SlotKind> {
+        match self {
+            Slot::Packed(p) => Ok(p),
+            other => Err(other.kind()),
         }
     }
     /// Approximate buffer size in bytes (for the memory plan).
@@ -108,6 +121,22 @@ impl Slot {
             Slot::Vec(v) => v.len() * 4,
             Slot::Packed(p) => p.bytes(),
         }
+    }
+}
+
+/// Logits plus the per-operator wall-clock times of the run that produced
+/// them.
+pub type ProfiledLogits = (Vec<f32>, Vec<(String, Duration)>);
+
+/// Attaches layer context to a slot-kind mismatch, making it a
+/// [`BitFlowError::SlotType`].
+fn slot_type(layer: &str, expected: SlotKind) -> impl FnOnce(SlotKind) -> BitFlowError + '_ {
+    move |actual| {
+        BitFlowError::SlotType(SlotTypeError {
+            layer: layer.to_string(),
+            expected,
+            actual,
+        })
     }
 }
 
@@ -254,23 +283,16 @@ impl InferenceContext {
 
 impl CompiledModel {
     /// Compiles a spec + weights into a ready engine (paper: all
-    /// "pre-processions to save run time cost" happen here).
-    ///
-    /// # Panics
-    /// If the last layer is not an FC (the engine emits logits), or if
-    /// weights are inconsistent with the spec.
-    pub fn compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Self {
-        assert_eq!(
-            spec.layers.len(),
-            weights.layers.len(),
-            "spec/weights layer count"
-        );
-        assert!(
-            matches!(spec.layers.last(), Some(LayerSpec::Fc { .. })),
-            "binary engine requires a final FC layer"
-        );
+    /// "pre-processions to save run time cost" happen here), reporting
+    /// every malformed spec, spec/weight disagreement, or unschedulable
+    /// kernel as a typed [`BitFlowError`] instead of panicking. Runs
+    /// [`NetworkSpec::validate`] and
+    /// [`NetworkWeights::validate_against`] first, so the build below
+    /// works on geometry-checked data only.
+    pub fn try_compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Result<Self, BitFlowError> {
+        let shapes = spec.validate()?;
+        weights.validate_against(spec, &shapes)?;
         let scheduler = VectorScheduler::new();
-        let shapes = spec.infer_shapes();
         let mut ops = Vec::new();
         let mut slot_specs = Vec::new();
 
@@ -304,7 +326,7 @@ impl CompiledModel {
             };
             match (layer, &weights.layers[i]) {
                 (LayerSpec::Conv { name, k, params }, LayerWeights::Conv { w, fshape, bn }) => {
-                    assert_eq!(*fshape, FilterShape::new(*k, params.kh, params.kw, in_c));
+                    debug_assert_eq!(*fshape, FilterShape::new(*k, params.kh, params.kw, in_c));
                     let bank = BitFilterBank::from_floats(w, *fshape);
                     let fold =
                         fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
@@ -330,7 +352,7 @@ impl CompiledModel {
                         thresholds: fold.thresholds,
                         flip: fold.flip,
                         stride: params.stride,
-                        level: scheduler.select(in_c).level,
+                        level: scheduler.try_select(in_c)?.level,
                         input: cur.bit_slot(),
                         scratch,
                         out,
@@ -355,7 +377,7 @@ impl CompiledModel {
                         kh: params.kh,
                         kw: params.kw,
                         stride: params.stride,
-                        level: scheduler.select(in_c).level,
+                        level: scheduler.try_select(in_c)?.level,
                         input: cur.bit_slot(),
                         out,
                         out_pad,
@@ -363,7 +385,7 @@ impl CompiledModel {
                     cur = CurSlot::Bit(out);
                 }
                 (LayerSpec::Fc { name, k }, LayerWeights::Fc { w, n, k: wk, bn }) => {
-                    assert_eq!(k, wk, "fc width mismatch");
+                    debug_assert_eq!(k, wk, "fc width mismatch");
                     let fc_in = match cur {
                         CurSlot::Bit(slot) => {
                             let (bh, bw, bc) = match slot_specs[slot] {
@@ -374,7 +396,7 @@ impl CompiledModel {
                             // word-tight (no press-tail gaps between
                             // pixels) and the buffer carries no padding.
                             let tight = bc % 64 == 0 || (bh == 1 && bw == 1);
-                            assert_eq!(bh * bw * bc, *n, "flatten width");
+                            debug_assert_eq!(bh * bw * bc, *n, "flatten width");
                             if tight {
                                 FcIn::Bit(slot)
                             } else {
@@ -423,18 +445,32 @@ impl CompiledModel {
                         cur = CurSlot::Packed(out);
                     }
                 }
-                (l, _) => panic!("spec/weights mismatch at layer {}", l.name()),
+                // validate_against() already rejected kind disagreements.
+                (l, _) => unreachable!("spec/weights mismatch at layer {}", l.name()),
             }
         }
 
         let logits_slot = slot_specs.len() - 1;
-        Self {
+        Ok(Self {
             spec: spec.clone(),
             ops,
             slot_specs,
             logits_slot,
             float_bytes: weights.float_bytes(),
             packed_bytes: weights.packed_bytes(),
+        })
+    }
+
+    /// Compiles a spec + weights into a ready engine (panicking wrapper
+    /// over [`CompiledModel::try_compile`] for trusted callers).
+    ///
+    /// # Panics
+    /// On any [`BitFlowError`] `try_compile` would report: malformed spec,
+    /// spec/weight disagreement, unschedulable kernel geometry.
+    pub fn compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Self {
+        match Self::try_compile(spec, weights) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -469,70 +505,178 @@ impl CompiledModel {
         self.new_context().activation_bytes()
     }
 
-    /// Runs inference in `ctx`; returns the logits. Allocation-free.
-    pub fn infer(&self, ctx: &mut InferenceContext, input: &Tensor) -> Vec<f32> {
-        assert_eq!(input.shape(), self.spec.input, "input shape");
-        assert_eq!(
-            ctx.slots.len(),
-            self.slot_specs.len(),
-            "context/model mismatch"
-        );
-        for i in 0..self.ops.len() {
-            self.run_op(&mut ctx.slots, ctx.parallel, i, input);
+    /// Checks one inference request against this model: input geometry,
+    /// finiteness, and context provenance. Everything [`Self::try_infer`]
+    /// needs to guarantee the operator chain below cannot fault.
+    fn check_request(&self, ctx: &InferenceContext, input: &Tensor) -> Result<(), InputGeometry> {
+        if input.shape() != self.spec.input {
+            return Err(InputGeometry::ShapeMismatch {
+                expected: self.spec.input,
+                actual: input.shape(),
+            });
         }
-        ctx.slots[self.logits_slot].vec().clone()
+        if let Some(index) = input.data().iter().position(|x| !x.is_finite()) {
+            return Err(InputGeometry::NonFinite { index });
+        }
+        if ctx.slots.len() != self.slot_specs.len() {
+            return Err(InputGeometry::ContextMismatch {
+                expected: self.slot_specs.len(),
+                actual: ctx.slots.len(),
+            });
+        }
+        Ok(())
     }
 
-    /// Runs inference with per-operator wall-clock timing.
+    /// Runs inference in `ctx`; returns the logits. Allocation-free.
+    /// Malformed requests (wrong input shape, NaN/Inf values, a context
+    /// from a different model) come back as typed errors before any
+    /// operator runs.
+    pub fn try_infer(
+        &self,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+    ) -> Result<Vec<f32>, BitFlowError> {
+        self.check_request(ctx, input)?;
+        for i in 0..self.ops.len() {
+            self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+        }
+        Ok(ctx.slots[self.logits_slot]
+            .vec()
+            .map_err(slot_type("logits", SlotKind::Vec))?
+            .clone())
+    }
+
+    /// Runs inference in `ctx`; returns the logits (panicking wrapper over
+    /// [`CompiledModel::try_infer`]).
+    ///
+    /// # Panics
+    /// On a malformed request (see [`crate::error::InputGeometry`]).
+    pub fn infer(&self, ctx: &mut InferenceContext, input: &Tensor) -> Vec<f32> {
+        match self.try_infer(ctx, input) {
+            Ok(logits) => logits,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs inference with per-operator wall-clock timing, with the same
+    /// error contract as [`CompiledModel::try_infer`].
+    pub fn try_infer_profiled(
+        &self,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+    ) -> Result<ProfiledLogits, BitFlowError> {
+        self.check_request(ctx, input)?;
+        let mut times = Vec::with_capacity(self.ops.len());
+        for i in 0..self.ops.len() {
+            let t0 = Instant::now();
+            self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+            times.push((self.ops[i].name().to_string(), t0.elapsed()));
+        }
+        let logits = ctx.slots[self.logits_slot]
+            .vec()
+            .map_err(slot_type("logits", SlotKind::Vec))?
+            .clone();
+        Ok((logits, times))
+    }
+
+    /// Runs inference with per-operator wall-clock timing (panicking
+    /// wrapper over [`CompiledModel::try_infer_profiled`]).
+    ///
+    /// # Panics
+    /// On a malformed request.
     pub fn infer_profiled(
         &self,
         ctx: &mut InferenceContext,
         input: &Tensor,
     ) -> (Vec<f32>, Vec<(String, Duration)>) {
-        assert_eq!(input.shape(), self.spec.input, "input shape");
-        assert_eq!(
-            ctx.slots.len(),
-            self.slot_specs.len(),
-            "context/model mismatch"
-        );
-        let mut times = Vec::with_capacity(self.ops.len());
-        for i in 0..self.ops.len() {
-            let t0 = Instant::now();
-            self.run_op(&mut ctx.slots, ctx.parallel, i, input);
-            times.push((self.ops[i].name().to_string(), t0.elapsed()));
+        match self.try_infer_profiled(ctx, input) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
-        (ctx.slots[self.logits_slot].vec().clone(), times)
     }
 
-    /// Runs a batch of images over the installed rayon pool: the batch is
-    /// split into contiguous chunks, each worker chunk gets its own
-    /// [`InferenceContext`], and every image runs the serial operator path
-    /// inside its worker. Images are independent, so the output is
-    /// bit-identical to calling [`CompiledModel::infer`] on each input in
-    /// order with a single context.
-    pub fn infer_batch(&self, inputs: &[Tensor]) -> Vec<Vec<f32>> {
+    /// Runs a batch of images over the installed rayon pool with
+    /// per-item results: the batch is split into contiguous chunks, each
+    /// worker chunk gets its own [`InferenceContext`], and every image runs
+    /// the serial operator path inside its worker.
+    ///
+    /// **Graceful degradation:** a malformed item (wrong shape, NaN) yields
+    /// its own `Err` without poisoning the rest of the batch — every other
+    /// item's logits are bit-identical to running it through
+    /// [`CompiledModel::try_infer`] serially. As a backstop, a panic inside
+    /// a worker is caught (`catch_unwind`), reported as
+    /// [`BitFlowError::Internal`] for that item only, and the worker's
+    /// session buffers are replaced before the next item runs.
+    pub fn try_infer_batch(&self, inputs: &[Tensor]) -> Vec<Result<Vec<f32>, BitFlowError>> {
         use rayon::prelude::*;
         if inputs.is_empty() {
             return Vec::new();
         }
         let threads = rayon::current_num_threads().max(1);
         let chunk = inputs.len().div_ceil(threads).max(1);
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); inputs.len()];
+        let mut out: Vec<Result<Vec<f32>, BitFlowError>> = Vec::with_capacity(inputs.len());
+        out.resize_with(inputs.len(), || {
+            Err(BitFlowError::Internal("item not reached".into()))
+        });
         out.par_chunks_mut(chunk)
             .enumerate()
             .for_each(|(ci, outs)| {
                 let mut ctx = self.new_context();
                 for (j, o) in outs.iter_mut().enumerate() {
-                    *o = self.infer(&mut ctx, &inputs[ci * chunk + j]);
+                    let input = &inputs[ci * chunk + j];
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.try_infer(&mut ctx, input)
+                    }));
+                    *o = match caught {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            // A panic may have left the session buffers
+                            // partially written — replace them so later
+                            // items stay bit-identical to serial runs.
+                            ctx = self.new_context();
+                            Err(BitFlowError::Internal(panic_message(&payload)))
+                        }
+                    };
                 }
             });
         out
     }
 
-    fn run_op(&self, slots: &mut [Slot], parallel: bool, i: usize, input: &Tensor) {
+    /// Runs a batch of images over the installed rayon pool (panicking
+    /// wrapper over [`CompiledModel::try_infer_batch`]). Images are
+    /// independent, so the output is bit-identical to calling
+    /// [`CompiledModel::infer`] on each input in order with a single
+    /// context.
+    ///
+    /// # Panics
+    /// If any item is a malformed request.
+    pub fn infer_batch(&self, inputs: &[Tensor]) -> Vec<Vec<f32>> {
+        self.try_infer_batch(inputs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(logits) => logits,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
+    }
+
+    fn run_op(
+        &self,
+        slots: &mut [Slot],
+        parallel: bool,
+        i: usize,
+        input: &Tensor,
+    ) -> Result<(), BitFlowError> {
+        let op_name = self.ops[i].name();
         match &self.ops[i] {
             RtOp::BinarizeInput { out, pad } => {
-                binarize_pack_into(input, slots[*out].bit_mut(), *pad);
+                binarize_pack_into(
+                    input,
+                    slots[*out]
+                        .bit_mut()
+                        .map_err(slot_type(op_name, SlotKind::Bit))?,
+                    *pad,
+                );
             }
             RtOp::ConvSign {
                 bank,
@@ -550,20 +694,32 @@ impl CompiledModel {
                     // Two-pass: parallel conv into float counts, then
                     // threshold-binarize into the padded output.
                     let (inp, scr) = two_slots(slots, *in_slot, *scratch);
-                    pressed_conv_parallel_into(*level, inp.bit(), bank, *stride, scr.map_mut());
+                    pressed_conv_parallel_into(
+                        *level,
+                        inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
+                        bank,
+                        *stride,
+                        scr.map_mut().map_err(slot_type(op_name, SlotKind::Map))?,
+                    );
                     let (scr, dst) = two_slots(slots, *scratch, *out);
-                    binarize_threshold_into(scr.map(), thresholds, flip, dst.bit_mut(), *out_pad);
+                    binarize_threshold_into(
+                        scr.map().map_err(slot_type(op_name, SlotKind::Map))?,
+                        thresholds,
+                        flip,
+                        dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
+                        *out_pad,
+                    );
                 } else {
                     // Fused single pass (conv + BN-threshold + sign + pack).
                     let (inp, dst) = two_slots(slots, *in_slot, *out);
                     pressed_conv_sign_into(
                         *level,
-                        inp.bit(),
+                        inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
                         bank,
                         *stride,
                         thresholds,
                         flip,
-                        dst.bit_mut(),
+                        dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
                         *out_pad,
                     );
                 }
@@ -581,11 +737,11 @@ impl CompiledModel {
                 let (inp, dst) = two_slots(slots, *in_slot, *out);
                 binary_max_pool_into(
                     *level,
-                    inp.bit(),
+                    inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
                     *kh,
                     *kw,
                     *stride,
-                    dst.bit_mut(),
+                    dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
                     *out_pad,
                 );
             }
@@ -594,7 +750,11 @@ impl CompiledModel {
                 out,
             } => {
                 let (inp, dst) = two_slots(slots, *in_slot, *out);
-                reflatten(inp.bit(), dst.packed_mut());
+                reflatten(
+                    inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
+                    dst.packed_mut()
+                        .map_err(slot_type(op_name, SlotKind::Packed))?,
+                );
             }
             RtOp::FcSign {
                 weights,
@@ -606,10 +766,17 @@ impl CompiledModel {
                 out,
                 ..
             } => {
-                run_fc_into(slots, *fc_in, weights, *level, *scratch, parallel);
+                run_fc_into(op_name, slots, *fc_in, weights, *level, *scratch, parallel)?;
                 let (scr, dst) = two_slots(slots, *scratch, *out);
-                let packed = dst.packed_mut();
-                pack_signed_thresholds(scr.vec(), thresholds, flip, packed.row_mut(0));
+                let packed = dst
+                    .packed_mut()
+                    .map_err(slot_type(op_name, SlotKind::Packed))?;
+                pack_signed_thresholds(
+                    scr.vec().map_err(slot_type(op_name, SlotKind::Vec))?,
+                    thresholds,
+                    flip,
+                    packed.row_mut(0),
+                );
             }
             RtOp::FcOut {
                 weights,
@@ -618,9 +785,10 @@ impl CompiledModel {
                 out,
                 ..
             } => {
-                run_fc_into(slots, *fc_in, weights, *level, *out, parallel);
+                run_fc_into(op_name, slots, *fc_in, weights, *level, *out, parallel)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -650,6 +818,19 @@ impl Network {
             ctx,
             parallel: false,
         }
+    }
+
+    /// Fallible variant of [`Network::compile`]: validates the spec and
+    /// the spec/weight agreement, returning a typed error instead of
+    /// panicking.
+    pub fn try_compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Result<Self, BitFlowError> {
+        let model = CompiledModel::try_compile(spec, weights)?;
+        let ctx = model.new_context();
+        Ok(Self {
+            model,
+            ctx,
+            parallel: false,
+        })
     }
 
     /// The shared, immutable half of this engine.
@@ -687,6 +868,13 @@ impl Network {
     pub fn infer(&mut self, input: &Tensor) -> Vec<f32> {
         self.ctx.parallel = self.parallel;
         self.model.infer(&mut self.ctx, input)
+    }
+
+    /// Fallible variant of [`Network::infer`]: malformed requests come
+    /// back as a typed [`BitFlowError`] instead of a panic.
+    pub fn try_infer(&mut self, input: &Tensor) -> Result<Vec<f32>, BitFlowError> {
+        self.ctx.parallel = self.parallel;
+        self.model.try_infer(&mut self.ctx, input)
     }
 
     /// Runs inference with per-operator wall-clock timing.
@@ -728,25 +916,46 @@ fn two_slots(slots: &mut [Slot], a: usize, b: usize) -> (&mut Slot, &mut Slot) {
 /// *is* the packed activation vector) or a packed vector, writing the K dot
 /// products into the vec slot `out`.
 fn run_fc_into(
+    op_name: &str,
     slots: &mut [Slot],
     fc_in: FcIn,
     weights: &BinaryFcWeights,
     level: SimdLevel,
     out: usize,
     parallel: bool,
-) {
+) -> Result<(), BitFlowError> {
     let in_slot = match fc_in {
         FcIn::Bit(s) | FcIn::Packed(s) => s,
     };
     let (inp, dst) = two_slots(slots, in_slot, out);
     let words: &[u64] = match fc_in {
-        FcIn::Bit(_) => inp.bit().words(),
-        FcIn::Packed(_) => inp.packed().row(0),
+        FcIn::Bit(_) => inp
+            .bit()
+            .map_err(slot_type(op_name, SlotKind::Bit))?
+            .words(),
+        FcIn::Packed(_) => inp
+            .packed()
+            .map_err(slot_type(op_name, SlotKind::Packed))?
+            .row(0),
     };
+    let dst = dst.vec_mut().map_err(slot_type(op_name, SlotKind::Vec))?;
     if parallel {
-        weights.forward_into_parallel(level, words, dst.vec_mut());
+        weights.forward_into_parallel(level, words, dst);
     } else {
-        weights.forward_into(level, words, dst.vec_mut());
+        weights.forward_into(level, words, dst);
+    }
+    Ok(())
+}
+
+/// Renders a `catch_unwind` payload as a message for
+/// [`BitFlowError::Internal`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -875,14 +1084,20 @@ impl FloatNetwork {
                     fshape,
                     params,
                 } => {
-                    let m = map.as_ref().expect("conv after FC");
+                    let m = match map.as_ref() {
+                        Some(m) => m,
+                        None => panic!("conv after FC"),
+                    };
                     let mut out = conv_im2col_parallel(m, w, *fshape, *params);
                     relu(&mut out);
                     map = Some(out);
                     times.push((name.clone(), t0.elapsed()));
                 }
                 FloatRt::Pool { name, params } => {
-                    let m = map.as_ref().expect("pool after FC");
+                    let m = match map.as_ref() {
+                        Some(m) => m,
+                        None => panic!("pool after FC"),
+                    };
                     map = Some(max_pool_parallel(m, *params));
                     times.push((name.clone(), t0.elapsed()));
                 }
@@ -913,12 +1128,18 @@ impl FloatNetwork {
                 }
             }
         }
-        (vec.expect("network must end with FC"), times)
+        let vec = match vec {
+            Some(v) => v,
+            None => panic!("network must end with FC"),
+        };
+        (vec, times)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::models::small_cnn;
     use rand::{rngs::StdRng, SeedableRng};

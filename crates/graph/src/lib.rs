@@ -24,7 +24,19 @@
 //! [`models`] provides VGG-16 / VGG-19 (paper Table IV geometry) and small
 //! test networks.
 
+//! ## Robustness contract
+//!
+//! The serving path is panic-free end to end: [`spec::NetworkSpec::validate`]
+//! → [`engine::CompiledModel::try_compile`] →
+//! [`engine::CompiledModel::try_infer`] /
+//! [`engine::CompiledModel::try_infer_batch`] report every failure as a
+//! typed [`error::BitFlowError`]. The panicking `compile`/`infer` APIs are
+//! thin wrappers over the `try_` variants for trusted callers (tests,
+//! benches, examples).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod engine;
+pub mod error;
 pub mod model_io;
 pub mod models;
 pub mod plan;
@@ -32,7 +44,8 @@ pub mod spec;
 pub mod weights;
 
 pub use engine::{CompiledModel, FloatNetwork, InferenceContext, Network};
-pub use model_io::{load_model, save_model};
+pub use error::{BitFlowError, InputGeometry, SlotKind, SlotTypeError, SpecError, WeightMismatch};
+pub use model_io::{load_model, save_model, ModelIoError};
 pub use models::{small_cnn, vgg16, vgg19};
 pub use spec::{LayerSpec, NetworkSpec};
 pub use weights::{LayerWeights, NetworkWeights};

@@ -1,11 +1,26 @@
 //! Model persistence: one self-describing binary container holding a
 //! [`NetworkSpec`] plus its [`NetworkWeights`].
 //!
-//! Format: `magic ("BTFM") | u32 header_len | JSON header | payload`, where
-//! the header is the spec plus per-layer payload descriptors and the
+//! Format (v2):
+//!
+//! ```text
+//! magic "BTFM" | u32 version | u32 header_len | u64 payload_len
+//!   | u64 fnv1a64(header ‖ payload) | JSON header | payload
+//! ```
+//!
+//! The header is the spec plus per-layer payload descriptors and the
 //! payload is raw little-endian `f32` runs (weights, then γ/β/μ/σ² for
 //! parametric layers). Keeps VGG-scale models loadable without a 2×-size
 //! JSON blow-up.
+//!
+//! [`decode_model`] is part of the panic-free serving path: every length
+//! field is bound-checked with overflow-safe arithmetic *before* any
+//! allocation is sized from it, a FNV-1a-64 checksum rejects bit-level
+//! corruption anywhere in the header or payload, and the decoded
+//! spec/weights pair is validated (shape inference + spec/weight
+//! agreement) before being returned — so a successfully decoded model is
+//! always safe to hand to
+//! [`CompiledModel::try_compile`](crate::engine::CompiledModel::try_compile).
 
 use crate::spec::NetworkSpec;
 use crate::weights::{BnParams, LayerWeights, NetworkWeights};
@@ -14,6 +29,12 @@ use serde::{Deserialize, Serialize};
 
 /// Container magic: "BTFM" (BitFlow model).
 pub const MODEL_MAGIC: u32 = 0x4254_464D;
+
+/// Container format version written by [`encode_model`].
+pub const MODEL_VERSION: u32 = 2;
+
+/// Fixed prefix: magic + version + header_len + payload_len + checksum.
+const PREFIX_LEN: usize = 4 + 4 + 4 + 8 + 8;
 
 /// Errors from decoding a model container.
 #[derive(Debug)]
@@ -24,6 +45,12 @@ pub enum ModelIoError {
     BadHeader(String),
     /// Payload shorter than the header promises.
     Truncated,
+    /// Integrity failure: checksum mismatch, trailing bytes, or a length
+    /// field that cannot describe a real buffer.
+    Corrupt(String),
+    /// The container decoded, but the spec/weights it carries are not a
+    /// servable model (failed validation).
+    Invalid(String),
     /// Underlying I/O error.
     Io(std::io::Error),
 }
@@ -34,6 +61,8 @@ impl std::fmt::Display for ModelIoError {
             ModelIoError::BadMagic => write!(f, "bad magic (not a BitFlow model)"),
             ModelIoError::BadHeader(e) => write!(f, "malformed model header: {e}"),
             ModelIoError::Truncated => write!(f, "model payload truncated"),
+            ModelIoError::Corrupt(e) => write!(f, "model container corrupt: {e}"),
+            ModelIoError::Invalid(e) => write!(f, "model failed validation: {e}"),
             ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -61,6 +90,19 @@ struct Header {
     layers: Vec<LayerDesc>,
 }
 
+/// FNV-1a 64-bit hash — the container's integrity check. Not
+/// cryptographic; it exists to turn accidental corruption (bit rot,
+/// truncated writes, bad transfers) into a typed decode error instead of
+/// garbage weights.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn push_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
     for &x in xs {
         buf.extend_from_slice(&x.to_le_bytes());
@@ -68,19 +110,50 @@ fn push_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
 }
 
 fn read_f32s(data: &[u8], off: &mut usize, n: usize) -> Result<Vec<f32>, ModelIoError> {
-    let need = n * 4;
-    if *off + need > data.len() {
+    let need = n
+        .checked_mul(4)
+        .ok_or_else(|| ModelIoError::Corrupt(format!("element count {n} overflows")))?;
+    let end = off
+        .checked_add(need)
+        .ok_or_else(|| ModelIoError::Corrupt("payload offset overflows".into()))?;
+    if end > data.len() {
         return Err(ModelIoError::Truncated);
     }
-    let out = data[*off..*off + need]
+    let out = data[*off..end]
         .chunks_exact(4)
         .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         .collect();
-    *off += need;
+    *off = end;
     Ok(out)
 }
 
+/// Element count a descriptor promises, with overflow-checked arithmetic
+/// (descriptors come straight from an untrusted header).
+fn desc_elems(desc: &LayerDesc) -> Result<usize, ModelIoError> {
+    let over = || ModelIoError::Corrupt("layer descriptor size overflows".into());
+    let checked_bn = |bn_c: usize| bn_c.checked_mul(4).ok_or_else(over);
+    match desc {
+        LayerDesc::Conv { fshape, bn_c } => {
+            let w = fshape
+                .k
+                .checked_mul(fshape.kh)
+                .and_then(|x| x.checked_mul(fshape.kw))
+                .and_then(|x| x.checked_mul(fshape.c))
+                .ok_or_else(over)?;
+            w.checked_add(checked_bn(*bn_c)?).ok_or_else(over)
+        }
+        LayerDesc::Fc { n, k, bn_c } => {
+            let w = n.checked_mul(*k).ok_or_else(over)?;
+            w.checked_add(checked_bn(*bn_c)?).ok_or_else(over)
+        }
+        LayerDesc::Pool => Ok(0),
+    }
+}
+
 /// Serializes a model to bytes.
+///
+/// # Panics
+/// If `spec` and `weights` disagree on layer count.
 pub fn encode_model(spec: &NetworkSpec, weights: &NetworkWeights) -> Vec<u8> {
     assert_eq!(spec.layers.len(), weights.layers.len(), "spec/weights");
     let descs: Vec<LayerDesc> = weights
@@ -103,44 +176,118 @@ pub fn encode_model(spec: &NetworkSpec, weights: &NetworkWeights) -> Vec<u8> {
         spec: spec.clone(),
         layers: descs,
     };
-    let header_json = serde_json::to_vec(&header).expect("header serializes");
-    let mut buf = Vec::with_capacity(header_json.len() + 16 + weights.float_bytes());
-    buf.extend_from_slice(&MODEL_MAGIC.to_le_bytes());
-    buf.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&header_json);
+    let header_json = match serde_json::to_vec(&header) {
+        Ok(j) => j,
+        // Header is a closed set of plain data types; serialization cannot
+        // fail short of a serde-shim bug.
+        Err(e) => unreachable!("header serialization failed: {e}"),
+    };
+    let mut body = Vec::with_capacity(header_json.len() + weights.float_bytes());
+    body.extend_from_slice(&header_json);
     for lw in &weights.layers {
         match lw {
             LayerWeights::Conv { w, bn, .. } | LayerWeights::Fc { w, bn, .. } => {
-                push_f32s(&mut buf, w);
-                push_f32s(&mut buf, &bn.gamma);
-                push_f32s(&mut buf, &bn.beta);
-                push_f32s(&mut buf, &bn.mean);
-                push_f32s(&mut buf, &bn.var);
+                push_f32s(&mut body, w);
+                push_f32s(&mut body, &bn.gamma);
+                push_f32s(&mut body, &bn.beta);
+                push_f32s(&mut body, &bn.mean);
+                push_f32s(&mut body, &bn.var);
             }
             LayerWeights::Pool => {}
         }
     }
+    let payload_len = (body.len() - header_json.len()) as u64;
+    let mut buf = Vec::with_capacity(PREFIX_LEN + body.len());
+    buf.extend_from_slice(&MODEL_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload_len.to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    buf.extend_from_slice(&body);
     buf
 }
 
 /// Deserializes a model from bytes.
+///
+/// Never panics and never sizes an allocation from an unchecked length
+/// field: any corruption — truncation, bit flips (caught by the
+/// checksum), inflated length fields, or a decoded model that fails
+/// validation — comes back as a typed [`ModelIoError`].
 pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelIoError> {
-    if data.len() < 8 || data[..4] != MODEL_MAGIC.to_le_bytes() {
+    if data.len() < 4 || data[..4] != MODEL_MAGIC.to_le_bytes() {
         return Err(ModelIoError::BadMagic);
     }
-    let hlen = u32::from_le_bytes([data[4], data[5], data[6], data[7]]) as usize;
-    if data.len() < 8 + hlen {
+    if data.len() < PREFIX_LEN {
         return Err(ModelIoError::Truncated);
     }
-    let header: Header = serde_json::from_slice(&data[8..8 + hlen])
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    if version != MODEL_VERSION {
+        return Err(ModelIoError::BadHeader(format!(
+            "unsupported container version {version} (expected {MODEL_VERSION})"
+        )));
+    }
+    let hlen = u32::from_le_bytes([data[8], data[9], data[10], data[11]]) as usize;
+    let plen = u64::from_le_bytes([
+        data[12], data[13], data[14], data[15], data[16], data[17], data[18], data[19],
+    ]);
+    let checksum = u64::from_le_bytes([
+        data[20], data[21], data[22], data[23], data[24], data[25], data[26], data[27],
+    ]);
+    // Bound-check the promised total size before touching the body. On a
+    // 32-bit target a u64 payload_len may not even fit in usize.
+    let plen = usize::try_from(plen)
+        .map_err(|_| ModelIoError::Corrupt("payload length exceeds address space".into()))?;
+    let body_len = hlen
+        .checked_add(plen)
+        .ok_or_else(|| ModelIoError::Corrupt("container size overflows".into()))?;
+    let total = PREFIX_LEN
+        .checked_add(body_len)
+        .ok_or_else(|| ModelIoError::Corrupt("container size overflows".into()))?;
+    if data.len() < total {
+        return Err(ModelIoError::Truncated);
+    }
+    if data.len() > total {
+        return Err(ModelIoError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            data.len() - total
+        )));
+    }
+    let body = &data[PREFIX_LEN..];
+    let actual = fnv1a64(body);
+    if actual != checksum {
+        return Err(ModelIoError::Corrupt(format!(
+            "checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
+        )));
+    }
+    let header: Header = serde_json::from_slice(&body[..hlen])
         .map_err(|e| ModelIoError::BadHeader(e.to_string()))?;
-    let mut off = 8 + hlen;
+    // Cross-check the descriptors against the payload length before
+    // allocating anything sized by them.
+    let mut promised = 0usize;
+    for desc in &header.layers {
+        promised = promised
+            .checked_add(desc_elems(desc)?)
+            .ok_or_else(|| ModelIoError::Corrupt("layer descriptor size overflows".into()))?;
+    }
+    let promised_bytes = promised
+        .checked_mul(4)
+        .ok_or_else(|| ModelIoError::Corrupt("layer descriptor size overflows".into()))?;
+    if promised_bytes > plen {
+        return Err(ModelIoError::Truncated);
+    }
+    if promised_bytes < plen {
+        return Err(ModelIoError::Corrupt(format!(
+            "payload is {plen} bytes but descriptors account for {promised_bytes}"
+        )));
+    }
+    let payload = &body[hlen..];
+    let mut off = 0usize;
     let mut layers = Vec::with_capacity(header.layers.len());
     for desc in &header.layers {
         let lw = match desc {
             LayerDesc::Conv { fshape, bn_c } => {
-                let w = read_f32s(data, &mut off, fshape.numel())?;
-                let bn = read_bn(data, &mut off, *bn_c)?;
+                let w = read_f32s(payload, &mut off, fshape.numel())?;
+                let bn = read_bn(payload, &mut off, *bn_c)?;
                 LayerWeights::Conv {
                     w,
                     fshape: *fshape,
@@ -148,8 +295,8 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
                 }
             }
             LayerDesc::Fc { n, k, bn_c } => {
-                let w = read_f32s(data, &mut off, n * k)?;
-                let bn = read_bn(data, &mut off, *bn_c)?;
+                let w = read_f32s(payload, &mut off, n * k)?;
+                let bn = read_bn(payload, &mut off, *bn_c)?;
                 LayerWeights::Fc {
                     w,
                     n: *n,
@@ -161,7 +308,17 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
         };
         layers.push(lw);
     }
-    Ok((header.spec, NetworkWeights { layers }))
+    let weights = NetworkWeights { layers };
+    // A decoded model must be servable: full shape inference plus
+    // spec/weight agreement, so downstream try_compile cannot fault.
+    let shapes = header
+        .spec
+        .validate()
+        .map_err(|e| ModelIoError::Invalid(e.to_string()))?;
+    weights
+        .validate_against(&header.spec, &shapes)
+        .map_err(|e| ModelIoError::Invalid(e.to_string()))?;
+    Ok((header.spec, weights))
 }
 
 fn read_bn(data: &[u8], off: &mut usize, c: usize) -> Result<BnParams, ModelIoError> {
@@ -192,6 +349,8 @@ pub fn load_model(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::models::{small_cnn, tiered_cnn};
     use rand::{rngs::StdRng, SeedableRng};
@@ -230,7 +389,7 @@ mod tests {
     fn rejects_bad_magic() {
         let spec = small_cnn();
         let mut rng = StdRng::seed_from_u64(10);
-        let weights = NetworkWeights::random(&spec, &mut rng);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
         let mut bytes = encode_model(&spec, &weights);
         bytes[0] ^= 0xFF;
         assert!(matches!(decode_model(&bytes), Err(ModelIoError::BadMagic)));
@@ -240,10 +399,52 @@ mod tests {
     fn rejects_truncated_payload() {
         let spec = small_cnn();
         let mut rng = StdRng::seed_from_u64(11);
-        let weights = NetworkWeights::random(&spec, &mut rng);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
         let bytes = encode_model(&spec, &weights);
         let cut = &bytes[..bytes.len() - 100];
         assert!(matches!(decode_model(cut), Err(ModelIoError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_payload_bit_flip_via_checksum() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(13);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let mut bytes = encode_model(&spec, &weights);
+        // Flip one bit deep in the f32 payload — without the checksum this
+        // would decode "successfully" into silently-wrong weights.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(ModelIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(14);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let mut bytes = encode_model(&spec, &weights);
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(ModelIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(15);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let mut bytes = encode_model(&spec, &weights);
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(ModelIoError::BadHeader(_))
+        ));
     }
 
     #[test]
@@ -251,7 +452,7 @@ mod tests {
         // Container overhead must be tiny relative to raw weights.
         let spec = small_cnn();
         let mut rng = StdRng::seed_from_u64(12);
-        let weights = NetworkWeights::random(&spec, &mut rng);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
         let bytes = encode_model(&spec, &weights);
         let raw = weights.float_bytes();
         assert!(

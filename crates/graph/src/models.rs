@@ -140,6 +140,8 @@ pub fn mlp(input_dim: usize, hidden: usize) -> NetworkSpec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::spec::LayerIo;
 

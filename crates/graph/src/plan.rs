@@ -132,6 +132,8 @@ fn pressed_bytes(h: usize, w: usize, c: usize, pad: usize) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::models::{small_cnn, vgg16};
     use crate::weights::NetworkWeights;

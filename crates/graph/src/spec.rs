@@ -1,6 +1,8 @@
 //! Network specifications: the static graph the engine compiles.
 
+use crate::error::SpecError;
 use bitflow_ops::ConvParams;
+use bitflow_simd::scheduler::VectorScheduler;
 use bitflow_tensor::Shape;
 use serde::{Deserialize, Serialize};
 
@@ -96,24 +98,103 @@ impl LayerIo {
     }
 }
 
+/// Checked element count of a layer boundary (`None` on overflow).
+fn checked_numel(io: LayerIo) -> Option<usize> {
+    match io {
+        LayerIo::Map { h, w, c } => h.checked_mul(w)?.checked_mul(c),
+        LayerIo::Vector { n } => Some(n),
+    }
+}
+
+/// Checked size of a pressed buffer of geometry (h, w, c) with symmetric
+/// spatial margin `pad`, in `u64` words (`None` on overflow). Mirrors what
+/// each [`crate::engine::InferenceContext`] allocates.
+fn checked_pressed_words(h: usize, w: usize, c: usize, pad: usize) -> Option<usize> {
+    let margin = pad.checked_mul(2)?;
+    h.checked_add(margin)?
+        .checked_mul(w.checked_add(margin)?)?
+        .checked_mul(c.div_ceil(64))
+}
+
 impl NetworkSpec {
-    /// Runs shape inference over the chain (the shape-inferer component of
-    /// the vector execution scheduler, applied network-wide). Returns the
-    /// output geometry of every layer, index-aligned with `self.layers`.
+    /// Validates the spec for the binary serving path: full shape inference
+    /// with overflow-checked arithmetic, chain-structure rules (no spatial
+    /// layer after FC, final layer is FC), and §III-B kernel-selectability
+    /// of every layer's channel width. Returns the output geometry of every
+    /// layer, index-aligned with `self.layers` — exactly what
+    /// [`NetworkSpec::infer_shapes`] returns on the happy path.
     ///
-    /// # Panics
-    /// On malformed chains (spatial layer after FC, windows that don't fit).
-    pub fn infer_shapes(&self) -> Vec<LayerIo> {
+    /// A spec that passes `validate` compiles and infers without error on
+    /// any hardware: a missing ISA only demotes the kernel choice (the
+    /// scheduler's cascade), never rejects the network.
+    pub fn validate(&self) -> Result<Vec<LayerIo>, SpecError> {
+        if self.layers.is_empty() {
+            return Err(SpecError::EmptyNetwork);
+        }
+        if self.input.n != 1 {
+            return Err(SpecError::Batch { n: self.input.n });
+        }
+        for (what, v) in [
+            ("input height", self.input.h),
+            ("input width", self.input.w),
+            ("input channels", self.input.c),
+        ] {
+            if v == 0 {
+                return Err(SpecError::ZeroDim {
+                    layer: "input".into(),
+                    what,
+                });
+            }
+        }
+        let scheduler = VectorScheduler::new();
+        let kernel_err = |layer: &str| {
+            let layer = layer.to_string();
+            move |source| SpecError::Kernel { layer, source }
+        };
+        let overflow = |layer: &str| SpecError::Overflow {
+            layer: layer.to_string(),
+        };
+        // The input buffer the engine allocates (padded for layer 0).
+        let in_pad = self.layers[0].input_pad();
+        checked_pressed_words(self.input.h, self.input.w, self.input.c, in_pad)
+            .ok_or_else(|| overflow("input"))?;
+
         let mut cur = LayerIo::Map {
             h: self.input.h,
             w: self.input.w,
             c: self.input.c,
         };
         let mut out = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let name = layer.name();
+            let out_pad = self.layers.get(i + 1).map_or(0, LayerSpec::input_pad);
             cur = match (layer, cur) {
-                (LayerSpec::Conv { k, params, .. }, LayerIo::Map { h, w, .. }) => {
-                    let g = params.conv_out(Shape::hwc(h, w, 1), *k);
+                (LayerSpec::Conv { k, params, .. }, LayerIo::Map { h, w, c }) => {
+                    if *k == 0 {
+                        return Err(SpecError::ZeroDim {
+                            layer: name.into(),
+                            what: "filter count",
+                        });
+                    }
+                    // Kernel selectability of the input channel width
+                    // (§III-B rules 1–5; rule 5 pads, so only zero and
+                    // overflow widths are unservable).
+                    scheduler.try_select(c).map_err(kernel_err(name))?;
+                    let g = params
+                        .try_conv_out(Shape::hwc(h, w, c), *k)
+                        .map_err(kernel_err(name))?;
+                    // Filter bank: k·kh·kw·c float weights, packed rows.
+                    k.checked_mul(params.kh)
+                        .and_then(|x| x.checked_mul(params.kw))
+                        .and_then(|x| x.checked_mul(c))
+                        .ok_or_else(|| overflow(name))?;
+                    // Scratch float counts + padded pressed output.
+                    g.out_h
+                        .checked_mul(g.out_w)
+                        .and_then(|x| x.checked_mul(*k))
+                        .ok_or_else(|| overflow(name))?;
+                    checked_pressed_words(g.out_h, g.out_w, *k, out_pad)
+                        .ok_or_else(|| overflow(name))?;
                     LayerIo::Map {
                         h: g.out_h,
                         w: g.out_w,
@@ -121,21 +202,65 @@ impl NetworkSpec {
                     }
                 }
                 (LayerSpec::Pool { params, .. }, LayerIo::Map { h, w, c }) => {
-                    let g = params.pool_out(Shape::hwc(h, w, c));
+                    scheduler.try_select(c).map_err(kernel_err(name))?;
+                    let g = params
+                        .try_pool_out(Shape::hwc(h, w, c))
+                        .map_err(kernel_err(name))?;
+                    checked_pressed_words(g.out_h, g.out_w, c, out_pad)
+                        .ok_or_else(|| overflow(name))?;
                     LayerIo::Map {
                         h: g.out_h,
                         w: g.out_w,
                         c,
                     }
                 }
-                (LayerSpec::Fc { k, .. }, _) => LayerIo::Vector { n: *k },
+                (LayerSpec::Fc { k, .. }, prev) => {
+                    if *k == 0 {
+                        return Err(SpecError::ZeroDim {
+                            layer: name.into(),
+                            what: "output width",
+                        });
+                    }
+                    // Flatten width and the N×K weight matrix must exist.
+                    let n = checked_numel(prev).ok_or_else(|| overflow(name))?;
+                    n.checked_mul(*k).ok_or_else(|| overflow(name))?;
+                    // Packed rows: k rows of ⌈n/64⌉ words.
+                    k.checked_mul(n.div_ceil(64))
+                        .ok_or_else(|| overflow(name))?;
+                    LayerIo::Vector { n: *k }
+                }
                 (l, LayerIo::Vector { .. }) => {
-                    panic!("spatial layer {} after FC", l.name())
+                    return Err(SpecError::SpatialAfterFc {
+                        layer: l.name().to_string(),
+                    })
                 }
             };
             out.push(cur);
         }
-        out
+        // The binary engine emits logits from a final FC layer. Checked
+        // last so mid-chain structure errors (spatial-after-FC) win.
+        match self.layers.last() {
+            Some(LayerSpec::Fc { .. }) => Ok(out),
+            Some(l) => Err(SpecError::LastLayerNotFc {
+                layer: l.name().to_string(),
+            }),
+            None => Err(SpecError::EmptyNetwork),
+        }
+    }
+
+    /// Runs shape inference over the chain (the shape-inferer component of
+    /// the vector execution scheduler, applied network-wide). Returns the
+    /// output geometry of every layer, index-aligned with `self.layers`.
+    /// Panicking wrapper over [`NetworkSpec::validate`] for the trusted
+    /// path (serving code uses `validate`).
+    ///
+    /// # Panics
+    /// On malformed chains (spatial layer after FC, windows that don't fit).
+    pub fn infer_shapes(&self) -> Vec<LayerIo> {
+        match self.validate() {
+            Ok(shapes) => shapes,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Input channel/vector width of layer `i` (what the scheduler's kernel
@@ -159,6 +284,8 @@ impl NetworkSpec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn toy() -> NetworkSpec {
@@ -218,5 +345,85 @@ mod tests {
             params: ConvParams::VGG_POOL,
         });
         let _ = spec.infer_shapes();
+    }
+
+    #[test]
+    fn validate_accepts_valid_chain_and_matches_infer_shapes() {
+        let spec = toy();
+        let shapes = spec.validate().expect("toy spec is valid");
+        assert_eq!(shapes, spec.infer_shapes());
+    }
+
+    #[test]
+    fn validate_rejects_hostile_specs_with_typed_errors() {
+        use crate::error::SpecError;
+
+        let mut empty = toy();
+        empty.layers.clear();
+        assert_eq!(empty.validate(), Err(SpecError::EmptyNetwork));
+
+        let mut zero_input = toy();
+        zero_input.input = Shape::hwc(0, 8, 16);
+        assert!(matches!(
+            zero_input.validate(),
+            Err(SpecError::ZeroDim { .. })
+        ));
+
+        let mut batched = toy();
+        batched.input = Shape::new(4, 8, 8, 16);
+        assert_eq!(batched.validate(), Err(SpecError::Batch { n: 4 }));
+
+        let mut fc_first = toy();
+        fc_first.layers.insert(
+            0,
+            LayerSpec::Fc {
+                name: "fc0".into(),
+                k: 32,
+            },
+        );
+        assert!(matches!(
+            fc_first.validate(),
+            Err(SpecError::SpatialAfterFc { .. })
+        ));
+
+        let mut no_head = toy();
+        no_head.layers.pop();
+        assert!(matches!(
+            no_head.validate(),
+            Err(SpecError::LastLayerNotFc { .. })
+        ));
+
+        let mut zero_stride = toy();
+        zero_stride.layers[0] = LayerSpec::Conv {
+            name: "conv1".into(),
+            k: 32,
+            params: ConvParams::new(3, 3, 0, 1),
+        };
+        assert!(matches!(
+            zero_stride.validate(),
+            Err(SpecError::Kernel { .. })
+        ));
+
+        let mut overflow_fc = toy();
+        overflow_fc.layers.push(LayerSpec::Fc {
+            name: "fc-huge".into(),
+            k: usize::MAX / 2,
+        });
+        // Pushed after the old head: spatial-after-FC does not apply (both
+        // are FC); the N×K weight count must overflow instead.
+        assert!(matches!(
+            overflow_fc.validate(),
+            Err(SpecError::Overflow { .. })
+        ));
+
+        let mut window_too_big = toy();
+        window_too_big.layers[1] = LayerSpec::Pool {
+            name: "pool1".into(),
+            params: ConvParams::new(64, 64, 2, 0),
+        };
+        assert!(matches!(
+            window_too_big.validate(),
+            Err(SpecError::Kernel { .. })
+        ));
     }
 }

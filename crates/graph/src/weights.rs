@@ -5,7 +5,8 @@
 //! paper's Table V compares the float form (what a full-precision VGG
 //! ships) against the packed form (what BitFlow ships).
 
-use crate::spec::{LayerSpec, NetworkSpec};
+use crate::error::WeightMismatch;
+use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use bitflow_tensor::FilterShape;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -167,6 +168,93 @@ impl NetworkWeights {
         self.layers.iter().map(LayerWeights::packed_bytes).sum()
     }
 
+    /// Checks that these weights can populate `spec` (whose `validate`
+    /// already produced `shapes`): layer counts and kinds line up, filter
+    /// banks and FC matrices have the spec's geometry, flat weight vectors
+    /// have the right length, and batch-norm statistics cover every output
+    /// channel. Any disagreement is a typed [`WeightMismatch`] — the
+    /// serving path surfaces it from
+    /// [`crate::engine::CompiledModel::try_compile`] instead of panicking.
+    pub fn validate_against(
+        &self,
+        spec: &NetworkSpec,
+        shapes: &[LayerIo],
+    ) -> Result<(), WeightMismatch> {
+        if spec.layers.len() != self.layers.len() {
+            return Err(WeightMismatch::LayerCount {
+                spec: spec.layers.len(),
+                weights: self.layers.len(),
+            });
+        }
+        let kind = |lw: &LayerWeights| match lw {
+            LayerWeights::Conv { .. } => "conv",
+            LayerWeights::Fc { .. } => "fc",
+            LayerWeights::Pool => "pool",
+        };
+        for (i, (layer, lw)) in spec.layers.iter().zip(&self.layers).enumerate() {
+            let name = layer.name();
+            let in_width = spec.input_width(i, shapes);
+            match (layer, lw) {
+                (LayerSpec::Conv { k, params, .. }, LayerWeights::Conv { w, fshape, bn }) => {
+                    let expected = FilterShape::new(*k, params.kh, params.kw, in_width);
+                    if *fshape != expected {
+                        return Err(WeightMismatch::FilterShape {
+                            layer: name.into(),
+                            expected,
+                            actual: *fshape,
+                        });
+                    }
+                    // Geometry was overflow-checked by spec.validate().
+                    let want = k * params.kh * params.kw * in_width;
+                    if w.len() != want {
+                        return Err(WeightMismatch::WeightLen {
+                            layer: name.into(),
+                            expected: want,
+                            actual: w.len(),
+                        });
+                    }
+                    check_bn(name, bn, *k)?;
+                }
+                (LayerSpec::Pool { .. }, LayerWeights::Pool) => {}
+                (LayerSpec::Fc { k, .. }, LayerWeights::Fc { w, n, k: wk, bn }) => {
+                    let want_n = if i == 0 {
+                        spec.input.numel()
+                    } else {
+                        shapes[i - 1].numel()
+                    };
+                    if (*n, *wk) != (want_n, *k) {
+                        return Err(WeightMismatch::FcGeometry {
+                            layer: name.into(),
+                            expected: (want_n, *k),
+                            actual: (*n, *wk),
+                        });
+                    }
+                    let want = want_n * k;
+                    if w.len() != want {
+                        return Err(WeightMismatch::WeightLen {
+                            layer: name.into(),
+                            expected: want,
+                            actual: w.len(),
+                        });
+                    }
+                    check_bn(name, bn, *k)?;
+                }
+                (l, lw) => {
+                    return Err(WeightMismatch::LayerKind {
+                        layer: l.name().into(),
+                        expected: match l {
+                            LayerSpec::Conv { .. } => "conv",
+                            LayerSpec::Pool { .. } => "pool",
+                            LayerSpec::Fc { .. } => "fc",
+                        },
+                        actual: kind(lw),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Flatten-order note: FC weights expect the producer's (h, w, c) NHWC
     /// flatten order; this helper returns the flattened input width of
     /// layer `i` for validation.
@@ -180,8 +268,24 @@ impl NetworkWeights {
     }
 }
 
+/// Batch-norm statistic lengths must cover every output channel.
+fn check_bn(layer: &str, bn: &BnParams, c: usize) -> Result<(), WeightMismatch> {
+    for len in [bn.gamma.len(), bn.beta.len(), bn.mean.len(), bn.var.len()] {
+        if len != c {
+            return Err(WeightMismatch::BnLen {
+                layer: layer.into(),
+                expected: c,
+                actual: len,
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use bitflow_ops::ConvParams;
     use bitflow_tensor::Shape;
@@ -242,6 +346,72 @@ mod tests {
         let fc = &w.layers[2];
         assert_eq!(fc.float_bytes() / fc.packed_bytes(), 32);
         assert!(w.float_bytes() > w.packed_bytes());
+    }
+
+    #[test]
+    fn validate_against_accepts_generated_weights() {
+        let spec = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let shapes = spec.validate().expect("valid spec");
+        assert_eq!(w.validate_against(&spec, &shapes), Ok(()));
+    }
+
+    #[test]
+    fn validate_against_catches_disagreements() {
+        let spec = toy();
+        let shapes = spec.validate().expect("valid spec");
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let mut short = NetworkWeights::random(&spec, &mut rng);
+        short.layers.pop();
+        assert!(matches!(
+            short.validate_against(&spec, &shapes),
+            Err(WeightMismatch::LayerCount { .. })
+        ));
+
+        let mut swapped = NetworkWeights::random(&spec, &mut rng);
+        swapped.layers.swap(1, 2);
+        assert!(matches!(
+            swapped.validate_against(&spec, &shapes),
+            Err(WeightMismatch::LayerKind { .. })
+        ));
+
+        let mut wrong_fshape = NetworkWeights::random(&spec, &mut rng);
+        if let LayerWeights::Conv { fshape, .. } = &mut wrong_fshape.layers[0] {
+            fshape.c += 1;
+        }
+        assert!(matches!(
+            wrong_fshape.validate_against(&spec, &shapes),
+            Err(WeightMismatch::FilterShape { .. })
+        ));
+
+        let mut truncated = NetworkWeights::random(&spec, &mut rng);
+        if let LayerWeights::Conv { w, .. } = &mut truncated.layers[0] {
+            w.pop();
+        }
+        assert!(matches!(
+            truncated.validate_against(&spec, &shapes),
+            Err(WeightMismatch::WeightLen { .. })
+        ));
+
+        let mut bad_bn = NetworkWeights::random(&spec, &mut rng);
+        if let LayerWeights::Fc { bn, .. } = &mut bad_bn.layers[2] {
+            bn.mean.pop();
+        }
+        assert!(matches!(
+            bad_bn.validate_against(&spec, &shapes),
+            Err(WeightMismatch::BnLen { .. })
+        ));
+
+        let mut wrong_n = NetworkWeights::random(&spec, &mut rng);
+        if let LayerWeights::Fc { n, .. } = &mut wrong_n.layers[2] {
+            *n += 64;
+        }
+        assert!(matches!(
+            wrong_n.validate_against(&spec, &shapes),
+            Err(WeightMismatch::FcGeometry { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Fault-injection harness for the serving path: hostile specs, malformed
+//! inference requests, and batch-degradation semantics. Everything here
+//! must surface as a typed [`BitFlowError`] — a panic is a failed test.
+
+use bitflow_graph::error::{BitFlowError, InputGeometry, SpecError};
+use bitflow_graph::models::small_cnn;
+use bitflow_graph::spec::{LayerSpec, NetworkSpec};
+use bitflow_graph::weights::NetworkWeights;
+use bitflow_graph::CompiledModel;
+use bitflow_ops::ConvParams;
+use bitflow_tensor::{Layout, Shape, Tensor};
+use rand::{rngs::StdRng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn compiled() -> (CompiledModel, Tensor) {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(42);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+    let model = match CompiledModel::try_compile(&spec, &weights) {
+        Ok(m) => m,
+        Err(e) => panic!("seed model must compile: {e}"),
+    };
+    (model, input)
+}
+
+fn conv(name: &str, k: usize) -> LayerSpec {
+    LayerSpec::Conv {
+        name: name.into(),
+        k,
+        params: ConvParams::VGG_CONV,
+    }
+}
+
+fn fc(name: &str, k: usize) -> LayerSpec {
+    LayerSpec::Fc {
+        name: name.into(),
+        k,
+    }
+}
+
+/// `try_compile` on a hostile spec must return `Err` without panicking.
+fn expect_spec_error(spec: NetworkSpec) -> SpecError {
+    let weights = NetworkWeights { layers: Vec::new() };
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        CompiledModel::try_compile(&spec, &weights)
+    }));
+    match r {
+        Ok(Err(BitFlowError::Spec(e))) => e,
+        Ok(Err(other)) => panic!("expected SpecError, got {other}"),
+        Ok(Ok(_)) => panic!("hostile spec compiled"),
+        Err(_) => panic!("try_compile panicked on hostile spec"),
+    }
+}
+
+#[test]
+fn zero_dimension_specs_are_rejected() {
+    let e = expect_spec_error(NetworkSpec {
+        name: "zero-input".into(),
+        input: Shape::hwc(0, 8, 3),
+        layers: vec![conv("c0", 8), fc("f0", 10)],
+    });
+    assert!(matches!(e, SpecError::ZeroDim { .. }), "{e}");
+
+    let e = expect_spec_error(NetworkSpec {
+        name: "zero-filters".into(),
+        input: Shape::hwc(8, 8, 3),
+        layers: vec![conv("c0", 0), fc("f0", 10)],
+    });
+    assert!(matches!(e, SpecError::ZeroDim { .. }), "{e}");
+}
+
+#[test]
+fn overflow_channel_specs_are_rejected() {
+    let e = expect_spec_error(NetworkSpec {
+        name: "overflow".into(),
+        input: Shape::hwc(8, 8, usize::MAX / 2),
+        layers: vec![conv("c0", 8), fc("f0", 10)],
+    });
+    assert!(
+        matches!(e, SpecError::Kernel { .. } | SpecError::Overflow { .. }),
+        "{e}"
+    );
+
+    let e = expect_spec_error(NetworkSpec {
+        name: "overflow-fc".into(),
+        input: Shape::hwc(4, 4, 3),
+        layers: vec![fc("f0", usize::MAX / 2), fc("f1", 10)],
+    });
+    assert!(matches!(e, SpecError::Overflow { .. }), "{e}");
+}
+
+#[test]
+fn spatial_after_fc_is_rejected() {
+    let e = expect_spec_error(NetworkSpec {
+        name: "conv-after-fc".into(),
+        input: Shape::hwc(8, 8, 3),
+        layers: vec![fc("f0", 32), conv("c1", 8), fc("f1", 10)],
+    });
+    assert!(matches!(e, SpecError::SpatialAfterFc { .. }), "{e}");
+}
+
+#[test]
+fn missing_fc_head_is_rejected() {
+    let e = expect_spec_error(NetworkSpec {
+        name: "no-head".into(),
+        input: Shape::hwc(8, 8, 3),
+        layers: vec![conv("c0", 8)],
+    });
+    assert!(matches!(e, SpecError::LastLayerNotFc { .. }), "{e}");
+
+    let e = expect_spec_error(NetworkSpec {
+        name: "empty".into(),
+        input: Shape::hwc(8, 8, 3),
+        layers: vec![],
+    });
+    assert_eq!(e, SpecError::EmptyNetwork);
+}
+
+#[test]
+fn oversized_kernel_is_rejected() {
+    let e = expect_spec_error(NetworkSpec {
+        name: "big-window".into(),
+        input: Shape::hwc(2, 2, 32),
+        layers: vec![
+            LayerSpec::Pool {
+                name: "p0".into(),
+                params: ConvParams {
+                    kh: 5,
+                    kw: 5,
+                    stride: 1,
+                    pad: 0,
+                },
+            },
+            fc("f0", 10),
+        ],
+    });
+    assert!(matches!(e, SpecError::Kernel { .. }), "{e}");
+}
+
+#[test]
+fn wrong_shape_input_is_a_typed_error() {
+    let (model, _) = compiled();
+    let mut ctx = model.new_context();
+    let mut rng = StdRng::seed_from_u64(7);
+    let bad = Tensor::random(Shape::hwc(5, 5, 3), Layout::Nhwc, &mut rng);
+    match model.try_infer(&mut ctx, &bad) {
+        Err(BitFlowError::InputGeometry(InputGeometry::ShapeMismatch { .. })) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_and_inf_inputs_are_typed_errors() {
+    let (model, good) = compiled();
+    let mut ctx = model.new_context();
+    for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut data = good.data().to_vec();
+        let mid = data.len() / 2;
+        data[mid] = poison;
+        let bad = Tensor::from_vec(data, good.shape(), Layout::Nhwc);
+        match model.try_infer(&mut ctx, &bad) {
+            Err(BitFlowError::InputGeometry(InputGeometry::NonFinite { index })) => {
+                assert_eq!(index, mid);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn context_from_another_model_is_a_typed_error() {
+    let (model, input) = compiled();
+    // A context for a different network has a different slot count.
+    let other_spec = NetworkSpec {
+        name: "other".into(),
+        input: Shape::hwc(8, 8, 3),
+        layers: vec![fc("f0", 10)],
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let other_weights = NetworkWeights::random_with_bn(&other_spec, &mut rng);
+    let other = match CompiledModel::try_compile(&other_spec, &other_weights) {
+        Ok(m) => m,
+        Err(e) => panic!("other model must compile: {e}"),
+    };
+    let mut foreign_ctx = other.new_context();
+    match model.try_infer(&mut foreign_ctx, &input) {
+        Err(BitFlowError::InputGeometry(InputGeometry::ContextMismatch { .. })) => {}
+        other => panic!("expected ContextMismatch, got {other:?}"),
+    }
+}
+
+/// One malformed item must not poison the batch: every other item's
+/// logits stay bit-identical to a serial run over a single context.
+#[test]
+fn bad_batch_item_degrades_gracefully() {
+    let (model, _) = compiled();
+    let mut rng = StdRng::seed_from_u64(11);
+    let shape = model.spec().input;
+    let mut inputs: Vec<Tensor> = (0..16)
+        .map(|_| Tensor::random(shape, Layout::Nhwc, &mut rng))
+        .collect();
+    // Poison two items in different worker chunks: one wrong shape, one NaN.
+    inputs[3] = Tensor::random(Shape::hwc(2, 2, 3), Layout::Nhwc, &mut rng);
+    let mut poisoned = inputs[12].data().to_vec();
+    poisoned[0] = f32::NAN;
+    inputs[12] = Tensor::from_vec(poisoned, shape, Layout::Nhwc);
+
+    let results = model.try_infer_batch(&inputs);
+    assert_eq!(results.len(), inputs.len());
+
+    // Serial oracle over one context.
+    let mut ctx = model.new_context();
+    for (i, (input, result)) in inputs.iter().zip(&results).enumerate() {
+        if i == 3 || i == 12 {
+            assert!(result.is_err(), "poisoned item {i} must fail");
+            continue;
+        }
+        let want = match model.try_infer(&mut ctx, input) {
+            Ok(l) => l,
+            Err(e) => panic!("serial oracle failed on good item {i}: {e}"),
+        };
+        match result {
+            Ok(got) => assert_eq!(got, &want, "item {i} diverged from serial inference"),
+            Err(e) => panic!("good item {i} failed: {e}"),
+        }
+    }
+
+    // The typed variants are the ones the injector planted.
+    assert!(matches!(
+        results[3],
+        Err(BitFlowError::InputGeometry(
+            InputGeometry::ShapeMismatch { .. }
+        ))
+    ));
+    assert!(matches!(
+        results[12],
+        Err(BitFlowError::InputGeometry(InputGeometry::NonFinite { .. }))
+    ));
+}
+
+/// An all-bad batch returns all errors, no panics, correct length.
+#[test]
+fn all_bad_batch_returns_all_errors() {
+    let (model, _) = compiled();
+    let mut rng = StdRng::seed_from_u64(13);
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::random(Shape::hwc(1, 1, 1), Layout::Nhwc, &mut rng))
+        .collect();
+    let results = model.try_infer_batch(&inputs);
+    assert_eq!(results.len(), 8);
+    assert!(results.iter().all(Result::is_err));
+}
+
+/// Empty batches are a no-op, not an edge-case crash.
+#[test]
+fn empty_batch_is_empty() {
+    let (model, _) = compiled();
+    assert!(model.try_infer_batch(&[]).is_empty());
+}

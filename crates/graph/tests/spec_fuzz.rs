@@ -4,7 +4,7 @@
 
 use bitflow_graph::spec::{LayerSpec, NetworkSpec};
 use bitflow_graph::weights::{LayerWeights, NetworkWeights};
-use bitflow_graph::Network;
+use bitflow_graph::{BitFlowError, CompiledModel, Network};
 use bitflow_ops::binary::{
     binarize_pack_padded, binarize_threshold_padded, binary_max_pool, fold_bn_into_thresholds,
     pressed_conv, BinaryFcWeights,
@@ -137,6 +137,61 @@ fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
         })
 }
 
+/// Anything-goes generator: unconstrained layer chains — zero dims, giant
+/// channel counts, padded pools, FC-before-conv, missing FC heads. Most
+/// outputs are invalid; some are servable. Validation must sort them.
+fn arb_hostile_spec() -> impl Strategy<Value = NetworkSpec> {
+    let side = prop_oneof![Just(0usize), 1usize..12, Just(16usize)];
+    let chan = prop_oneof![
+        Just(0usize),
+        Just(3usize),
+        Just(32usize),
+        Just(64usize),
+        Just(usize::MAX / 2),
+    ];
+    let conv = (0usize..66, 0usize..5, 0usize..4, 0usize..3).prop_map(|(k, kh, stride, pad)| {
+        LayerSpec::Conv {
+            name: "c".into(),
+            k,
+            params: ConvParams {
+                kh,
+                kw: kh,
+                stride,
+                pad,
+            },
+        }
+    });
+    let pool = (0usize..4, 0usize..4, 0usize..2).prop_map(|(kh, stride, pad)| LayerSpec::Pool {
+        name: "p".into(),
+        params: ConvParams {
+            kh,
+            kw: kh,
+            stride,
+            pad,
+        },
+    });
+    let fc =
+        prop_oneof![Just(0usize), 1usize..48, Just(usize::MAX / 2)].prop_map(|k| LayerSpec::Fc {
+            name: "f".into(),
+            k,
+        });
+    let layer = prop_oneof![conv, pool, fc];
+    (side, chan, proptest::collection::vec(layer, 0..5)).prop_map(|(side, c, mut layers)| {
+        for (i, l) in layers.iter_mut().enumerate() {
+            match l {
+                LayerSpec::Conv { name, .. } => *name = format!("c{i}"),
+                LayerSpec::Pool { name, .. } => *name = format!("p{i}"),
+                LayerSpec::Fc { name, .. } => *name = format!("f{i}"),
+            }
+        }
+        NetworkSpec {
+            name: "hostile".into(),
+            input: Shape::hwc(side, side, c),
+            layers,
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -161,5 +216,48 @@ proptest! {
             net.infer(&input)
         };
         prop_assert_eq!(par, serial);
+    }
+
+    /// The validate → compile → infer contract: a spec that passes
+    /// `validate()` must compile and serve cleanly, and a spec that fails
+    /// must be rejected by `try_compile` with exactly the same variant.
+    #[test]
+    fn validate_agrees_with_try_compile(spec in arb_hostile_spec(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        match spec.validate() {
+            Ok(shapes) => {
+                prop_assert!(!shapes.is_empty());
+                let mut rng = StdRng::seed_from_u64(seed);
+                let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+                let model = match CompiledModel::try_compile(&spec, &weights) {
+                    Ok(m) => m,
+                    Err(e) => return Err(TestCaseError::fail(format!(
+                        "validate() passed but try_compile rejected: {e}"
+                    ))),
+                };
+                let mut ctx = model.new_context();
+                let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+                let logits = match model.try_infer(&mut ctx, &input) {
+                    Ok(l) => l,
+                    Err(e) => return Err(TestCaseError::fail(format!(
+                        "validate() passed but try_infer failed: {e}"
+                    ))),
+                };
+                prop_assert!(logits.iter().all(|x| x.is_finite()));
+            }
+            Err(want) => {
+                // Weights are irrelevant: spec validation runs first.
+                let weights = NetworkWeights { layers: Vec::new() };
+                match CompiledModel::try_compile(&spec, &weights) {
+                    Err(BitFlowError::Spec(got)) => prop_assert_eq!(got, want),
+                    Err(other) => return Err(TestCaseError::fail(format!(
+                        "expected Spec({want}), got {other}"
+                    ))),
+                    Ok(_) => return Err(TestCaseError::fail(format!(
+                        "validate() rejected ({want}) but try_compile accepted"
+                    ))),
+                }
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Shared operator parameter types.
 
-use bitflow_simd::scheduler::{infer_conv, infer_pool, ConvGeometry};
+use bitflow_simd::scheduler::{try_infer_conv, try_infer_pool, ConvGeometry, UnsupportedKernel};
 use bitflow_tensor::Shape;
 use serde::{Deserialize, Serialize};
 
@@ -44,15 +44,44 @@ impl ConvParams {
         }
     }
 
-    /// Output geometry of a convolution with `k` filters over `input`.
-    pub fn conv_out(&self, input: Shape, k: usize) -> ConvGeometry {
-        infer_conv(input.h, input.w, k, self.kh, self.kw, self.stride, self.pad)
+    /// Output geometry of a convolution with `k` filters over `input`,
+    /// with every unschedulable geometry reported as a typed error.
+    pub fn try_conv_out(&self, input: Shape, k: usize) -> Result<ConvGeometry, UnsupportedKernel> {
+        try_infer_conv(input.h, input.w, k, self.kh, self.kw, self.stride, self.pad)
     }
 
-    /// Output geometry of a pool over `input`.
+    /// Output geometry of a convolution with `k` filters over `input`
+    /// (panicking wrapper over [`ConvParams::try_conv_out`]).
+    ///
+    /// # Panics
+    /// On an unschedulable geometry.
+    pub fn conv_out(&self, input: Shape, k: usize) -> ConvGeometry {
+        match self.try_conv_out(input, k) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Output geometry of a pool over `input`, with every unschedulable
+    /// geometry (including the unsupported padded-pool case) reported as a
+    /// typed error.
+    pub fn try_pool_out(&self, input: Shape) -> Result<ConvGeometry, UnsupportedKernel> {
+        if self.pad != 0 {
+            return Err(UnsupportedKernel::PoolPadding { pad: self.pad });
+        }
+        try_infer_pool(input.h, input.w, input.c, self.kh, self.kw, self.stride)
+    }
+
+    /// Output geometry of a pool over `input` (panicking wrapper over
+    /// [`ConvParams::try_pool_out`]).
+    ///
+    /// # Panics
+    /// On an unschedulable geometry or a non-zero pool padding.
     pub fn pool_out(&self, input: Shape) -> ConvGeometry {
-        assert_eq!(self.pad, 0, "pooling uses no padding in this engine");
-        infer_pool(input.h, input.w, input.c, self.kh, self.kw, self.stride)
+        match self.try_pool_out(input) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -76,5 +105,22 @@ mod tests {
     fn odd_input_pool_floors() {
         let g = ConvParams::VGG_POOL.pool_out(Shape::hwc(7, 7, 512));
         assert_eq!((g.out_h, g.out_w), (3, 3));
+    }
+
+    #[test]
+    fn fallible_geometry_reports_typed_errors() {
+        // Padded pooling is unsupported — typed, not a panic.
+        let padded_pool = ConvParams::new(2, 2, 2, 1);
+        assert_eq!(
+            padded_pool.try_pool_out(Shape::hwc(8, 8, 64)),
+            Err(UnsupportedKernel::PoolPadding { pad: 1 })
+        );
+        // Oversized kernels come back as values too.
+        let conv = ConvParams::new(5, 5, 1, 0);
+        assert!(matches!(
+            conv.try_conv_out(Shape::hwc(3, 3, 16), 8),
+            Err(UnsupportedKernel::KernelExceedsInput { .. })
+        ));
+        assert!(conv.try_conv_out(Shape::hwc(5, 5, 16), 8).is_ok());
     }
 }

@@ -47,4 +47,4 @@ pub mod vec_u;
 
 pub use detect::{features, HwFeatures};
 pub use kernels::{binary_dot, or_accumulate, xor_popcount};
-pub use scheduler::{KernelChoice, VectorScheduler};
+pub use scheduler::{KernelChoice, UnsupportedKernel, VectorScheduler};

@@ -25,6 +25,81 @@ use serde::{Deserialize, Serialize};
 /// Word size used for channel packing (we press into `u64`).
 pub const PACK_BITS: usize = 64;
 
+/// A geometry the kernel selector / shape inferer cannot schedule.
+///
+/// These are the typed forms of every precondition §III-B's scheduler
+/// imposes on an operator: the serving path surfaces them as errors
+/// *before* a kernel is dispatched instead of panicking mid-inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsupportedKernel {
+    /// Convolution kernel does not fit in the (padded) input.
+    KernelExceedsInput {
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Padded input height.
+        h: usize,
+        /// Padded input width.
+        w: usize,
+    },
+    /// Pooling window does not fit in the input.
+    WindowExceedsInput {
+        /// Window height.
+        kh: usize,
+        /// Window width.
+        kw: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// Stride of zero never advances.
+    ZeroStride,
+    /// A zero-sized dimension (no kernel operates on nothing).
+    ZeroDim {
+        /// Which dimension was zero.
+        what: &'static str,
+    },
+    /// Channel count so large that padding it to a packable multiple
+    /// overflows `usize` — no buffer of that size can exist.
+    ChannelOverflow {
+        /// The offending channel count.
+        c: usize,
+    },
+    /// Spatial pooling padding is not supported by this engine.
+    PoolPadding {
+        /// Requested padding.
+        pad: usize,
+    },
+}
+
+impl std::fmt::Display for UnsupportedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsupportedKernel::KernelExceedsInput { kh, kw, h, w } => {
+                write!(
+                    f,
+                    "kernel larger than padded input ({kh}x{kw} over {h}x{w})"
+                )
+            }
+            UnsupportedKernel::WindowExceedsInput { kh, kw, h, w } => {
+                write!(f, "window larger than input ({kh}x{kw} over {h}x{w})")
+            }
+            UnsupportedKernel::ZeroStride => write!(f, "stride must be positive"),
+            UnsupportedKernel::ZeroDim { what } => write!(f, "zero-sized {what}"),
+            UnsupportedKernel::ChannelOverflow { c } => {
+                write!(f, "channel count {c} overflows the packing arithmetic")
+            }
+            UnsupportedKernel::PoolPadding { pad } => {
+                write!(f, "pooling uses no padding in this engine (got pad={pad})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedKernel {}
+
 /// The kernel decision for one operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelChoice {
@@ -49,11 +124,59 @@ pub struct ConvGeometry {
     pub out_c: usize,
 }
 
-/// Shape inferer for convolution: input (h, w, c) with symmetric spatial
-/// padding `pad`, K filters of kh×kw, given stride.
+/// Fallible shape inferer for convolution: input (h, w, c) with symmetric
+/// spatial padding `pad`, K filters of kh×kw, given stride. Every geometry
+/// a kernel could not run on comes back as a typed [`UnsupportedKernel`].
+pub fn try_infer_conv(
+    h: usize,
+    w: usize,
+    k: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<ConvGeometry, UnsupportedKernel> {
+    if kh == 0 || kw == 0 {
+        return Err(UnsupportedKernel::ZeroDim { what: "kernel" });
+    }
+    if k == 0 {
+        return Err(UnsupportedKernel::ZeroDim {
+            what: "filter count",
+        });
+    }
+    if stride == 0 {
+        return Err(UnsupportedKernel::ZeroStride);
+    }
+    let margin = pad
+        .checked_mul(2)
+        .ok_or(UnsupportedKernel::ChannelOverflow { c: pad })?;
+    let (ph, pw) = (
+        h.checked_add(margin)
+            .ok_or(UnsupportedKernel::ChannelOverflow { c: h })?,
+        w.checked_add(margin)
+            .ok_or(UnsupportedKernel::ChannelOverflow { c: w })?,
+    );
+    if kh > ph || kw > pw {
+        return Err(UnsupportedKernel::KernelExceedsInput {
+            kh,
+            kw,
+            h: ph,
+            w: pw,
+        });
+    }
+    Ok(ConvGeometry {
+        out_h: (ph - kh) / stride + 1,
+        out_w: (pw - kw) / stride + 1,
+        out_c: k,
+    })
+}
+
+/// Shape inferer for convolution (panicking wrapper over
+/// [`try_infer_conv`], kept for callers on the trusted path).
 ///
 /// # Panics
-/// If the kernel does not fit in the padded input.
+/// If the kernel does not fit in the padded input or the geometry is
+/// otherwise unschedulable.
 pub fn infer_conv(
     h: usize,
     w: usize,
@@ -63,17 +186,45 @@ pub fn infer_conv(
     stride: usize,
     pad: usize,
 ) -> ConvGeometry {
-    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
-    assert!(kh <= ph && kw <= pw, "kernel larger than padded input");
-    assert!(stride > 0, "stride must be positive");
-    ConvGeometry {
-        out_h: (ph - kh) / stride + 1,
-        out_w: (pw - kw) / stride + 1,
-        out_c: k,
+    match try_infer_conv(h, w, k, kh, kw, stride, pad) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
     }
 }
 
-/// Shape inferer for pooling: window kh×kw with given stride, channels kept.
+/// Fallible shape inferer for pooling: window kh×kw with given stride,
+/// channels kept.
+pub fn try_infer_pool(
+    h: usize,
+    w: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> Result<ConvGeometry, UnsupportedKernel> {
+    if kh == 0 || kw == 0 {
+        return Err(UnsupportedKernel::ZeroDim { what: "window" });
+    }
+    if c == 0 {
+        return Err(UnsupportedKernel::ZeroDim { what: "channels" });
+    }
+    if stride == 0 {
+        return Err(UnsupportedKernel::ZeroStride);
+    }
+    if kh > h || kw > w {
+        return Err(UnsupportedKernel::WindowExceedsInput { kh, kw, h, w });
+    }
+    Ok(ConvGeometry {
+        out_h: (h - kh) / stride + 1,
+        out_w: (w - kw) / stride + 1,
+        out_c: c,
+    })
+}
+
+/// Shape inferer for pooling (panicking wrapper over [`try_infer_pool`]).
+///
+/// # Panics
+/// If the window does not fit or the geometry is unschedulable.
 pub fn infer_pool(
     h: usize,
     w: usize,
@@ -82,12 +233,9 @@ pub fn infer_pool(
     kw: usize,
     stride: usize,
 ) -> ConvGeometry {
-    assert!(kh <= h && kw <= w, "window larger than input");
-    assert!(stride > 0, "stride must be positive");
-    ConvGeometry {
-        out_h: (h - kh) / stride + 1,
-        out_w: (w - kw) / stride + 1,
-        out_c: c,
+    match try_infer_pool(h, w, c, kh, kw, stride) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -123,25 +271,44 @@ impl VectorScheduler {
         self.features
     }
 
-    /// Applies the paper's kernel-selection rules to a channel width.
-    pub fn select(&self, c: usize) -> KernelChoice {
+    /// Applies the paper's kernel-selection rules to a channel width,
+    /// rejecting widths no kernel can serve (zero, or so large that the
+    /// pad-to-packable rule overflows) instead of panicking.
+    pub fn try_select(&self, c: usize) -> Result<KernelChoice, UnsupportedKernel> {
+        if c == 0 {
+            return Err(UnsupportedKernel::ZeroDim { what: "channels" });
+        }
         let f = self.features;
         let padded = !c.is_multiple_of(32);
         // We pack into u64 words, so pad to the next multiple of 64 whenever
         // padding is needed at all; for c ≡ 32 (mod 64) the top half of the
         // final word is a zero press-tail handled by the packing invariant.
         let c_padded = if padded {
-            c.div_ceil(PACK_BITS) * PACK_BITS
+            c.div_ceil(PACK_BITS)
+                .checked_mul(PACK_BITS)
+                .ok_or(UnsupportedKernel::ChannelOverflow { c })?
         } else {
             c
         };
         let c_words = c_padded.div_ceil(PACK_BITS);
         let level = Self::select_level(c_padded, f);
-        KernelChoice {
+        Ok(KernelChoice {
             level,
             c_padded,
             c_words,
             padded,
+        })
+    }
+
+    /// Applies the paper's kernel-selection rules to a channel width
+    /// (panicking wrapper over [`VectorScheduler::try_select`]).
+    ///
+    /// # Panics
+    /// On a channel width no kernel can serve (see [`UnsupportedKernel`]).
+    pub fn select(&self, c: usize) -> KernelChoice {
+        match self.try_select(c) {
+            Ok(k) => k,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -267,9 +434,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "kernel larger")]
-    fn oversized_kernel_rejected() {
-        let _ = infer_conv(2, 2, 1, 3, 3, 1, 0);
+    fn oversized_kernel_rejected_with_typed_error() {
+        // Once a panic, now a value: the serving path matches on this.
+        assert_eq!(
+            try_infer_conv(2, 2, 1, 3, 3, 1, 0),
+            Err(UnsupportedKernel::KernelExceedsInput {
+                kh: 3,
+                kw: 3,
+                h: 2,
+                w: 2,
+            })
+        );
+        // Padding that makes the kernel fit turns the same call Ok.
+        assert!(try_infer_conv(2, 2, 1, 3, 3, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn hostile_geometries_are_typed_errors() {
+        assert_eq!(
+            try_infer_conv(8, 8, 4, 3, 3, 0, 1),
+            Err(UnsupportedKernel::ZeroStride)
+        );
+        assert_eq!(
+            try_infer_conv(8, 8, 4, 0, 3, 1, 1),
+            Err(UnsupportedKernel::ZeroDim { what: "kernel" })
+        );
+        assert_eq!(
+            try_infer_conv(8, 8, 0, 3, 3, 1, 1),
+            Err(UnsupportedKernel::ZeroDim {
+                what: "filter count"
+            })
+        );
+        assert_eq!(
+            try_infer_pool(4, 4, 16, 8, 8, 2),
+            Err(UnsupportedKernel::WindowExceedsInput {
+                kh: 8,
+                kw: 8,
+                h: 4,
+                w: 4,
+            })
+        );
+        assert_eq!(
+            try_infer_pool(4, 4, 0, 2, 2, 2),
+            Err(UnsupportedKernel::ZeroDim { what: "channels" })
+        );
+        // Overflow-sized paddings must not wrap around.
+        assert!(try_infer_conv(usize::MAX, 8, 4, 3, 3, 1, 1).is_err());
+    }
+
+    #[test]
+    fn try_select_rejects_zero_and_overflow_widths() {
+        let s = VectorScheduler::with_features(full());
+        assert_eq!(
+            s.try_select(0),
+            Err(UnsupportedKernel::ZeroDim { what: "channels" })
+        );
+        assert_eq!(
+            s.try_select(usize::MAX - 1),
+            Err(UnsupportedKernel::ChannelOverflow { c: usize::MAX - 1 })
+        );
+        assert_eq!(s.try_select(512).map(|k| k.level), Ok(SimdLevel::Avx512));
     }
 
     #[test]
