@@ -117,4 +117,22 @@ fn main() {
         rows.push(row);
     }
     write_json("throughput", &rows);
+
+    // Post-sweep telemetry snapshot: enabling telemetry only now keeps the
+    // timed rows above on the zero-overhead path, then one more batch
+    // populates the per-operator histograms and queue gauges.
+    model.enable_telemetry();
+    for r in model.try_infer_batch(&inputs) {
+        r.expect("telemetry batch inference");
+    }
+    let snapshot = model.metrics_snapshot().expect("telemetry enabled above");
+    if let Some(hot) = snapshot.hottest_op() {
+        eprintln!(
+            "[telemetry] hottest operator: {} (p95 {:.1} µs over {} calls)",
+            hot.name,
+            hot.p95_ns as f64 / 1e3,
+            hot.calls
+        );
+    }
+    write_json("throughput_telemetry", &snapshot);
 }

@@ -69,9 +69,20 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
-/// True when `--quick` was passed or `BITFLOW_QUICK=1` — shrinks spatial
-/// dimensions 4× for smoke runs.
+/// True when quick (smoke-run) mode is requested. This is the single place
+/// that defines quick-mode activation for every bench binary:
+///
+/// * `--quick` on the command line, or
+/// * `BITFLOW_QUICK=1`, or
+/// * `BITFLOW_BENCH_QUICK=1` (alias; convenient when a wrapper such as
+///   `scripts/check.sh` wants to force quick mode for the whole workspace
+///   without colliding with other tools' `*_QUICK` flags).
+///
+/// Quick mode shrinks workloads (spatial dims 4×, VGG-16 → small CNN,
+/// shorter measurement budgets); the exact reduction is each binary's
+/// choice, the trigger is defined here.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
         || std::env::var("BITFLOW_QUICK").is_ok_and(|v| v == "1")
+        || std::env::var("BITFLOW_BENCH_QUICK").is_ok_and(|v| v == "1")
 }

@@ -36,6 +36,7 @@ pub use bitflow_gpumodel as gpumodel;
 pub use bitflow_graph as graph;
 pub use bitflow_ops as ops;
 pub use bitflow_simd as simd;
+pub use bitflow_telemetry as telemetry;
 pub use bitflow_tensor as tensor;
 
 /// Everything a typical user needs, one import away.
@@ -51,6 +52,9 @@ pub mod prelude {
     };
     pub use bitflow_ops::{ConvParams, SimdLevel};
     pub use bitflow_simd::{features, HwFeatures, VectorScheduler};
+    pub use bitflow_telemetry::{
+        JsonLinesSink, MetricsSnapshot, ModelTelemetry, NoopSink, RequestTrace, RingSink, SpanSink,
+    };
     pub use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
 }
 

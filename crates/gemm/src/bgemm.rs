@@ -74,7 +74,42 @@ fn bgemm_block(
 /// kernel calls per chunk — is identical for every thread count. A multiple
 /// of 4 keeps every full chunk on the unrolled quad path of
 /// [`bgemm_block`].
-const PAR_K_CHUNK: usize = 32;
+pub const PAR_K_CHUNK: usize = 32;
+
+/// Micro-kernel tile geometry of one bgemm call with M×K outputs reducing
+/// over N bits, in the paper's convention (N = reduction / vector axis,
+/// K = output / multi-core axis). Pure arithmetic over the problem shape —
+/// telemetry uses it to attach tile stats to GEMM-backed operators without
+/// touching the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BgemmTileStats {
+    /// M dimension (rows / output pixels).
+    pub m: usize,
+    /// K dimension (output columns / neurons).
+    pub k: usize,
+    /// N (reduction) dimension in packed 64-bit words.
+    pub n_words: usize,
+    /// Full 4-way-unrolled quads per output row in [`bgemm_block`].
+    pub quads: usize,
+    /// Remainder outputs per row on the non-unrolled tail.
+    pub tail: usize,
+    /// Output-column chunk granted to each parallel task
+    /// ([`PAR_K_CHUNK`]).
+    pub par_k_chunk: usize,
+}
+
+/// Tile geometry for a serial bgemm of `m`×`k` outputs over `n` reduction
+/// bits.
+pub fn tile_stats(m: usize, n: usize, k: usize) -> BgemmTileStats {
+    BgemmTileStats {
+        m,
+        k,
+        n_words: n.div_ceil(64),
+        quads: k / 4,
+        tail: k % 4,
+        par_k_chunk: PAR_K_CHUNK,
+    }
+}
 
 /// Multi-threaded binary GEMM: output columns (K) are distributed over the
 /// installed rayon pool in contiguous chunks — the paper's multi-core

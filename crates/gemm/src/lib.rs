@@ -23,6 +23,8 @@ pub mod bgemm;
 pub mod pack;
 pub mod sgemm;
 
-pub use bgemm::{bgemm_f32, bgemm_packed, bgemm_packed_parallel};
+pub use bgemm::{
+    bgemm_f32, bgemm_packed, bgemm_packed_parallel, tile_stats, BgemmTileStats, PAR_K_CHUNK,
+};
 pub use pack::{pack_a_rows, pack_b_fused, pack_b_fused_columnwise, pack_b_staged, PackedMatrix};
 pub use sgemm::{sgemm_naive, sgemm_opt, sgemm_parallel};

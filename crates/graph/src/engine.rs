@@ -32,12 +32,17 @@ use bitflow_gemm::pack::PackedMatrix;
 use bitflow_gemm::sgemm::transpose;
 use bitflow_ops::binary::{
     binarize_pack_into, binarize_threshold_into, binary_max_pool_into, fold_bn_into_thresholds,
-    pressed_conv_parallel_into, pressed_conv_sign_into, BinaryFcWeights,
+    pressed_conv_parallel_into, pressed_conv_sign_scratch_into, BinaryFcWeights,
 };
 use bitflow_ops::float::{conv_im2col_parallel, fc_parallel, max_pool_parallel, relu};
 use bitflow_simd::kernels::SimdLevel;
 use bitflow_simd::scheduler::VectorScheduler;
+use bitflow_telemetry::{
+    MetricsSnapshot, ModelTelemetry, OpCost, OpDescriptor, OpKind, OpSpan, RequestTrace, SpanSink,
+    TileStats,
+};
 use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A pre-allocated runtime buffer.
@@ -254,6 +259,11 @@ pub struct CompiledModel {
     logits_slot: usize,
     float_bytes: usize,
     packed_bytes: usize,
+    /// Telemetry is opt-in per model: empty until
+    /// [`CompiledModel::enable_telemetry`], after which every serving
+    /// thread records into the shared handle. The disabled cost is one
+    /// `OnceLock::get` pointer check per request.
+    telemetry: OnceLock<Arc<ModelTelemetry>>,
 }
 
 // Compile-enforced: an `Arc<CompiledModel>` must be usable from any thread.
@@ -458,6 +468,7 @@ impl CompiledModel {
             logits_slot,
             float_bytes: weights.float_bytes(),
             packed_bytes: weights.packed_bytes(),
+            telemetry: OnceLock::new(),
         })
     }
 
@@ -505,6 +516,123 @@ impl CompiledModel {
         self.new_context().activation_bytes()
     }
 
+    /// Enables per-operator telemetry with the default no-op span sink
+    /// (metrics on, request tracing off) and returns the shared handle.
+    /// Idempotent: once enabled, later calls return the existing handle.
+    pub fn enable_telemetry(&self) -> Arc<ModelTelemetry> {
+        self.telemetry
+            .get_or_init(|| Arc::new(ModelTelemetry::new(&self.spec.name, self.op_descriptors())))
+            .clone()
+    }
+
+    /// Enables telemetry with an explicit span sink. If telemetry was
+    /// already enabled the existing handle is returned and `sink` is
+    /// dropped — the first caller wins.
+    pub fn enable_telemetry_with_sink(&self, sink: Box<dyn SpanSink>) -> Arc<ModelTelemetry> {
+        self.telemetry
+            .get_or_init(|| {
+                Arc::new(ModelTelemetry::with_sink(
+                    &self.spec.name,
+                    self.op_descriptors(),
+                    sink,
+                ))
+            })
+            .clone()
+    }
+
+    /// The telemetry handle, if [`CompiledModel::enable_telemetry`] ran.
+    pub fn telemetry(&self) -> Option<&Arc<ModelTelemetry>> {
+        self.telemetry.get()
+    }
+
+    /// Point-in-time copy of every telemetry counter, or `None` while
+    /// telemetry is disabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.telemetry.get().map(|t| t.snapshot())
+    }
+
+    /// Builds the static per-operator cost model: for each runtime op, how
+    /// many effective xor+popcount bit-operations one call performs, how
+    /// many bytes it moves, and (for GEMM-backed ops) the bgemm tile shape.
+    /// Pure geometry — computed once here so the serving hot path records
+    /// nothing but latency.
+    fn op_descriptors(&self) -> Vec<OpDescriptor> {
+        self.ops
+            .iter()
+            .map(|op| {
+                let (kind, cost) = match op {
+                    RtOp::BinarizeInput { out, .. } => (
+                        OpKind::Binarize,
+                        OpCost {
+                            bit_ops: 0,
+                            bytes_read: (self.spec.input.numel() * 4) as u64,
+                            bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                            tile: None,
+                        },
+                    ),
+                    RtOp::ConvSign {
+                        bank,
+                        input,
+                        out,
+                        out_pad,
+                        ..
+                    } => {
+                        let f = bank.shape();
+                        let cw = bank.c_words();
+                        let (oh, ow) = match self.slot_specs[*out] {
+                            SlotSpec::Bit { h, w, .. } => (h - 2 * out_pad, w - 2 * out_pad),
+                            _ => (0, 0),
+                        };
+                        // One output element = one binary dot over the
+                        // kh·kw window of pressed words; every evaluated
+                        // bit position costs one xor + one
+                        // popcount-accumulate.
+                        let window_bits = (f.kh * f.kw * cw * 64) as u64;
+                        (
+                            OpKind::Conv,
+                            OpCost {
+                                bit_ops: 2 * (oh * ow * f.k) as u64 * window_bits,
+                                bytes_read: (slot_bytes(&self.slot_specs[*input])
+                                    + f.k * f.kh * f.kw * cw * 8)
+                                    as u64,
+                                bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                                tile: None,
+                            },
+                        )
+                    }
+                    RtOp::Pool { input, out, .. } => (
+                        OpKind::Pool,
+                        OpCost {
+                            bit_ops: 0,
+                            bytes_read: slot_bytes(&self.slot_specs[*input]) as u64,
+                            bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                            tile: None,
+                        },
+                    ),
+                    RtOp::Reflatten { input, out } => (
+                        OpKind::Flatten,
+                        OpCost {
+                            bit_ops: 0,
+                            bytes_read: slot_bytes(&self.slot_specs[*input]) as u64,
+                            bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                            tile: None,
+                        },
+                    ),
+                    RtOp::FcSign { weights, out, .. } => (
+                        OpKind::Fc,
+                        (fc_cost(weights, Some(slot_bytes(&self.slot_specs[*out])))),
+                    ),
+                    RtOp::FcOut { weights, .. } => (OpKind::FcOut, fc_cost(weights, None)),
+                };
+                OpDescriptor {
+                    name: op.name().to_string(),
+                    kind,
+                    cost,
+                }
+            })
+            .collect()
+    }
+
     /// Checks one inference request against this model: input geometry,
     /// finiteness, and context provenance. Everything [`Self::try_infer`]
     /// needs to guarantee the operator chain below cannot fault.
@@ -527,23 +655,65 @@ impl CompiledModel {
         Ok(())
     }
 
-    /// Runs inference in `ctx`; returns the logits. Allocation-free.
-    /// Malformed requests (wrong input shape, NaN/Inf values, a context
-    /// from a different model) come back as typed errors before any
-    /// operator runs.
+    /// Runs inference in `ctx`; returns the logits. Allocation-free apart
+    /// from the returned logits vector. Malformed requests (wrong input
+    /// shape, NaN/Inf values, a context from a different model) come back
+    /// as typed errors before any operator runs.
     pub fn try_infer(
         &self,
         ctx: &mut InferenceContext,
         input: &Tensor,
     ) -> Result<Vec<f32>, BitFlowError> {
         self.check_request(ctx, input)?;
-        for i in 0..self.ops.len() {
-            self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+        match self.telemetry.get() {
+            None => {
+                for i in 0..self.ops.len() {
+                    self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+                }
+            }
+            Some(t) => self.run_ops_recorded(t, ctx, input)?,
         }
         Ok(ctx.slots[self.logits_slot]
             .vec()
             .map_err(slot_type("logits", SlotKind::Vec))?
             .clone())
+    }
+
+    /// The telemetry-enabled operator loop: identical op sequence to the
+    /// plain loop, plus one `Instant` pair and a few relaxed atomics per
+    /// op. A [`RequestTrace`] is built only when the sink asks for traces,
+    /// keeping the metrics-only path allocation-free.
+    fn run_ops_recorded(
+        &self,
+        t: &ModelTelemetry,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+    ) -> Result<(), BitFlowError> {
+        let request_id = t.next_request_id();
+        let tracing = t.tracing_enabled();
+        let mut spans = Vec::new();
+        let t_request = Instant::now();
+        for i in 0..self.ops.len() {
+            let t0 = Instant::now();
+            self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+            let ns = t0.elapsed().as_nanos() as u64;
+            t.record_op(i, ns);
+            if tracing {
+                spans.push(OpSpan {
+                    op_index: i as u64,
+                    name: self.ops[i].name().to_string(),
+                    duration_ns: ns,
+                });
+            }
+        }
+        if tracing {
+            t.record_request(&RequestTrace {
+                request_id,
+                total_ns: t_request.elapsed().as_nanos() as u64,
+                spans,
+            });
+        }
+        Ok(())
     }
 
     /// Runs inference in `ctx`; returns the logits (panicking wrapper over
@@ -614,6 +784,11 @@ impl CompiledModel {
         }
         let threads = rayon::current_num_threads().max(1);
         let chunk = inputs.len().div_ceil(threads).max(1);
+        let telemetry = self.telemetry.get();
+        if let Some(t) = telemetry {
+            t.batch()
+                .batch_started(inputs.len() as u64, inputs.len().div_ceil(chunk) as u64);
+        }
         let mut out: Vec<Result<Vec<f32>, BitFlowError>> = Vec::with_capacity(inputs.len());
         out.resize_with(inputs.len(), || {
             Err(BitFlowError::Internal("item not reached".into()))
@@ -637,6 +812,9 @@ impl CompiledModel {
                             Err(BitFlowError::Internal(panic_message(&payload)))
                         }
                     };
+                    if let Some(t) = telemetry {
+                        t.batch().item_finished(o.is_ok());
+                    }
                 }
             });
         out
@@ -710,15 +888,23 @@ impl CompiledModel {
                         *out_pad,
                     );
                 } else {
-                    // Fused single pass (conv + BN-threshold + sign + pack).
-                    let (inp, dst) = two_slots(slots, *in_slot, *out);
-                    pressed_conv_sign_into(
+                    // Fused single pass (conv + BN-threshold + sign + pack),
+                    // borrowing the first k floats of the layer's scratch
+                    // map as the per-window dot buffer so the request
+                    // allocates nothing.
+                    let (inp, scr, dst) = three_slots(slots, *in_slot, *scratch, *out);
+                    let dots = scr
+                        .map_mut()
+                        .map_err(slot_type(op_name, SlotKind::Map))?
+                        .data_mut();
+                    pressed_conv_sign_scratch_into(
                         *level,
                         inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
                         bank,
                         *stride,
                         thresholds,
                         flip,
+                        dots,
                         dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
                         *out_pad,
                     );
@@ -897,6 +1083,56 @@ impl CurSlot {
             CurSlot::Packed(_) => panic!("spatial layer after FC"),
         }
     }
+}
+
+/// Planned size of a slot in bytes, mirroring [`SlotSpec::allocate`]'s
+/// layout arithmetic without allocating.
+fn slot_bytes(spec: &SlotSpec) -> usize {
+    match *spec {
+        SlotSpec::Bit { h, w, c } => h * w * c.div_ceil(64) * 8,
+        SlotSpec::Map { h, w, c } => h * w * c * 4,
+        SlotSpec::Vec { len } => len * 4,
+        SlotSpec::Packed { n } => n.div_ceil(64) * 8,
+    }
+}
+
+/// Static cost of one binary FC call: a 1×K bgemm reducing over N bits.
+/// `packed_out_bytes` is the extra packed-activation write of the
+/// sign-repack stage (FcSign only).
+fn fc_cost(weights: &BinaryFcWeights, packed_out_bytes: Option<usize>) -> OpCost {
+    let n_words = weights.n.div_ceil(64);
+    let g = bitflow_gemm::tile_stats(1, weights.n, weights.k);
+    OpCost {
+        // Every output neuron evaluates n_words·64 bit positions, one xor +
+        // one popcount-accumulate each.
+        bit_ops: 2 * (weights.k * n_words * 64) as u64,
+        bytes_read: ((1 + weights.k) * n_words * 8) as u64,
+        bytes_written: (weights.k * 4 + packed_out_bytes.unwrap_or(0)) as u64,
+        tile: Some(TileStats {
+            m: g.m,
+            k: g.k,
+            n_words: g.n_words,
+            quads: g.quads,
+            tail: g.tail,
+            par_k_chunk: g.par_k_chunk,
+        }),
+    }
+}
+
+/// Three distinct mutable slot borrows.
+fn three_slots(
+    slots: &mut [Slot],
+    a: usize,
+    b: usize,
+    c: usize,
+) -> (&mut Slot, &mut Slot, &mut Slot) {
+    assert!(a != b && b != c && a != c, "aliasing slots");
+    // Resolve via raw pointers after the distinctness check; a sort-based
+    // split_at_mut chain over three arbitrary indices is strictly worse to
+    // read and no safer.
+    let base = slots.as_mut_ptr();
+    assert!(a < slots.len() && b < slots.len() && c < slots.len());
+    unsafe { (&mut *base.add(a), &mut *base.add(b), &mut *base.add(c)) }
 }
 
 /// Two distinct mutable slot borrows.
@@ -1310,6 +1546,114 @@ mod tests {
             assert_eq!(batch, serial, "threads={threads}");
         }
         assert!(model.infer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default() {
+        let (spec, weights, input) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        assert!(model.telemetry().is_none());
+        assert!(model.metrics_snapshot().is_none());
+        let mut ctx = model.new_context();
+        model.infer(&mut ctx, &input);
+        assert!(
+            model.metrics_snapshot().is_none(),
+            "inference must not enable it"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_ops_and_derives_rates() {
+        let (spec, weights, input) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let mut ctx = model.new_context();
+        let before = model.infer(&mut ctx, &input);
+        model.enable_telemetry();
+        let after = model.infer(&mut ctx, &input);
+        assert_eq!(before, after, "telemetry must not change logits");
+        model.infer(&mut ctx, &input);
+
+        let snap = model.metrics_snapshot().expect("enabled");
+        assert_eq!(snap.model, spec.name);
+        assert_eq!(snap.requests, 2);
+        // binarize + conv + pool + flatten (non-aligned 32-channel) + fc.
+        assert_eq!(snap.ops.len(), spec.layers.len() + 2);
+        assert_eq!(snap.ops[0].name, "binarize-input");
+        assert_eq!(snap.ops[1].name, "conv1");
+        for op in &snap.ops {
+            assert_eq!(op.calls, 2, "{}", op.name);
+            assert!(op.total_ns > 0, "{}", op.name);
+            assert!(op.p50_ns <= op.p95_ns && op.p95_ns <= op.p99_ns);
+            assert!(op.max_ns as f64 >= op.mean_ns, "{}", op.name);
+        }
+        let conv = &snap.ops[1];
+        assert!(conv.bit_ops_per_call > 0);
+        assert!(conv.gops > 0.0);
+        let fc = snap.ops.last().expect("ops");
+        assert_eq!(fc.kind, bitflow_telemetry::OpKind::FcOut);
+        let tile = fc.tile.expect("fc has tile stats");
+        assert_eq!(tile.m, 1);
+        assert_eq!(tile.k, 10);
+        assert_eq!(tile.n_words, 8); // 512 flattened bits
+    }
+
+    #[test]
+    fn telemetry_batch_gauges() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        model.enable_telemetry();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+            .collect();
+        inputs[3] = Tensor::random(Shape::hwc(2, 2, 3), Layout::Nhwc, &mut rng); // malformed
+        let results = model.try_infer_batch(&inputs);
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+        let snap = model.metrics_snapshot().expect("enabled");
+        assert_eq!(snap.batch.batches, 1);
+        assert_eq!(snap.batch.items, 5);
+        assert_eq!(snap.batch.failed_items, 1);
+        assert_eq!(snap.batch.max_batch, 5);
+        assert_eq!(snap.batch.queued_items, 0, "gauge returns to idle");
+        assert!(snap.batch.chunks >= 1);
+    }
+
+    #[test]
+    fn telemetry_ring_sink_traces_requests() {
+        let (spec, weights, input) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let sink = std::sync::Arc::new(bitflow_telemetry::RingSink::new(8));
+        struct Fwd(std::sync::Arc<bitflow_telemetry::RingSink>);
+        impl SpanSink for Fwd {
+            fn record(&self, trace: &RequestTrace) {
+                self.0.record(trace);
+            }
+        }
+        model.enable_telemetry_with_sink(Box::new(Fwd(sink.clone())));
+        let mut ctx = model.new_context();
+        model.infer(&mut ctx, &input);
+        model.infer(&mut ctx, &input);
+        let traces = sink.drain();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].request_id, 0);
+        assert_eq!(traces[1].request_id, 1);
+        for t in &traces {
+            assert_eq!(t.spans.len(), spec.layers.len() + 2);
+            assert_eq!(t.spans[0].name, "binarize-input");
+            assert!(t.total_ns >= t.spans.iter().map(|s| s.duration_ns).sum::<u64>() / 2);
+        }
+    }
+
+    #[test]
+    fn enable_telemetry_is_idempotent() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let a = model.enable_telemetry();
+        let b = model.enable_telemetry();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // A later with_sink call cannot replace the live handle.
+        let c = model.enable_telemetry_with_sink(Box::new(bitflow_telemetry::NoopSink));
+        assert!(std::sync::Arc::ptr_eq(&a, &c));
     }
 
     #[test]

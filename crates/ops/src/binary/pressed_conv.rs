@@ -171,6 +171,28 @@ pub fn pressed_conv_sign_into(
     out: &mut BitTensor,
     out_pad: usize,
 ) {
+    let mut dots = vec![0.0f32; filters.shape().k];
+    pressed_conv_sign_scratch_into(
+        level, input, filters, stride, thresholds, flip, &mut dots, out, out_pad,
+    );
+}
+
+/// [`pressed_conv_sign_into`] with a caller-provided per-window scratch
+/// buffer (at least `k` floats) — the truly allocation-free engine path:
+/// the engine lends the first `k` floats of the layer's float scratch slot
+/// instead of allocating a fresh dot vector per request.
+#[allow(clippy::too_many_arguments)]
+pub fn pressed_conv_sign_scratch_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+    thresholds: &[f32],
+    flip: &[bool],
+    dots: &mut [f32],
+    out: &mut BitTensor,
+    out_pad: usize,
+) {
     let (out_h, out_w) = geometry(input, filters, stride);
     let k = filters.shape().k;
     assert_eq!(thresholds.len(), k, "one threshold per output feature");
@@ -178,11 +200,12 @@ pub fn pressed_conv_sign_into(
     assert_eq!(out.c(), k, "output channel count");
     assert_eq!(out.h(), out_h + 2 * out_pad, "output height incl. padding");
     assert_eq!(out.w(), out_w + 2 * out_pad, "output width incl. padding");
+    assert!(dots.len() >= k, "scratch must hold one dot per feature");
+    let dots = &mut dots[..k];
     let c_words = out.c_words();
-    let mut dots = vec![0.0f32; k];
     for oy in 0..out_h {
         for ox in 0..out_w {
-            conv_window(level, input, filters, oy * stride, ox * stride, &mut dots);
+            conv_window(level, input, filters, oy * stride, ox * stride, dots);
             let base = out.pixel_words_index(oy + out_pad, ox + out_pad);
             let words = &mut out.words_mut()[base..base + c_words];
             for (wi, word) in words.iter_mut().enumerate() {

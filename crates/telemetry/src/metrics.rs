@@ -1,0 +1,462 @@
+//! Lock-free per-operator metrics and batch-queue gauges.
+//!
+//! A [`ModelTelemetry`] is built once per compiled model from a list of
+//! [`OpDescriptor`]s (name, kind, static cost model) and shared behind an
+//! `Arc` by every serving thread. Recording a sample touches only relaxed
+//! atomics — no locks, no allocation — so enabled-telemetry overhead is a
+//! `Instant` pair plus a handful of `fetch_add`s per operator.
+//!
+//! The *cost model* ([`OpCost`]) is computed at compile time from the
+//! operator's geometry: how many effective xor+popcount bit-operations one
+//! call performs, how many bytes it moves, and (for GEMM-backed operators)
+//! the tile shape. The hot path records only latency; rates like GOPS and
+//! bandwidth fall out at snapshot time as `cost × calls / total_ns`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LatencyHistogram;
+use crate::snapshot::{BatchSnapshot, MetricsSnapshot, OpSnapshot};
+use crate::span::{NoopSink, RequestTrace, SpanSink};
+
+/// Coarse operator category, mirroring the engine's runtime op set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Float input → sign bits (first-layer binarization).
+    Binarize,
+    /// PressedConv binary convolution.
+    Conv,
+    /// Binary max-pool (OR over packed words).
+    Pool,
+    /// Spatial-to-row reflattening between conv and FC stages.
+    Flatten,
+    /// Binary fully-connected layer with sign activation.
+    Fc,
+    /// Final fully-connected layer producing integer logits.
+    FcOut,
+}
+
+impl OpKind {
+    /// Stable lower-case label used in snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Binarize => "binarize",
+            OpKind::Conv => "conv",
+            OpKind::Pool => "pool",
+            OpKind::Flatten => "flatten",
+            OpKind::Fc => "fc",
+            OpKind::FcOut => "fc-out",
+        }
+    }
+}
+
+/// bgemm micro-kernel tile geometry for a GEMM-backed operator, following
+/// the paper's M×N×K convention (§III-C): N is the reduction / vector axis,
+/// K the output-neuron / multi-core axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileStats {
+    /// GEMM M dimension (rows / output pixels).
+    pub m: usize,
+    /// GEMM K dimension (output channels / neurons) — the multi-core axis.
+    pub k: usize,
+    /// GEMM N (reduction) dimension in packed 64-bit words — the vector axis.
+    pub n_words: usize,
+    /// 4-way-unrolled output quads per row in the micro-kernel.
+    pub quads: usize,
+    /// Remainder outputs per row handled by the non-unrolled tail.
+    pub tail: usize,
+    /// Output-column chunk granted to each parallel task.
+    pub par_k_chunk: usize,
+}
+
+/// Static per-call cost of one operator, derived from its geometry at
+/// compile time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Effective xor+popcount bit-operations per call: 2 ops (one xor, one
+    /// popcount-accumulate) for every weight·activation bit position the
+    /// operator evaluates. This is the numerator of the paper's
+    /// "binary GOPS" throughput metric.
+    pub bit_ops: u64,
+    /// Bytes read per call (packed activations + packed weights).
+    pub bytes_read: u64,
+    /// Bytes written per call.
+    pub bytes_written: u64,
+    /// Micro-kernel tile geometry, for GEMM-backed operators.
+    pub tile: Option<TileStats>,
+}
+
+/// Compile-time description of one operator channel.
+#[derive(Clone, Debug)]
+pub struct OpDescriptor {
+    /// Operator name (layer name or builtin step name like "binarize-input").
+    pub name: String,
+    /// Operator category.
+    pub kind: OpKind,
+    /// Static per-call cost.
+    pub cost: OpCost,
+}
+
+/// Live counters for one operator. All fields are relaxed atomics.
+struct OpMetrics {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+impl OpMetrics {
+    fn new() -> Self {
+        Self {
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.hist.record(ns);
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.hist.reset();
+    }
+}
+
+struct OpChannel {
+    name: String,
+    kind: OpKind,
+    cost: OpCost,
+    metrics: OpMetrics,
+}
+
+/// Batch-serving gauges updated by `try_infer_batch`.
+#[derive(Default)]
+pub struct BatchGauges {
+    batches: AtomicU64,
+    items: AtomicU64,
+    failed_items: AtomicU64,
+    chunks: AtomicU64,
+    max_batch: AtomicU64,
+    queued_items: AtomicU64,
+}
+
+impl BatchGauges {
+    /// Called once when a batch of `items` requests is accepted, split into
+    /// `chunks` per-thread chunks. Raises the queued-items gauge.
+    pub fn batch_started(&self, items: u64, chunks: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.max_batch.fetch_max(items, Ordering::Relaxed);
+        self.queued_items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Called per completed item. Lowers the queued-items gauge; counts the
+    /// item as failed when `ok` is false.
+    pub fn item_finished(&self, ok: bool) {
+        self.queued_items.fetch_sub(1, Ordering::Relaxed);
+        if !ok {
+            self.failed_items.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Items currently in flight inside `try_infer_batch` (0 when idle).
+    pub fn queued(&self) -> u64 {
+        self.queued_items.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> BatchSnapshot {
+        BatchSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            failed_items: self.failed_items.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queued_items: self.queued_items.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.batches.store(0, Ordering::Relaxed);
+        self.items.store(0, Ordering::Relaxed);
+        self.failed_items.store(0, Ordering::Relaxed);
+        self.chunks.store(0, Ordering::Relaxed);
+        self.max_batch.store(0, Ordering::Relaxed);
+        // queued_items is a live gauge, not a counter: leave it alone.
+    }
+}
+
+/// All telemetry state for one compiled model: per-operator channels,
+/// batch gauges, and the span sink. Shared behind `Arc` by every thread
+/// serving the model.
+pub struct ModelTelemetry {
+    model: String,
+    ops: Vec<OpChannel>,
+    batch: BatchGauges,
+    sink: Box<dyn SpanSink>,
+    request_ids: AtomicU64,
+}
+
+impl ModelTelemetry {
+    /// Telemetry with the default [`NoopSink`] (metrics on, tracing off).
+    pub fn new(model: impl Into<String>, descriptors: Vec<OpDescriptor>) -> Self {
+        Self::with_sink(model, descriptors, Box::new(NoopSink))
+    }
+
+    /// Telemetry with an explicit span sink.
+    pub fn with_sink(
+        model: impl Into<String>,
+        descriptors: Vec<OpDescriptor>,
+        sink: Box<dyn SpanSink>,
+    ) -> Self {
+        let ops = descriptors
+            .into_iter()
+            .map(|d| OpChannel {
+                name: d.name,
+                kind: d.kind,
+                cost: d.cost,
+                metrics: OpMetrics::new(),
+            })
+            .collect();
+        Self {
+            model: model.into(),
+            ops,
+            batch: BatchGauges::default(),
+            sink,
+            request_ids: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of operator channels.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Name of operator channel `idx`.
+    pub fn op_name(&self, idx: usize) -> Option<&str> {
+        self.ops.get(idx).map(|c| c.name.as_str())
+    }
+
+    /// Records one sample for operator channel `idx`. Out-of-range indices
+    /// are ignored (telemetry must never panic the serving path).
+    #[inline]
+    pub fn record_op(&self, idx: usize, ns: u64) {
+        if let Some(ch) = self.ops.get(idx) {
+            ch.metrics.record(ns);
+        }
+    }
+
+    /// Whether the installed sink wants traces. The engine skips building
+    /// [`RequestTrace`]s entirely when this is `false`.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Allocates the next monotonic request id.
+    #[inline]
+    pub fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Forwards a completed trace to the sink.
+    pub fn record_request(&self, trace: &RequestTrace) {
+        self.sink.record(trace);
+    }
+
+    /// Batch-serving gauges.
+    pub fn batch(&self) -> &BatchGauges {
+        &self.batch
+    }
+
+    /// Consistent point-in-time copy of every counter, with percentiles and
+    /// rates (GOPS, bandwidth) computed from the static cost model.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ops = self.ops.iter().map(op_snapshot).collect();
+        MetricsSnapshot {
+            model: self.model.clone(),
+            requests: self.request_ids.load(Ordering::Relaxed),
+            ops,
+            batch: self.batch.snapshot(),
+        }
+    }
+
+    /// Zeroes all counters and histograms (the queued-items gauge and the
+    /// request-id counter keep their live values).
+    pub fn reset(&self) {
+        for ch in &self.ops {
+            ch.metrics.reset();
+        }
+        self.batch.reset();
+    }
+}
+
+impl std::fmt::Debug for ModelTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelTelemetry")
+            .field("model", &self.model)
+            .field("ops", &self.ops.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn op_snapshot(ch: &OpChannel) -> OpSnapshot {
+    let calls = ch.metrics.calls.load(Ordering::Relaxed);
+    let total_ns = ch.metrics.total_ns.load(Ordering::Relaxed);
+    let max_ns = ch.metrics.max_ns.load(Ordering::Relaxed);
+    let mean_ns = if calls > 0 {
+        total_ns as f64 / calls as f64
+    } else {
+        0.0
+    };
+    // 1 bit-op per ns == 1e9 bit-ops per second == 1 GOPS, so the ratio of
+    // totals is directly in GOPS.
+    let gops = if total_ns > 0 {
+        (ch.cost.bit_ops.saturating_mul(calls)) as f64 / total_ns as f64
+    } else {
+        0.0
+    };
+    let gb_per_s = if total_ns > 0 {
+        (ch.cost.bytes_read + ch.cost.bytes_written).saturating_mul(calls) as f64 / total_ns as f64
+    } else {
+        0.0
+    };
+    OpSnapshot {
+        name: ch.name.clone(),
+        kind: ch.kind,
+        calls,
+        total_ns,
+        mean_ns,
+        max_ns,
+        p50_ns: ch.metrics.hist.percentile(50.0),
+        p95_ns: ch.metrics.hist.percentile(95.0),
+        p99_ns: ch.metrics.hist.percentile(99.0),
+        bit_ops_per_call: ch.cost.bit_ops,
+        bytes_read_per_call: ch.cost.bytes_read,
+        bytes_written_per_call: ch.cost.bytes_written,
+        gops,
+        gb_per_s,
+        tile: ch.cost.tile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descriptors() -> Vec<OpDescriptor> {
+        vec![
+            OpDescriptor {
+                name: "binarize-input".to_string(),
+                kind: OpKind::Binarize,
+                cost: OpCost::default(),
+            },
+            OpDescriptor {
+                name: "conv1".to_string(),
+                kind: OpKind::Conv,
+                cost: OpCost {
+                    bit_ops: 2_000,
+                    bytes_read: 512,
+                    bytes_written: 128,
+                    tile: Some(TileStats {
+                        m: 64,
+                        k: 32,
+                        n_words: 9,
+                        quads: 8,
+                        tail: 0,
+                        par_k_chunk: 32,
+                    }),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let t = ModelTelemetry::new("test-net", descriptors());
+        assert_eq!(t.op_count(), 2);
+        assert_eq!(t.op_name(1), Some("conv1"));
+        for ns in [100u64, 200, 300, 400] {
+            t.record_op(1, ns);
+        }
+        let snap = t.snapshot();
+        let conv = &snap.ops[1];
+        assert_eq!(conv.calls, 4);
+        assert_eq!(conv.total_ns, 1_000);
+        assert!((conv.mean_ns - 250.0).abs() < 1e-9);
+        assert_eq!(conv.max_ns, 400);
+        // 2000 bit-ops × 4 calls / 1000 ns = 8 GOPS exactly.
+        assert!((conv.gops - 8.0).abs() < 1e-9, "gops {}", conv.gops);
+        // (512+128) bytes × 4 calls / 1000 ns = 2.56 GB/s.
+        assert!((conv.gb_per_s - 2.56).abs() < 1e-9);
+        assert_eq!(conv.tile.map(|s| s.n_words), Some(9));
+        // Untouched channel stays zero.
+        assert_eq!(snap.ops[0].calls, 0);
+        assert_eq!(snap.ops[0].gops, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_record_is_ignored() {
+        let t = ModelTelemetry::new("test-net", descriptors());
+        t.record_op(99, 1); // must not panic
+        assert_eq!(t.snapshot().ops[0].calls, 0);
+    }
+
+    #[test]
+    fn request_ids_are_monotonic() {
+        let t = ModelTelemetry::new("test-net", vec![]);
+        assert_eq!(t.next_request_id(), 0);
+        assert_eq!(t.next_request_id(), 1);
+        assert_eq!(t.snapshot().requests, 2);
+    }
+
+    #[test]
+    fn batch_gauges_track_in_flight_items() {
+        let t = ModelTelemetry::new("test-net", vec![]);
+        t.batch().batch_started(4, 2);
+        assert_eq!(t.batch().queued(), 4);
+        t.batch().item_finished(true);
+        t.batch().item_finished(false);
+        assert_eq!(t.batch().queued(), 2);
+        t.batch().item_finished(true);
+        t.batch().item_finished(true);
+        let snap = t.snapshot();
+        assert_eq!(snap.batch.batches, 1);
+        assert_eq!(snap.batch.items, 4);
+        assert_eq!(snap.batch.failed_items, 1);
+        assert_eq!(snap.batch.chunks, 2);
+        assert_eq!(snap.batch.max_batch, 4);
+        assert_eq!(snap.batch.queued_items, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let t = ModelTelemetry::new("test-net", descriptors());
+        t.record_op(0, 10);
+        t.batch().batch_started(2, 1);
+        t.batch().item_finished(true);
+        t.batch().item_finished(true);
+        t.reset();
+        let snap = t.snapshot();
+        assert_eq!(snap.ops[0].calls, 0);
+        assert_eq!(snap.ops[0].p50_ns, 0);
+        assert_eq!(snap.batch.batches, 0);
+        assert_eq!(snap.batch.items, 0);
+    }
+
+    #[test]
+    fn default_sink_disables_tracing() {
+        let t = ModelTelemetry::new("test-net", vec![]);
+        assert!(!t.tracing_enabled());
+    }
+}

@@ -1,0 +1,196 @@
+//! Serializable point-in-time copies of the live telemetry state.
+//!
+//! Snapshots carry plain integers and floats only — they round-trip
+//! through `serde_json` and are what the bench bins write to
+//! `results/telemetry.json`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{OpKind, TileStats};
+
+/// Point-in-time counters for one operator, with derived percentiles and
+/// rates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpSnapshot {
+    /// Operator name (layer name or builtin step name).
+    pub name: String,
+    /// Operator category.
+    pub kind: OpKind,
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Sum of per-call wall times, nanoseconds.
+    pub total_ns: u64,
+    /// Mean per-call wall time, nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum observed per-call wall time, nanoseconds (exact).
+    pub max_ns: u64,
+    /// Median per-call latency (histogram estimate, ≤6.25% relative error).
+    pub p50_ns: u64,
+    /// 95th-percentile per-call latency (histogram estimate).
+    pub p95_ns: u64,
+    /// 99th-percentile per-call latency (histogram estimate).
+    pub p99_ns: u64,
+    /// Effective xor+popcount bit-operations one call performs (static).
+    pub bit_ops_per_call: u64,
+    /// Bytes read per call (static).
+    pub bytes_read_per_call: u64,
+    /// Bytes written per call (static).
+    pub bytes_written_per_call: u64,
+    /// Sustained binary-op throughput: `bit_ops × calls / total_ns`, in
+    /// giga-ops per second.
+    pub gops: f64,
+    /// Sustained memory traffic in GB/s (bytes moved / total time).
+    pub gb_per_s: f64,
+    /// bgemm tile geometry for GEMM-backed operators.
+    pub tile: Option<TileStats>,
+}
+
+/// Batch-serving counters from `try_infer_batch`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSnapshot {
+    /// Batches accepted.
+    pub batches: u64,
+    /// Items across all batches.
+    pub items: u64,
+    /// Items that returned an error.
+    pub failed_items: u64,
+    /// Per-thread chunks the batches were split into.
+    pub chunks: u64,
+    /// Largest single batch seen.
+    pub max_batch: u64,
+    /// Items in flight at snapshot time (0 when idle).
+    pub queued_items: u64,
+}
+
+/// Everything a model's telemetry knows, frozen at one instant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Model name the telemetry was built for.
+    pub model: String,
+    /// Requests that have entered the engine (including in-flight).
+    pub requests: u64,
+    /// One entry per operator, in execution order.
+    pub ops: Vec<OpSnapshot>,
+    /// Batch-serving counters.
+    pub batch: BatchSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Total time attributed to operators, nanoseconds.
+    pub fn total_op_ns(&self) -> u64 {
+        self.ops.iter().map(|o| o.total_ns).sum()
+    }
+
+    /// The operator with the largest total time, if any time was recorded.
+    pub fn hottest_op(&self) -> Option<&OpSnapshot> {
+        self.ops
+            .iter()
+            .filter(|o| o.total_ns > 0)
+            .max_by_key(|o| o.total_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            model: "vgg16".to_string(),
+            requests: 3,
+            ops: vec![
+                OpSnapshot {
+                    name: "conv1".to_string(),
+                    kind: OpKind::Conv,
+                    calls: 3,
+                    total_ns: 3_000,
+                    mean_ns: 1_000.0,
+                    max_ns: 1_200,
+                    p50_ns: 992,
+                    p95_ns: 1_184,
+                    p99_ns: 1_184,
+                    bit_ops_per_call: 1_000_000,
+                    bytes_read_per_call: 4_096,
+                    bytes_written_per_call: 1_024,
+                    gops: 1_000.0,
+                    gb_per_s: 5.12,
+                    tile: Some(TileStats {
+                        m: 1024,
+                        k: 64,
+                        n_words: 9,
+                        quads: 16,
+                        tail: 0,
+                        par_k_chunk: 32,
+                    }),
+                },
+                OpSnapshot {
+                    name: "pool1".to_string(),
+                    kind: OpKind::Pool,
+                    calls: 3,
+                    total_ns: 600,
+                    mean_ns: 200.0,
+                    max_ns: 250,
+                    p50_ns: 200,
+                    p95_ns: 248,
+                    p99_ns: 248,
+                    bit_ops_per_call: 0,
+                    bytes_read_per_call: 2_048,
+                    bytes_written_per_call: 512,
+                    gops: 0.0,
+                    gb_per_s: 12.8,
+                    tile: None,
+                },
+            ],
+            batch: BatchSnapshot {
+                batches: 1,
+                items: 3,
+                failed_items: 0,
+                chunks: 1,
+                max_batch: 3,
+                queued_items: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let snap = sample();
+        let json = serde_json::to_string_pretty(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.model, snap.model);
+        assert_eq!(back.requests, snap.requests);
+        assert_eq!(back.batch, snap.batch);
+        assert_eq!(back.ops.len(), snap.ops.len());
+        for (a, b) in back.ops.iter().zip(snap.ops.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.calls, b.calls);
+            assert_eq!(a.total_ns, b.total_ns);
+            assert_eq!(a.max_ns, b.max_ns);
+            assert_eq!(a.p50_ns, b.p50_ns);
+            assert_eq!(a.p95_ns, b.p95_ns);
+            assert_eq!(a.p99_ns, b.p99_ns);
+            assert_eq!(a.bit_ops_per_call, b.bit_ops_per_call);
+            assert!((a.mean_ns - b.mean_ns).abs() < 1e-9);
+            assert!((a.gops - b.gops).abs() < 1e-9);
+            assert!((a.gb_per_s - b.gb_per_s).abs() < 1e-9);
+            assert_eq!(a.tile, b.tile);
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let snap = sample();
+        assert_eq!(snap.total_op_ns(), 3_600);
+        assert_eq!(snap.hottest_op().map(|o| o.name.as_str()), Some("conv1"));
+    }
+
+    #[test]
+    fn hottest_op_empty_when_idle() {
+        let mut snap = sample();
+        for op in &mut snap.ops {
+            op.total_ns = 0;
+        }
+        assert!(snap.hottest_op().is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-request span tracing with pluggable sinks.
+//!
+//! A [`RequestTrace`] is the full per-operator timing breakdown of one
+//! inference request. Traces are only *built* when the installed
+//! [`SpanSink`] reports [`SpanSink::enabled`] — the default [`NoopSink`]
+//! reports `false`, so the serving hot path never allocates a trace.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// One operator's contribution to a request.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpSpan {
+    /// Index of the operator in the compiled plan (stable across requests).
+    pub op_index: u64,
+    /// Human-readable operator name (layer name or builtin step name).
+    pub name: String,
+    /// Wall time spent in the operator, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// The complete per-operator timing of one inference request.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Monotonic per-model request id.
+    pub request_id: u64,
+    /// End-to-end request wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Per-operator spans in execution order.
+    pub spans: Vec<OpSpan>,
+}
+
+/// Destination for completed request traces.
+///
+/// Sinks must be `Send + Sync`: a [`crate::ModelTelemetry`] handle is shared
+/// across serving threads. `record` is called once per finished request,
+/// off the per-operator hot path.
+pub trait SpanSink: Send + Sync {
+    /// Whether the engine should build traces at all. When this returns
+    /// `false` the engine skips trace construction entirely, keeping the
+    /// request path allocation-free.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one completed trace.
+    fn record(&self, trace: &RequestTrace);
+}
+
+/// The default sink: traces are never built, nothing is recorded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl SpanSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _trace: &RequestTrace) {}
+}
+
+/// Keeps the most recent `capacity` traces in memory.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<RequestTrace>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` traces (oldest evicted first).
+    /// A zero capacity is treated as 1.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        match self.buf.lock() {
+            Ok(buf) => buf.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the ring holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all held traces, oldest first.
+    pub fn drain(&self) -> Vec<RequestTrace> {
+        match self.buf.lock() {
+            Ok(mut buf) => buf.drain(..).collect(),
+            Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+        }
+    }
+}
+
+impl SpanSink for RingSink {
+    fn record(&self, trace: &RequestTrace) {
+        let mut buf = match self.buf.lock() {
+            Ok(buf) => buf,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(trace.clone());
+    }
+}
+
+/// Writes each trace as one JSON object per line to an arbitrary writer
+/// (file, stderr, in-memory buffer). Serialization failures are impossible
+/// for `RequestTrace`; I/O failures are swallowed — telemetry must never
+/// take down the serving path.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncating) a file at `path` and writes traces to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut out = match self.out.lock() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        out.flush()
+    }
+}
+
+impl SpanSink for JsonLinesSink {
+    fn record(&self, trace: &RequestTrace) {
+        let Ok(line) = serde_json::to_string(trace) else {
+            return;
+        };
+        let mut out = match self.out.lock() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn trace(id: u64) -> RequestTrace {
+        RequestTrace {
+            request_id: id,
+            total_ns: 100 * id,
+            spans: vec![OpSpan {
+                op_index: 0,
+                name: "conv1".to_string(),
+                duration_ns: 90 * id,
+            }],
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.record(&trace(1)); // must not panic
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let sink = RingSink::new(3);
+        assert!(sink.is_empty());
+        for id in 1..=5 {
+            sink.record(&trace(id));
+        }
+        assert_eq!(sink.len(), 3);
+        let drained = sink.drain();
+        let ids: Vec<u64> = drained.iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_zero_capacity_holds_one() {
+        let sink = RingSink::new(0);
+        sink.record(&trace(1));
+        sink.record(&trace(2));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.drain()[0].request_id, 2);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_line() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                match self.0.lock() {
+                    Ok(mut v) => v.extend_from_slice(buf),
+                    Err(p) => p.into_inner().extend_from_slice(buf),
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let sink = JsonLinesSink::new(Box::new(shared.clone()));
+        sink.record(&trace(1));
+        sink.record(&trace(2));
+        assert!(sink.flush().is_ok());
+
+        let bytes = match shared.0.lock() {
+            Ok(v) => v.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        let text = String::from_utf8(bytes).expect("utf8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed: RequestTrace = serde_json::from_str(line).expect("valid trace json");
+            assert_eq!(parsed.request_id, i as u64 + 1);
+            assert_eq!(parsed.spans.len(), 1);
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let t = trace(42);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: RequestTrace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, t);
+    }
+}

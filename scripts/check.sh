@@ -15,12 +15,18 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p bitflow-telemetry -- -D warnings"
+cargo clippy -p bitflow-telemetry --all-targets -- -D warnings
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release
 fi
 
-echo "==> cargo test -q (tier-1)"
+echo "==> cargo test -q (tier-1: root suite incl. differential/golden/no-alloc harnesses)"
 cargo test -q
+
+echo "==> BITFLOW_BENCH_QUICK=1 cargo test -q --workspace (all crates, bench in quick mode)"
+BITFLOW_BENCH_QUICK=1 cargo test -q --workspace
 
 echo "OK"

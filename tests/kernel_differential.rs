@@ -1,0 +1,219 @@
+//! Differential kernel-correctness harness (paper §III-B).
+//!
+//! For every kernel width the vector execution scheduler can select on this
+//! host — scalar u64, SSE-128, AVX2-256, AVX-512, plus the channel-padding
+//! fallback of rule 5 — force the `VectorScheduler` choice by capping the
+//! detected feature set, run PressedConv, binary FC, and binary max-pool at
+//! the forced level, and assert the results are
+//!
+//! * **bit-identical** to the im2col binary reference
+//!   (`binary_conv_im2col` at scalar level), and
+//! * **sign-consistent** with the full-precision float reference (on ±1
+//!   inputs the binary dot products equal the float dot products exactly,
+//!   so "sign-consistent" is checked as exact integer equality).
+//!
+//! Shapes are randomized with proptest; every case exercises the whole
+//! width ladder so a regression in any one tier fails the same property.
+
+use bitflow_gemm::sgemm::sgemm_naive;
+use bitflow_ops::binary::{
+    binary_conv_im2col, binary_fc, binary_max_pool, pressed_conv, BinaryFcWeights,
+};
+use bitflow_ops::float::max_pool;
+use bitflow_ops::ConvParams;
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::{features, VectorScheduler};
+use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The width ladder of §III-B: feature caps (in bits) paired with the
+/// level the scheduler must pick for a channel count divisible by that
+/// width. Only tiers the host actually supports are exercised — on this
+/// ladder a missing ISA demotes, which is itself asserted separately.
+fn host_ladder() -> Vec<(usize, SimdLevel)> {
+    let f = features();
+    let mut ladder = vec![(64usize, SimdLevel::Scalar)];
+    if f.sse2 {
+        ladder.push((128, SimdLevel::Sse));
+    }
+    if f.avx2 {
+        ladder.push((256, SimdLevel::Avx2));
+    }
+    if f.avx512f {
+        ladder.push((512, SimdLevel::Avx512));
+    }
+    ladder
+}
+
+/// Every level selectable on this host, via capped schedulers, for a given
+/// channel count. Returns (level, cap_bits) pairs; levels repeat when the
+/// channel count is not divisible by a wider tier (demotion), which is fine
+/// — running the same level twice is cheap and keeps the forcing logic
+/// honest.
+fn forced_levels(c: usize) -> Vec<(SimdLevel, usize)> {
+    host_ladder()
+        .into_iter()
+        .map(|(bits, _)| {
+            let sched = VectorScheduler::with_features(features().capped(bits));
+            let choice = sched.select(c);
+            assert!(
+                width_bits(choice.level) <= bits,
+                "cap {bits} must bound the selected level {:?}",
+                choice.level
+            );
+            (choice.level, bits)
+        })
+        .collect()
+}
+
+fn width_bits(level: SimdLevel) -> usize {
+    match level {
+        SimdLevel::Avx512 => 512,
+        SimdLevel::Avx2 => 256,
+        SimdLevel::Sse => 128,
+        _ => 64,
+    }
+}
+
+fn pm1_vec(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0f32 } else { -1.0 })
+        .collect()
+}
+
+/// Channel counts covering every scheduler rule: multiples of each vector
+/// width, word-multiples, and the padding fallback (rule 5).
+const CHANNELS: [usize; 8] = [3, 17, 33, 64, 96, 128, 256, 512];
+
+#[test]
+fn scheduler_forcing_selects_each_host_width() {
+    // The harness only proves anything if the capped schedulers really do
+    // force distinct kernels: for a 512-multiple channel count, each cap on
+    // the ladder must select exactly its own tier.
+    for (bits, want_level) in host_ladder() {
+        let sched = VectorScheduler::with_features(features().capped(bits));
+        assert_eq!(sched.select(512).level, want_level, "cap={bits}");
+    }
+    // The padding fallback: a non-multiple-of-32 width pads to 64 and runs
+    // scalar words regardless of cap.
+    for (bits, _) in host_ladder() {
+        let sched = VectorScheduler::with_features(features().capped(bits));
+        let choice = sched.select(3);
+        assert!(choice.padded);
+        assert_eq!(choice.c_padded, 64);
+        assert_eq!(choice.level, SimdLevel::Scalar, "cap={bits}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    fn pressed_conv_differential(
+        (h, w) in (3usize..7, 3usize..7),
+        c_idx in 0usize..CHANNELS.len(),
+        k in 1usize..6,
+        ksz in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let c = CHANNELS[c_idx];
+        prop_assume!(h + 2 * pad >= ksz && w + 2 * pad >= ksz);
+        let shape = Shape::hwc(h, w, c);
+        let fshape = FilterShape::new(k, ksz, ksz, c);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::from_vec(pm1_vec(&mut rng, shape.numel()), shape, Layout::Nhwc);
+        let weights = pm1_vec(&mut rng, fshape.numel());
+        let params = ConvParams::new(ksz, ksz, stride, pad);
+
+        // Reference 1: im2col binary convolution, scalar level.
+        let reference = binary_conv_im2col(SimdLevel::Scalar, &input, &weights, fshape, params);
+
+        // Reference 2 (float, pad-free cases only: the float path pads with
+        // 0.0 which is not sign-equivalent to the pressed −1 padding): on
+        // ±1 data the float conv computes the same integers exactly.
+        let float_ref = if pad == 0 {
+            Some(bitflow_ops::float::conv_im2col(&input, &weights, fshape, params))
+        } else {
+            None
+        };
+
+        let pressed = BitTensor::from_tensor_padded(&input, pad);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        for (level, cap) in forced_levels(c) {
+            let got = pressed_conv(level, &pressed, &bank, stride);
+            prop_assert_eq!(
+                got.max_abs_diff(&reference), 0.0,
+                "conv c={} {:?} (cap {}) diverges from im2col reference", c, level, cap
+            );
+            if let Some(fr) = &float_ref {
+                prop_assert_eq!(
+                    got.max_abs_diff(fr), 0.0,
+                    "conv c={} {:?} (cap {}) diverges from float reference", c, level, cap
+                );
+            }
+        }
+    }
+
+    fn binary_fc_differential(
+        n_idx in 0usize..CHANNELS.len(),
+        k in 1usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = CHANNELS[n_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = pm1_vec(&mut rng, n);
+        let wfloat = pm1_vec(&mut rng, n * k);
+        let weights = BinaryFcWeights::pack(&wfloat, n, k);
+
+        // Binary reference: scalar level.
+        let reference = binary_fc(SimdLevel::Scalar, &input, &weights);
+
+        // Float reference: sgemm over the same ±1 operands gives the exact
+        // integer dot products.
+        let mut float_ref = vec![0.0f32; k];
+        sgemm_naive(&input, &wfloat, &mut float_ref, 1, n, k);
+        prop_assert_eq!(&reference, &float_ref, "scalar binary FC vs float reference n={}", n);
+
+        for (level, cap) in forced_levels(n) {
+            let got = binary_fc(level, &input, &weights);
+            prop_assert_eq!(
+                &got, &reference,
+                "fc n={} {:?} (cap {}) diverges", n, level, cap
+            );
+        }
+    }
+
+    fn binary_pool_differential(
+        (h, w) in (2usize..8, 2usize..8),
+        c_idx in 0usize..CHANNELS.len(),
+        ksz in 1usize..3,
+        stride in 1usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let c = CHANNELS[c_idx];
+        prop_assume!(h >= ksz && w >= ksz);
+        let shape = Shape::hwc(h, w, c);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::from_vec(pm1_vec(&mut rng, shape.numel()), shape, Layout::Nhwc);
+
+        // Float reference: max over the ±1 window is sign-exact.
+        let float_ref = max_pool(&input, ConvParams::new(ksz, ksz, stride, 0));
+        let pressed = BitTensor::from_tensor(&input);
+        // Binary reference: scalar level.
+        let reference = binary_max_pool(SimdLevel::Scalar, &pressed, ksz, ksz, stride);
+        prop_assert_eq!(
+            reference.to_tensor().max_abs_diff(&float_ref), 0.0,
+            "scalar binary pool vs float reference c={}", c
+        );
+
+        for (level, cap) in forced_levels(c) {
+            let got = binary_max_pool(level, &pressed, ksz, ksz, stride);
+            prop_assert_eq!(
+                got.words(), reference.words(),
+                "pool c={} {:?} (cap {}) diverges bitwise", c, level, cap
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Thread-count invariance: every parallel kernel and the serving path must
+//! be bit-identical under rayon pools of 1, 2, and N threads.
+//!
+//! BitFlow's multi-core partitioning is fixed-chunk by design (the bgemm
+//! `PAR_K_CHUNK` split, `par_chunks_mut` over output pixels in PressedConv,
+//! over channel words in the binary pool) precisely so the work decomposition
+//! — and therefore every intermediate integer — does not depend on how many
+//! workers drain the chunks. These tests pin that contract for the three
+//! `par_chunks_mut` paths (bgemm, pressed_conv, binary pool), the parallel
+//! FC, and the end-to-end `try_infer` / `try_infer_batch` serving calls.
+
+use bitflow_graph::models::small_cnn;
+use bitflow_graph::weights::NetworkWeights;
+use bitflow_graph::CompiledModel;
+use bitflow_ops::binary::{
+    binary_fc, binary_fc_parallel, binary_max_pool, binary_max_pool_parallel, pressed_conv,
+    pressed_conv_parallel, BinaryFcWeights,
+};
+use bitflow_simd::kernels::SimdLevel;
+use bitflow_simd::VectorScheduler;
+use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Pool sizes under test: serial-equivalent, minimal parallelism, and
+/// oversubscribed relative to this container's cores.
+const POOLS: [usize; 3] = [1, 2, 8];
+
+fn pm1_vec(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0f32 } else { -1.0 })
+        .collect()
+}
+
+fn in_pool<T>(threads: usize, f: impl FnOnce() -> T + Send) -> T
+where
+    T: Send,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn host_level(c: usize) -> SimdLevel {
+    VectorScheduler::new().select(c).level
+}
+
+#[test]
+fn pressed_conv_invariant_across_pools() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let shape = Shape::hwc(9, 9, 128);
+    let fshape = FilterShape::new(16, 3, 3, 128);
+    let input = Tensor::from_vec(pm1_vec(&mut rng, shape.numel()), shape, Layout::Nhwc);
+    let weights = pm1_vec(&mut rng, fshape.numel());
+    let pressed = BitTensor::from_tensor_padded(&input, 1);
+    let bank = BitFilterBank::from_floats(&weights, fshape);
+    let level = host_level(128);
+
+    let serial = pressed_conv(level, &pressed, &bank, 1);
+    for threads in POOLS {
+        let got = in_pool(threads, || pressed_conv_parallel(level, &pressed, &bank, 1));
+        assert_eq!(
+            got.max_abs_diff(&serial),
+            0.0,
+            "pressed_conv diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn binary_fc_invariant_across_pools() {
+    // 4096 input neurons × 1000 outputs: wide enough that PAR_K_CHUNK
+    // actually splits the K axis across workers.
+    let mut rng = StdRng::seed_from_u64(12);
+    let (n, k) = (4096, 1000);
+    let input = pm1_vec(&mut rng, n);
+    let weights = BinaryFcWeights::pack(&pm1_vec(&mut rng, n * k), n, k);
+    let level = VectorScheduler::new().streaming_level();
+
+    let serial = binary_fc(level, &input, &weights);
+    for threads in POOLS {
+        let got = in_pool(threads, || binary_fc_parallel(level, &input, &weights));
+        assert_eq!(got, serial, "binary FC diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn binary_pool_invariant_across_pools() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let shape = Shape::hwc(12, 12, 256);
+    let input = Tensor::from_vec(pm1_vec(&mut rng, shape.numel()), shape, Layout::Nhwc);
+    let pressed = BitTensor::from_tensor(&input);
+    let level = host_level(256);
+
+    let serial = binary_max_pool(level, &pressed, 2, 2, 2);
+    for threads in POOLS {
+        let got = in_pool(threads, || {
+            binary_max_pool_parallel(level, &pressed, 2, 2, 2)
+        });
+        assert_eq!(
+            got.words(),
+            serial.words(),
+            "binary pool diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_infer_invariant_across_pools() {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(14);
+    let weights = NetworkWeights::random(&spec, &mut rng);
+    let model = CompiledModel::compile(&spec, &weights);
+    let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+
+    let mut ctx = model.new_context();
+    let serial = model.try_infer(&mut ctx, &input).expect("serial infer");
+
+    for threads in POOLS {
+        let got = in_pool(threads, || {
+            let mut ctx = model.new_context();
+            ctx.parallel = true;
+            model.try_infer(&mut ctx, &input).expect("parallel infer")
+        });
+        assert_eq!(got, serial, "try_infer diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn engine_batch_invariant_across_pools() {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(15);
+    let weights = NetworkWeights::random(&spec, &mut rng);
+    let model = CompiledModel::compile(&spec, &weights);
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+        .collect();
+
+    let mut ctx = model.new_context();
+    let serial: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| model.try_infer(&mut ctx, i).expect("serial infer"))
+        .collect();
+
+    for threads in POOLS {
+        let batch = in_pool(threads, || model.try_infer_batch(&inputs));
+        for (i, (got, want)) in batch.iter().zip(&serial).enumerate() {
+            let got = got.as_ref().expect("batch item ok");
+            assert_eq!(
+                got, want,
+                "try_infer_batch item {i} diverges at {threads} threads"
+            );
+        }
+    }
+}
