@@ -109,12 +109,12 @@ fn main() {
         .expect("telemetry was enabled above");
 
     println!(
-        "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "op", "calls", "mean µs", "p50 µs", "p95 µs", "p99 µs", "GOPS", "GB/s"
+        "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7} {:>7}",
+        "op", "calls", "mean µs", "p50 µs", "p95 µs", "p99 µs", "GOPS", "GB/s", "%peak", "bound"
     );
     for op in &snapshot.ops {
         println!(
-            "{:<16} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>8.2}",
+            "{:<16} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>8.2} {:>6.2}% {:>7}",
             op.name,
             op.calls,
             op.mean_ns / 1e3,
@@ -123,6 +123,12 @@ fn main() {
             op.p99_ns as f64 / 1e3,
             op.gops,
             op.gb_per_s,
+            op.pct_of_peak_compute,
+            match op.bound {
+                bitflow_telemetry::OpBound::Compute => "compute",
+                bitflow_telemetry::OpBound::Memory => "memory",
+                bitflow_telemetry::OpBound::Idle => "idle",
+            },
         );
     }
     let total: u64 = snapshot.total_op_ns();
@@ -134,6 +140,40 @@ fn main() {
             total as f64 / 1e6,
         );
     }
+    // One-line roofline summary: where this machine's ceilings are, how
+    // close the hottest operator gets, and whether counters were live.
+    let m = &snapshot.machine;
+    let best = snapshot
+        .ops
+        .iter()
+        .filter(|o| o.bit_ops_per_call > 0)
+        .max_by(|a, b| {
+            a.pct_of_peak_compute
+                .partial_cmp(&b.pct_of_peak_compute)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    println!(
+        "roofline: peak {:.0} GOPS ({} b SIMD × {} cores @ {:.2} GHz [{}]), {:.1} GB/s [{}]{} | perf: {}",
+        m.peak_gops,
+        m.simd_width_bits,
+        m.logical_cores,
+        m.freq_ghz,
+        m.freq_source,
+        m.peak_gb_per_s,
+        m.bw_source,
+        best.map(|o| format!(
+            " | best op {} at {:.2}% of compute peak ({})",
+            o.name,
+            o.pct_of_peak_compute,
+            match o.bound {
+                bitflow_telemetry::OpBound::Compute => "compute-bound",
+                bitflow_telemetry::OpBound::Memory => "memory-bound",
+                bitflow_telemetry::OpBound::Idle => "idle",
+            }
+        ))
+        .unwrap_or_default(),
+        snapshot.perf.status,
+    );
 
     write_json(
         "telemetry",

@@ -34,12 +34,14 @@
 //! * Multi-thread runs install a sized rayon pool per measurement.
 
 pub mod fig_multicore;
+pub mod regress;
 pub mod runners;
 pub mod timing;
 pub mod workloads;
 
-use serde::Serialize;
-use std::path::PathBuf;
+use bitflow_telemetry::SCHEMA_VERSION;
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
 
 /// Directory for JSON result dumps (`BITFLOW_RESULTS_DIR` or `results/`).
 pub fn results_dir() -> PathBuf {
@@ -48,8 +50,44 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// The `schema_version` recorded in an existing artifact, if the file
+/// exists and parses. v1 artifacts predate the field and read as `None`.
+fn existing_schema_version(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    match v.field("schema_version").ok()? {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Stamps `schema_version` into the top level of a serialized value:
+/// inserted as the first key of an object (replacing any existing one), or
+/// wrapped as `{schema_version, data}` for non-object roots.
+fn stamp_schema_version(v: Value) -> Value {
+    let version = (
+        "schema_version".to_string(),
+        Value::UInt(SCHEMA_VERSION as u64),
+    );
+    match v {
+        Value::Object(fields) => {
+            let mut out = vec![version];
+            out.extend(fields.into_iter().filter(|(k, _)| k != "schema_version"));
+            Value::Object(out)
+        }
+        other => Value::Object(vec![version, ("data".to_string(), other)]),
+    }
+}
+
 /// Writes a serializable result object as pretty JSON under
 /// [`results_dir`], creating the directory if needed.
+///
+/// Every artifact gets a top-level `schema_version` field stamped in
+/// ([`SCHEMA_VERSION`]). If the target file already exists and carries a
+/// *newer* schema version, the write is refused: a newer tool wrote that
+/// file, and silently downgrading it would destroy fields this build does
+/// not know about.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -57,7 +95,17 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    if let Some(existing) = existing_schema_version(&path) {
+        if existing > SCHEMA_VERSION as u64 {
+            eprintln!(
+                "warning: {} has schema v{existing}, newer than this build's v{SCHEMA_VERSION}; refusing to overwrite",
+                path.display()
+            );
+            return;
+        }
+    }
+    let stamped = stamp_schema_version(value.to_value());
+    match serde_json::to_string_pretty(&stamped) {
         Ok(json) => {
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
@@ -85,4 +133,58 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
         || std::env::var("BITFLOW_QUICK").is_ok_and(|v| v == "1")
         || std::env::var("BITFLOW_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_inserts_version_first_in_objects() {
+        let v = Value::Object(vec![("x".to_string(), Value::UInt(7))]);
+        let stamped = stamp_schema_version(v);
+        let Value::Object(fields) = stamped else {
+            panic!("expected object");
+        };
+        assert_eq!(fields[0].0, "schema_version");
+        assert_eq!(fields[0].1, Value::UInt(SCHEMA_VERSION as u64));
+        assert_eq!(fields[1].0, "x");
+    }
+
+    #[test]
+    fn stamp_replaces_stale_version_and_wraps_non_objects() {
+        let v = Value::Object(vec![
+            ("schema_version".to_string(), Value::UInt(1)),
+            ("x".to_string(), Value::UInt(7)),
+        ]);
+        let Value::Object(fields) = stamp_schema_version(v) else {
+            panic!("expected object");
+        };
+        assert_eq!(fields.len(), 2, "stale version replaced, not duplicated");
+        assert_eq!(fields[0].1, Value::UInt(SCHEMA_VERSION as u64));
+        // Non-object roots get wrapped so the version has somewhere to live.
+        let Value::Object(wrapped) = stamp_schema_version(Value::UInt(3)) else {
+            panic!("expected wrapper object");
+        };
+        assert_eq!(wrapped[1], ("data".to_string(), Value::UInt(3)));
+    }
+
+    #[test]
+    fn existing_schema_version_probes_tolerantly() {
+        let dir = std::env::temp_dir().join(format!("bitflow-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.json");
+        // Missing file → None.
+        assert_eq!(existing_schema_version(&path), None);
+        // v1 artifact without the field → None (treated as oldest).
+        std::fs::write(&path, r#"{"x": 1}"#).unwrap();
+        assert_eq!(existing_schema_version(&path), None);
+        // Stamped artifact → its version.
+        std::fs::write(&path, r#"{"schema_version": 99, "x": 1}"#).unwrap();
+        assert_eq!(existing_schema_version(&path), Some(99));
+        // Garbage → None (never a panic).
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(existing_schema_version(&path), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -39,6 +39,14 @@ pub use bitflow_simd as simd;
 pub use bitflow_telemetry as telemetry;
 pub use bitflow_tensor as tensor;
 
+// The observability entry points, importable straight off the root crate:
+// `bitflow::CompiledModel::enable_telemetry` returns a handle whose
+// `snapshot()` is a `bitflow::MetricsSnapshot`, exportable with
+// `MetricsSnapshot::to_prometheus` or streamed per-request through a
+// `bitflow::SpanSink`.
+pub use bitflow_graph::CompiledModel;
+pub use bitflow_telemetry::{MetricsSnapshot, ModelTelemetry, Roofline, SpanSink, SCHEMA_VERSION};
+
 /// Everything a typical user needs, one import away.
 pub mod prelude {
     pub use bitflow_gpumodel::GpuModel;
@@ -53,7 +61,8 @@ pub mod prelude {
     pub use bitflow_ops::{ConvParams, SimdLevel};
     pub use bitflow_simd::{features, HwFeatures, VectorScheduler};
     pub use bitflow_telemetry::{
-        JsonLinesSink, MetricsSnapshot, ModelTelemetry, NoopSink, RequestTrace, RingSink, SpanSink,
+        JsonLinesSink, MachineSnapshot, MetricsSnapshot, ModelTelemetry, NoopSink, OpBound,
+        PerfSnapshot, RequestTrace, RingSink, Roofline, SpanSink, SCHEMA_VERSION,
     };
     pub use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
 }
@@ -86,5 +95,21 @@ mod tests {
     fn facade_exposes_gpu_model() {
         let t = GpuModel::gtx1080().network_time(&vgg16());
         assert!(t.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn root_exposes_telemetry_entry_points() {
+        // The observability names resolve at the crate root, without
+        // reaching into the `telemetry` module.
+        fn _takes_sink(_: &dyn crate::SpanSink) {}
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let model = crate::CompiledModel::compile(&spec, &weights);
+        let t = model.enable_telemetry();
+        let snap: crate::MetricsSnapshot = t.snapshot();
+        assert_eq!(snap.schema_version, crate::SCHEMA_VERSION);
+        assert!(snap.machine.peak_gops > 0.0);
+        let _ = snap.to_prometheus();
     }
 }

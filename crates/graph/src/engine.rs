@@ -683,6 +683,11 @@ impl CompiledModel {
     /// plain loop, plus one `Instant` pair and a few relaxed atomics per
     /// op. A [`RequestTrace`] is built only when the sink asks for traces,
     /// keeping the metrics-only path allocation-free.
+    ///
+    /// The whole loop runs inside [`ModelTelemetry::perf_request_scope`],
+    /// so when hardware counters are available the request's cycles,
+    /// instructions, and cache/branch misses accumulate into the model's
+    /// perf totals; when they are not, the scope is one relaxed load.
     fn run_ops_recorded(
         &self,
         t: &ModelTelemetry,
@@ -693,19 +698,22 @@ impl CompiledModel {
         let tracing = t.tracing_enabled();
         let mut spans = Vec::new();
         let t_request = Instant::now();
-        for i in 0..self.ops.len() {
-            let t0 = Instant::now();
-            self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
-            let ns = t0.elapsed().as_nanos() as u64;
-            t.record_op(i, ns);
-            if tracing {
-                spans.push(OpSpan {
-                    op_index: i as u64,
-                    name: self.ops[i].name().to_string(),
-                    duration_ns: ns,
-                });
+        t.perf_request_scope(|| -> Result<(), BitFlowError> {
+            for i in 0..self.ops.len() {
+                let t0 = Instant::now();
+                self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+                let ns = t0.elapsed().as_nanos() as u64;
+                t.record_op(i, ns);
+                if tracing {
+                    spans.push(OpSpan {
+                        op_index: i as u64,
+                        name: self.ops[i].name().to_string(),
+                        duration_ns: ns,
+                    });
+                }
             }
-        }
+            Ok(())
+        })?;
         if tracing {
             t.record_request(&RequestTrace {
                 request_id,

@@ -136,6 +136,103 @@ pub fn features() -> HwFeatures {
     *CACHE.get_or_init(HwFeatures::detect)
 }
 
+/// Where a [`MachineInfo`] frequency estimate came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreqSource {
+    /// Parsed from `/proc/cpuinfo` (`cpu MHz`, max over cores).
+    Cpuinfo,
+    /// Timed dependent-multiply chain (3 cycles per iteration assumed).
+    Calibrated,
+    /// Neither worked; a conservative 2.0 GHz default.
+    Assumed,
+}
+
+/// What the roofline model needs to know about the machine beyond ISA
+/// feature bits: how many cores it has and how fast they run. The paper's
+/// speedups are all relative to hardware peak; this struct is the
+/// denominator's raw material.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// SIMD capability flags (same as [`features`]).
+    pub features: HwFeatures,
+    /// Logical cores visible to this process.
+    pub logical_cores: usize,
+    /// Estimated sustained core frequency in GHz. An *estimate*: cpuinfo
+    /// reports the current governor frequency, and the calibration loop
+    /// assumes a 3-cycle dependent multiply — either is within the ~10%
+    /// accuracy a roofline needs.
+    pub freq_ghz: f64,
+    /// Where the frequency estimate came from.
+    pub freq_source: FreqSource,
+}
+
+impl MachineInfo {
+    /// Queries the running machine (features, core count, frequency).
+    pub fn detect() -> Self {
+        let (freq_ghz, freq_source) = match cpuinfo_max_mhz() {
+            Some(mhz) if mhz > 100.0 => (mhz / 1e3, FreqSource::Cpuinfo),
+            _ => match calibrate_ghz() {
+                Some(ghz) => (ghz, FreqSource::Calibrated),
+                None => (2.0, FreqSource::Assumed),
+            },
+        };
+        Self {
+            features: features(),
+            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            freq_ghz,
+            freq_source,
+        }
+    }
+}
+
+/// Process-wide cached [`MachineInfo`] (frequency is sampled once).
+pub fn machine() -> MachineInfo {
+    static CACHE: OnceLock<MachineInfo> = OnceLock::new();
+    *CACHE.get_or_init(MachineInfo::detect)
+}
+
+/// Maximum `cpu MHz` reported by `/proc/cpuinfo`, if the file exists and
+/// carries the field (bare-metal and most VMs do; some containers do not).
+fn cpuinfo_max_mhz() -> Option<f64> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    text.lines()
+        .filter(|l| l.starts_with("cpu MHz"))
+        .filter_map(|l| l.split(':').nth(1)?.trim().parse::<f64>().ok())
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+}
+
+/// Frequency estimate from a timed dependent-multiply chain. A 64-bit
+/// integer multiply has had 3-cycle latency on every mainstream x86 core
+/// since Sandy Bridge, so `3 × iterations / elapsed` approximates the
+/// clock. Returns `None` for implausible results (interpreter-speed debug
+/// builds, pathological preemption).
+fn calibrate_ghz() -> Option<f64> {
+    use std::time::Instant;
+    const ITERS: u64 = 10_000_000;
+    let mut x: u64 = std::hint::black_box(0x9E37_79B9_7F4A_7C15);
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        // LCG step: the multiply's 3-cycle latency chain dominates; the
+        // add hides in the same dependency slot.
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    let dt = t0.elapsed();
+    std::hint::black_box(x);
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    let ghz = 3.0 * ITERS as f64 / secs / 1e9;
+    // Anything outside [0.2, 8] GHz means the 1-mul-per-3-cycles model
+    // didn't hold (unoptimized build, SMT preemption storm): report failure
+    // rather than a wild number.
+    (0.2..=8.0).contains(&ghz).then_some(ghz)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +273,28 @@ mod tests {
         // Capping never re-enables features.
         assert!(!full.capped(128).avx2);
         assert_eq!(full.capped(512), full);
+    }
+
+    #[test]
+    fn machine_info_is_sane_and_cached() {
+        let m = machine();
+        assert_eq!(m, machine(), "second call returns the cached value");
+        assert!(m.logical_cores >= 1);
+        assert!(
+            (0.2..=8.0).contains(&m.freq_ghz),
+            "freq {} GHz from {:?}",
+            m.freq_ghz,
+            m.freq_source
+        );
+        assert_eq!(m.features, features());
+    }
+
+    #[test]
+    fn machine_info_round_trips_through_json() {
+        let m = machine();
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: MachineInfo = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
     }
 
     #[test]

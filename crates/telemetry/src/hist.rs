@@ -47,6 +47,22 @@ fn bucket_midpoint(idx: usize) -> u64 {
     lo + width / 2
 }
 
+/// The largest value a bucket can hold (inclusive) — the `le` bound the
+/// Prometheus exporter publishes for the bucket.
+pub fn bucket_upper_edge(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    if idx >= BUCKETS - 1 {
+        // The final bucket absorbs everything up to u64::MAX.
+        return u64::MAX;
+    }
+    let octave = ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let width = 1u64 << octave;
+    (1u64 << (octave + SUB_BITS)) + (sub + 1) * width - 1
+}
+
 /// A concurrent histogram of `u64` samples (nanoseconds, by convention).
 ///
 /// All operations are lock-free; [`LatencyHistogram::record`] is the only
@@ -151,6 +167,62 @@ mod tests {
         for idx in 0..BUCKETS - 1 {
             let mid = bucket_midpoint(idx);
             assert_eq!(bucket_index(mid), idx, "idx={idx} mid={mid}");
+        }
+    }
+
+    #[test]
+    fn upper_edges_are_tight_and_strictly_increasing() {
+        let mut prev = None;
+        for idx in 0..BUCKETS - 1 {
+            let hi = bucket_upper_edge(idx);
+            // The edge itself belongs to the bucket; the next value does not.
+            assert_eq!(bucket_index(hi), idx, "idx={idx} hi={hi}");
+            assert_eq!(bucket_index(hi + 1), idx + 1, "idx={idx} hi={hi}");
+            assert!(bucket_midpoint(idx) <= hi);
+            if let Some(p) = prev {
+                assert!(hi > p);
+            }
+            prev = Some(hi);
+        }
+        assert_eq!(bucket_upper_edge(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_on_adversarial_distributions() {
+        // The 6.25% bound must hold even on distributions built to stress
+        // the bucketing: values just past bucket edges, heavy point masses,
+        // two far-apart modes, and a geometric tail spanning many octaves.
+        let adversarial: Vec<Vec<u64>> = vec![
+            // Just-past-the-edge values: worst case for midpoint error.
+            (4..20).map(|o| (1u64 << o) + 1).collect(),
+            // Point mass + far outlier: quantiles snap between modes.
+            std::iter::repeat_n(999u64, 1000)
+                .chain([1_000_000])
+                .collect(),
+            // Two modes at a 1000× distance.
+            (0..500)
+                .map(|i| if i % 2 == 0 { 1_500 } else { 1_500_000 })
+                .collect(),
+            // Geometric tail: one sample per octave across 40 octaves.
+            (0..40).map(|o| 3u64 << o).collect(),
+        ];
+        for (case, values) in adversarial.iter().enumerate() {
+            let h = LatencyHistogram::new();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &v in values {
+                h.record(v);
+            }
+            for p in [1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+                let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+                let exact = sorted[rank - 1] as f64;
+                let got = h.percentile(p) as f64;
+                let rel = (got - exact).abs() / exact.max(1.0);
+                assert!(
+                    rel <= 0.0625,
+                    "case {case} p{p}: got {got}, exact {exact}, rel {rel:.4}"
+                );
+            }
         }
     }
 

@@ -29,10 +29,16 @@
 
 mod hist;
 mod metrics;
+mod prometheus;
+pub mod roofline;
 mod snapshot;
 mod span;
 
-pub use hist::{percentile_of, LatencyHistogram};
+pub use hist::{bucket_upper_edge, percentile_of, LatencyHistogram};
 pub use metrics::{BatchGauges, ModelTelemetry, OpCost, OpDescriptor, OpKind, TileStats};
-pub use snapshot::{BatchSnapshot, MetricsSnapshot, OpSnapshot};
+pub use roofline::{BwSource, Roofline};
+pub use snapshot::{
+    BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
+    SCHEMA_VERSION,
+};
 pub use span::{JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink};

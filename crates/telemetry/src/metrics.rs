@@ -12,12 +12,15 @@
 //! the tile shape. The hot path records only latency; rates like GOPS and
 //! bandwidth fall out at snapshot time as `cost × calls / total_ns`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use bitflow_simd::perf::{self, PerfSample};
 use serde::{Deserialize, Serialize};
 
-use crate::hist::LatencyHistogram;
-use crate::snapshot::{BatchSnapshot, MetricsSnapshot, OpSnapshot};
+use crate::hist::{bucket_upper_edge, LatencyHistogram};
+use crate::snapshot::{
+    BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, SCHEMA_VERSION,
+};
 use crate::span::{NoopSink, RequestTrace, SpanSink};
 
 /// Coarse operator category, mirroring the engine's runtime op set.
@@ -196,15 +199,36 @@ impl BatchGauges {
     }
 }
 
+/// Hardware-counter totals accumulated across sampled requests. All
+/// relaxed atomics; the optional events track how many samples actually
+/// carried them so absence is never reported as zero.
+#[derive(Default)]
+struct PerfTotals {
+    sampled_requests: AtomicU64,
+    cycles: AtomicU64,
+    instructions: AtomicU64,
+    llc_misses: AtomicU64,
+    llc_samples: AtomicU64,
+    branch_misses: AtomicU64,
+    branch_samples: AtomicU64,
+}
+
+/// Whether BITFLOW_PERF explicitly disables counter sampling.
+fn perf_disabled_by_env() -> bool {
+    std::env::var_os("BITFLOW_PERF").is_some_and(|v| v.as_os_str() == "0")
+}
+
 /// All telemetry state for one compiled model: per-operator channels,
-/// batch gauges, and the span sink. Shared behind `Arc` by every thread
-/// serving the model.
+/// batch gauges, perf-counter totals, and the span sink. Shared behind
+/// `Arc` by every thread serving the model.
 pub struct ModelTelemetry {
     model: String,
     ops: Vec<OpChannel>,
     batch: BatchGauges,
     sink: Box<dyn SpanSink>,
     request_ids: AtomicU64,
+    perf_sampling: AtomicBool,
+    perf: PerfTotals,
 }
 
 impl ModelTelemetry {
@@ -228,12 +252,19 @@ impl ModelTelemetry {
                 metrics: OpMetrics::new(),
             })
             .collect();
+        // Sampling defaults to on whenever the machine can deliver it;
+        // BITFLOW_PERF=0 opts out. Probing here (construction happens at
+        // enable-telemetry time, off the hot path) keeps the per-request
+        // check a single relaxed load.
+        let sampling = !perf_disabled_by_env() && perf::probe().is_ok();
         Self {
             model: model.into(),
             ops,
             batch: BatchGauges::default(),
             sink,
             request_ids: AtomicU64::new(0),
+            perf_sampling: AtomicBool::new(sampling),
+            perf: PerfTotals::default(),
         }
     }
 
@@ -279,16 +310,103 @@ impl ModelTelemetry {
         &self.batch
     }
 
-    /// Consistent point-in-time copy of every counter, with percentiles and
-    /// rates (GOPS, bandwidth) computed from the static cost model.
+    /// Whether per-request hardware-counter sampling is active.
+    #[inline]
+    pub fn perf_sampling(&self) -> bool {
+        self.perf_sampling.load(Ordering::Relaxed)
+    }
+
+    /// Turns hardware-counter sampling on or off at runtime. Turning it on
+    /// on a machine without counter access is harmless: every request
+    /// degrades to the uncounted path.
+    pub fn set_perf_sampling(&self, on: bool) {
+        self.perf_sampling.store(on, Ordering::Relaxed);
+    }
+
+    /// Accumulates one request's counter sample.
+    pub fn record_perf_sample(&self, s: &PerfSample) {
+        self.perf.sampled_requests.fetch_add(1, Ordering::Relaxed);
+        self.perf.cycles.fetch_add(s.cycles, Ordering::Relaxed);
+        self.perf
+            .instructions
+            .fetch_add(s.instructions, Ordering::Relaxed);
+        if let Some(v) = s.llc_misses {
+            self.perf.llc_misses.fetch_add(v, Ordering::Relaxed);
+            self.perf.llc_samples.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(v) = s.branch_misses {
+            self.perf.branch_misses.fetch_add(v, Ordering::Relaxed);
+            self.perf.branch_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs `f` with this thread's hardware-counter group counting, and
+    /// accumulates the sample into the model totals. When sampling is off
+    /// or counters are unavailable, `f` runs directly — the only cost is
+    /// one relaxed load. Allocation-free in every steady-state path.
+    #[inline]
+    pub fn perf_request_scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !self.perf_sampling.load(Ordering::Relaxed) {
+            return f();
+        }
+        perf::with_thread_group(|g| match g {
+            Some(g) => {
+                let (r, sample) = g.measure(f);
+                if let Some(s) = sample {
+                    self.record_perf_sample(&s);
+                }
+                r
+            }
+            None => f(),
+        })
+    }
+
+    fn perf_snapshot(&self) -> PerfSnapshot {
+        let status = if perf_disabled_by_env() {
+            "disabled".to_string()
+        } else {
+            match perf::probe() {
+                Ok(_) => "ok".to_string(),
+                Err(reason) => format!("unavailable: {reason}"),
+            }
+        };
+        let sampled = self.perf.sampled_requests.load(Ordering::Relaxed);
+        let cycles = (sampled > 0).then(|| self.perf.cycles.load(Ordering::Relaxed));
+        let instructions = (sampled > 0).then(|| self.perf.instructions.load(Ordering::Relaxed));
+        let ipc = match (cycles, instructions) {
+            (Some(c), Some(i)) if c > 0 => Some(i as f64 / c as f64),
+            _ => None,
+        };
+        PerfSnapshot {
+            status,
+            sampled_requests: sampled,
+            cycles,
+            instructions,
+            llc_misses: (self.perf.llc_samples.load(Ordering::Relaxed) > 0)
+                .then(|| self.perf.llc_misses.load(Ordering::Relaxed)),
+            branch_misses: (self.perf.branch_samples.load(Ordering::Relaxed) > 0)
+                .then(|| self.perf.branch_misses.load(Ordering::Relaxed)),
+            ipc,
+        }
+    }
+
+    /// Consistent point-in-time copy of every counter, with percentiles,
+    /// rates (GOPS, bandwidth), and roofline attribution computed from the
+    /// static cost model and the cached machine roofline.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let ops = self.ops.iter().map(op_snapshot).collect();
-        MetricsSnapshot {
+        let roofline = crate::roofline::current();
+        let mut snap = MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
             model: self.model.clone(),
             requests: self.request_ids.load(Ordering::Relaxed),
+            machine: roofline.to_snapshot(),
+            perf: self.perf_snapshot(),
             ops,
             batch: self.batch.snapshot(),
-        }
+        };
+        roofline.annotate(&mut snap);
+        snap
     }
 
     /// Zeroes all counters and histograms (the queued-items gauge and the
@@ -298,6 +416,17 @@ impl ModelTelemetry {
             ch.metrics.reset();
         }
         self.batch.reset();
+        for c in [
+            &self.perf.sampled_requests,
+            &self.perf.cycles,
+            &self.perf.instructions,
+            &self.perf.llc_misses,
+            &self.perf.llc_samples,
+            &self.perf.branch_misses,
+            &self.perf.branch_samples,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -331,6 +460,16 @@ fn op_snapshot(ch: &OpChannel) -> OpSnapshot {
     } else {
         0.0
     };
+    let buckets = ch.metrics.hist.snapshot_buckets();
+    let hist = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(idx, &count)| HistBucket {
+            le_ns: bucket_upper_edge(idx),
+            count,
+        })
+        .collect();
     OpSnapshot {
         name: ch.name.clone(),
         kind: ch.kind,
@@ -338,14 +477,19 @@ fn op_snapshot(ch: &OpChannel) -> OpSnapshot {
         total_ns,
         mean_ns,
         max_ns,
-        p50_ns: ch.metrics.hist.percentile(50.0),
-        p95_ns: ch.metrics.hist.percentile(95.0),
-        p99_ns: ch.metrics.hist.percentile(99.0),
+        p50_ns: crate::hist::percentile_of(&buckets, 50.0),
+        p95_ns: crate::hist::percentile_of(&buckets, 95.0),
+        p99_ns: crate::hist::percentile_of(&buckets, 99.0),
         bit_ops_per_call: ch.cost.bit_ops,
         bytes_read_per_call: ch.cost.bytes_read,
         bytes_written_per_call: ch.cost.bytes_written,
         gops,
         gb_per_s,
+        // Roofline attribution is stamped by `Roofline::annotate`.
+        pct_of_peak_compute: 0.0,
+        pct_of_peak_bandwidth: 0.0,
+        bound: OpBound::Idle,
+        hist,
         tile: ch.cost.tile,
     }
 }

@@ -1,0 +1,385 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! [`MetricsSnapshot::to_prometheus`] renders the version-0.0.4 text
+//! format: one `# HELP`/`# TYPE` header per metric family, all series of a
+//! family contiguous, label values escaped, histogram buckets cumulative
+//! and terminated with `le="+Inf"`. The output is a plain `String` so a
+//! future HTTP endpoint can serve it verbatim; today the bench bins print
+//! it and the tests parse it back.
+//!
+//! Counter families use the `_total` suffix convention; achieved rates and
+//! roofline percentages are gauges (they can go down); per-operator
+//! latency is a native histogram family derived from the log2-octave
+//! buckets, with each bucket's inclusive upper edge as its `le` bound.
+
+use std::fmt::Write;
+
+use crate::snapshot::{MetricsSnapshot, OpBound};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        let model = escape_label(&self.model);
+
+        fn family(s: &mut String, name: &str, help: &str, kind: &str, rows: Vec<(String, String)>) {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} {kind}");
+            for (labels, value) in rows {
+                let _ = writeln!(s, "{name}{{{labels}}} {value}");
+            }
+        }
+        let op_labels = |op: &crate::snapshot::OpSnapshot| {
+            format!(
+                "model=\"{model}\",op=\"{}\",kind=\"{}\"",
+                escape_label(&op.name),
+                op.kind.label()
+            )
+        };
+
+        family(
+            &mut s,
+            "bitflow_requests_total",
+            "Requests that have entered the engine (including in-flight).",
+            "counter",
+            vec![(format!("model=\"{model}\""), self.requests.to_string())],
+        );
+
+        family(
+            &mut s,
+            "bitflow_op_calls_total",
+            "Recorded operator invocations.",
+            "counter",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), op.calls.to_string()))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_time_ns_total",
+            "Wall time attributed to the operator, nanoseconds.",
+            "counter",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), op.total_ns.to_string()))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_gops",
+            "Sustained xor+popcount throughput, GOPS.",
+            "gauge",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), fmt_f64(op.gops)))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_gb_per_s",
+            "Sustained memory traffic, GB/s.",
+            "gauge",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), fmt_f64(op.gb_per_s)))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_pct_of_peak_compute",
+            "Achieved share of the machine's peak xor+popcount throughput, percent.",
+            "gauge",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), fmt_f64(op.pct_of_peak_compute)))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_pct_of_peak_bandwidth",
+            "Achieved share of the machine's peak memory bandwidth, percent.",
+            "gauge",
+            self.ops
+                .iter()
+                .map(|op| (op_labels(op), fmt_f64(op.pct_of_peak_bandwidth)))
+                .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_op_memory_bound",
+            "Roofline verdict: 1 memory-bound, 0 compute-bound, absent idle.",
+            "gauge",
+            self.ops
+                .iter()
+                .filter(|op| op.bound != OpBound::Idle)
+                .map(|op| {
+                    let v = if op.bound == OpBound::Memory {
+                        "1"
+                    } else {
+                        "0"
+                    };
+                    (op_labels(op), v.to_string())
+                })
+                .collect(),
+        );
+
+        // Histogram family: cumulative buckets from the sparse snapshot.
+        let mut hist_rows = Vec::new();
+        for op in &self.ops {
+            let labels = op_labels(op);
+            let mut cum = 0u64;
+            for b in &op.hist {
+                cum += b.count;
+                hist_rows.push((format!("{labels},le=\"{}\"", b.le_ns), cum.to_string()));
+            }
+            hist_rows.push((format!("{labels},le=\"+Inf\""), op.calls.to_string()));
+        }
+        family(
+            &mut s,
+            "bitflow_op_latency_ns",
+            "Per-call operator latency, nanoseconds (log2-octave buckets).",
+            "histogram",
+            hist_rows,
+        );
+        // _sum/_count live outside the bucket family header.
+        for op in &self.ops {
+            let labels = op_labels(op);
+            let _ = writeln!(s, "bitflow_op_latency_ns_sum{{{labels}}} {}", op.total_ns);
+            let _ = writeln!(s, "bitflow_op_latency_ns_count{{{labels}}} {}", op.calls);
+        }
+
+        let m = &self.machine;
+        let mlab = format!("model=\"{model}\"");
+        family(
+            &mut s,
+            "bitflow_machine_peak_gops",
+            "Theoretical peak xor+popcount throughput, GOPS.",
+            "gauge",
+            vec![(mlab.clone(), fmt_f64(m.peak_gops))],
+        );
+        family(
+            &mut s,
+            "bitflow_machine_peak_gb_per_s",
+            "Peak streaming memory bandwidth, GB/s.",
+            "gauge",
+            vec![(mlab.clone(), fmt_f64(m.peak_gb_per_s))],
+        );
+        family(
+            &mut s,
+            "bitflow_machine_freq_ghz",
+            "Estimated sustained core frequency, GHz.",
+            "gauge",
+            vec![(mlab.clone(), fmt_f64(m.freq_ghz))],
+        );
+        family(
+            &mut s,
+            "bitflow_machine_logical_cores",
+            "Logical cores visible to the process.",
+            "gauge",
+            vec![(mlab.clone(), m.logical_cores.to_string())],
+        );
+
+        family(
+            &mut s,
+            "bitflow_perf_sampled_requests_total",
+            "Requests wrapped in a hardware-counter group.",
+            "counter",
+            vec![(mlab.clone(), self.perf.sampled_requests.to_string())],
+        );
+        family(
+            &mut s,
+            "bitflow_perf_available",
+            "Whether hardware counters are being collected (status label).",
+            "gauge",
+            vec![(
+                format!(
+                    "model=\"{model}\",status=\"{}\"",
+                    escape_label(&self.perf.status)
+                ),
+                (if self.perf.status == "ok" { "1" } else { "0" }).to_string(),
+            )],
+        );
+        let perf_counters: [(&str, &str, Option<u64>); 4] = [
+            (
+                "bitflow_perf_cycles_total",
+                "Core cycles across sampled requests.",
+                self.perf.cycles,
+            ),
+            (
+                "bitflow_perf_instructions_total",
+                "Retired instructions across sampled requests.",
+                self.perf.instructions,
+            ),
+            (
+                "bitflow_perf_llc_misses_total",
+                "Last-level-cache misses across sampled requests.",
+                self.perf.llc_misses,
+            ),
+            (
+                "bitflow_perf_branch_misses_total",
+                "Mispredicted branches across sampled requests.",
+                self.perf.branch_misses,
+            ),
+        ];
+        for (name, help, value) in perf_counters {
+            if let Some(v) = value {
+                family(
+                    &mut s,
+                    name,
+                    help,
+                    "counter",
+                    vec![(mlab.clone(), v.to_string())],
+                );
+            }
+        }
+
+        let b = &self.batch;
+        family(
+            &mut s,
+            "bitflow_batch_items_total",
+            "Items accepted across all batches.",
+            "counter",
+            vec![(mlab.clone(), b.items.to_string())],
+        );
+        family(
+            &mut s,
+            "bitflow_batch_failed_items_total",
+            "Items that returned an error.",
+            "counter",
+            vec![(mlab.clone(), b.failed_items.to_string())],
+        );
+        family(
+            &mut s,
+            "bitflow_batch_queued_items",
+            "Items currently in flight inside try_infer_batch.",
+            "gauge",
+            vec![(mlab, b.queued_items.to_string())],
+        );
+
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::snapshot::{
+        BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot,
+        PerfSnapshot, SCHEMA_VERSION,
+    };
+    use crate::OpKind;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            model: "small-cnn".to_string(),
+            requests: 8,
+            machine: MachineSnapshot {
+                features: "sse2+avx2".to_string(),
+                simd_width_bits: 256,
+                logical_cores: 2,
+                freq_ghz: 2.1,
+                freq_source: "cpuinfo".to_string(),
+                peak_gops: 2150.4,
+                peak_gb_per_s: 11.5,
+                bw_source: "measured".to_string(),
+            },
+            perf: PerfSnapshot::unavailable("no PMU"),
+            ops: vec![OpSnapshot {
+                name: "conv1".to_string(),
+                kind: OpKind::Conv,
+                calls: 8,
+                total_ns: 8_000,
+                mean_ns: 1_000.0,
+                max_ns: 1_500,
+                p50_ns: 1_008,
+                p95_ns: 1_488,
+                p99_ns: 1_488,
+                bit_ops_per_call: 1_000_000,
+                bytes_read_per_call: 4_096,
+                bytes_written_per_call: 1_024,
+                gops: 1_000.0,
+                gb_per_s: 5.12,
+                pct_of_peak_compute: 46.5,
+                pct_of_peak_bandwidth: 44.5,
+                bound: OpBound::Compute,
+                hist: vec![
+                    HistBucket {
+                        le_ns: 1_023,
+                        count: 5,
+                    },
+                    HistBucket {
+                        le_ns: 1_535,
+                        count: 3,
+                    },
+                ],
+                tile: None,
+            }],
+            batch: BatchSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn exposition_has_headers_and_series() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_requests_total counter"));
+        assert!(text.contains("bitflow_requests_total{model=\"small-cnn\"} 8"));
+        assert!(text
+            .contains("bitflow_op_calls_total{model=\"small-cnn\",op=\"conv1\",kind=\"conv\"} 8"));
+        assert!(text.contains("# TYPE bitflow_op_latency_ns histogram"));
+        assert!(text.contains("le=\"+Inf\"} 8"));
+        assert!(text.contains("bitflow_op_latency_ns_sum"));
+        assert!(text.contains("bitflow_op_latency_ns_count"));
+        assert!(text.contains("status=\"unavailable: no PMU\"} 0"));
+        // Unavailable counters are absent, not zero.
+        assert!(!text.contains("bitflow_perf_cycles_total{"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = snap().to_prometheus();
+        let c1023 = text
+            .lines()
+            .find(|l| l.contains("le=\"1023\""))
+            .expect("first bucket");
+        let c1535 = text
+            .lines()
+            .find(|l| l.contains("le=\"1535\""))
+            .expect("second bucket");
+        assert!(c1023.ends_with(" 5"), "{c1023}");
+        assert!(c1535.ends_with(" 8"), "{c1535}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        let mut s = snap();
+        s.model = "a\"b\\c\nd".to_string();
+        let text = s.to_prometheus();
+        assert!(text.contains("model=\"a\\\"b\\\\c\\nd\""));
+    }
+}

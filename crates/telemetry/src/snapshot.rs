@@ -8,6 +8,96 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::{OpKind, TileStats};
 
+/// Schema version written into every [`MetricsSnapshot`] (and, via the
+/// bench crate, every `results/*.json` artifact). v1 was the PR-3 snapshot
+/// without roofline, machine, or perf-counter fields; v2 added them.
+/// Readers must refuse to overwrite files written by a *newer* schema.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// One non-empty latency-histogram bucket: `count` samples with values
+/// `≤ le_ns` (and greater than the previous bucket's edge). Sparse — only
+/// occupied buckets are stored — and non-cumulative; the Prometheus
+/// exporter accumulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Inclusive upper edge of the bucket, nanoseconds.
+    pub le_ns: u64,
+    /// Samples that landed in this bucket.
+    pub count: u64,
+}
+
+/// Roofline verdict for one operator: which peak it is closer to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpBound {
+    /// Closer to peak xor+popcount throughput than to peak bandwidth.
+    Compute,
+    /// Closer to peak memory bandwidth.
+    Memory,
+    /// No calls recorded — nothing to attribute.
+    Idle,
+}
+
+/// The machine the snapshot was taken on, plus its roofline peaks. Flat
+/// strings/numbers so the schema is self-describing in JSON.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    /// Detected ISA features, e.g. `"sse2+ssse3+popcnt+avx2"`.
+    pub features: String,
+    /// Widest usable xor+popcount path, bits.
+    pub simd_width_bits: u64,
+    /// Logical cores visible to the process.
+    pub logical_cores: u64,
+    /// Estimated sustained core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Where the frequency came from: `"cpuinfo"`, `"calibrated"`, `"assumed"`.
+    pub freq_source: String,
+    /// Theoretical peak xor+popcount throughput, GOPS (2 bit-ops per
+    /// evaluated position × SIMD width × frequency × cores).
+    pub peak_gops: f64,
+    /// Peak memory bandwidth used as the roofline's slanted ceiling, GB/s.
+    pub peak_gb_per_s: f64,
+    /// Where the bandwidth peak came from: `"measured"` or `"env"`.
+    pub bw_source: String,
+}
+
+/// Hardware-counter totals accumulated across sampled requests.
+///
+/// The contract of the acceptance criteria: counter fields are populated
+/// *or explicitly marked unavailable* — `status` always says which, and
+/// `None` never silently means zero.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerfSnapshot {
+    /// `"ok"`, `"disabled"` (BITFLOW_PERF=0), or `"unavailable: <reason>"`.
+    pub status: String,
+    /// Requests the counter group was wrapped around.
+    pub sampled_requests: u64,
+    /// Total core cycles across sampled requests.
+    pub cycles: Option<u64>,
+    /// Total retired instructions across sampled requests.
+    pub instructions: Option<u64>,
+    /// Total last-level-cache misses, when the PMU granted the event.
+    pub llc_misses: Option<u64>,
+    /// Total mispredicted branches, when the PMU granted the event.
+    pub branch_misses: Option<u64>,
+    /// Instructions per cycle over all sampled requests.
+    pub ipc: Option<f64>,
+}
+
+impl PerfSnapshot {
+    /// A snapshot that explains why no counters were collected.
+    pub fn unavailable(reason: &str) -> Self {
+        Self {
+            status: format!("unavailable: {reason}"),
+            sampled_requests: 0,
+            cycles: None,
+            instructions: None,
+            llc_misses: None,
+            branch_misses: None,
+            ipc: None,
+        }
+    }
+}
+
 /// Point-in-time counters for one operator, with derived percentiles and
 /// rates.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -41,6 +131,15 @@ pub struct OpSnapshot {
     pub gops: f64,
     /// Sustained memory traffic in GB/s (bytes moved / total time).
     pub gb_per_s: f64,
+    /// Achieved share of the machine's peak xor+popcount throughput, in
+    /// percent (`100 × gops / peak_gops`). 0 when idle.
+    pub pct_of_peak_compute: f64,
+    /// Achieved share of the machine's peak memory bandwidth, in percent.
+    pub pct_of_peak_bandwidth: f64,
+    /// Roofline verdict: compute-bound, memory-bound, or idle.
+    pub bound: OpBound,
+    /// Occupied latency-histogram buckets (sparse, non-cumulative).
+    pub hist: Vec<HistBucket>,
     /// bgemm tile geometry for GEMM-backed operators.
     pub tile: Option<TileStats>,
 }
@@ -65,10 +164,16 @@ pub struct BatchSnapshot {
 /// Everything a model's telemetry knows, frozen at one instant.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Snapshot schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Model name the telemetry was built for.
     pub model: String,
     /// Requests that have entered the engine (including in-flight).
     pub requests: u64,
+    /// The machine and its roofline peaks.
+    pub machine: MachineSnapshot,
+    /// Hardware-counter totals (or why they are absent).
+    pub perf: PerfSnapshot,
     /// One entry per operator, in execution order.
     pub ops: Vec<OpSnapshot>,
     /// Batch-serving counters.
@@ -96,8 +201,28 @@ mod tests {
 
     fn sample() -> MetricsSnapshot {
         MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
             model: "vgg16".to_string(),
             requests: 3,
+            machine: MachineSnapshot {
+                features: "sse2+avx2".to_string(),
+                simd_width_bits: 256,
+                logical_cores: 4,
+                freq_ghz: 2.1,
+                freq_source: "cpuinfo".to_string(),
+                peak_gops: 4300.8,
+                peak_gb_per_s: 12.0,
+                bw_source: "measured".to_string(),
+            },
+            perf: PerfSnapshot {
+                status: "ok".to_string(),
+                sampled_requests: 3,
+                cycles: Some(6_300_000),
+                instructions: Some(12_600_000),
+                llc_misses: Some(1_024),
+                branch_misses: None,
+                ipc: Some(2.0),
+            },
             ops: vec![
                 OpSnapshot {
                     name: "conv1".to_string(),
@@ -114,6 +239,19 @@ mod tests {
                     bytes_written_per_call: 1_024,
                     gops: 1_000.0,
                     gb_per_s: 5.12,
+                    pct_of_peak_compute: 23.25,
+                    pct_of_peak_bandwidth: 42.67,
+                    bound: OpBound::Memory,
+                    hist: vec![
+                        HistBucket {
+                            le_ns: 1_023,
+                            count: 2,
+                        },
+                        HistBucket {
+                            le_ns: 1_215,
+                            count: 1,
+                        },
+                    ],
                     tile: Some(TileStats {
                         m: 1024,
                         k: 64,
@@ -138,6 +276,13 @@ mod tests {
                     bytes_written_per_call: 512,
                     gops: 0.0,
                     gb_per_s: 12.8,
+                    pct_of_peak_compute: 0.0,
+                    pct_of_peak_bandwidth: 100.0,
+                    bound: OpBound::Memory,
+                    hist: vec![HistBucket {
+                        le_ns: 255,
+                        count: 3,
+                    }],
                     tile: None,
                 },
             ],
@@ -157,8 +302,11 @@ mod tests {
         let snap = sample();
         let json = serde_json::to_string_pretty(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.model, snap.model);
         assert_eq!(back.requests, snap.requests);
+        assert_eq!(back.machine, snap.machine);
+        assert_eq!(back.perf, snap.perf);
         assert_eq!(back.batch, snap.batch);
         assert_eq!(back.ops.len(), snap.ops.len());
         for (a, b) in back.ops.iter().zip(snap.ops.iter()) {
@@ -174,6 +322,10 @@ mod tests {
             assert!((a.mean_ns - b.mean_ns).abs() < 1e-9);
             assert!((a.gops - b.gops).abs() < 1e-9);
             assert!((a.gb_per_s - b.gb_per_s).abs() < 1e-9);
+            assert!((a.pct_of_peak_compute - b.pct_of_peak_compute).abs() < 1e-9);
+            assert!((a.pct_of_peak_bandwidth - b.pct_of_peak_bandwidth).abs() < 1e-9);
+            assert_eq!(a.bound, b.bound);
+            assert_eq!(a.hist, b.hist);
             assert_eq!(a.tile, b.tile);
         }
     }

@@ -154,6 +154,17 @@ impl JsonLinesSink {
     }
 }
 
+impl Drop for JsonLinesSink {
+    /// Flushes buffered lines so traces survive a mid-stream drop.
+    /// `BufWriter`'s own drop also flushes, but silently and only for
+    /// writers it owns; flushing here covers every writer and keeps the
+    /// guarantee in this type's contract rather than an implementation
+    /// detail of the wrapped `Write`.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 impl SpanSink for JsonLinesSink {
     fn record(&self, trace: &RequestTrace) {
         let Ok(line) = serde_json::to_string(trace) else {
@@ -249,6 +260,61 @@ mod tests {
             assert_eq!(parsed.request_id, i as u64 + 1);
             assert_eq!(parsed.spans.len(), 1);
         }
+    }
+
+    #[test]
+    fn dropping_mid_stream_loses_no_lines() {
+        // The sink wraps a BufWriter over a shared buffer; with 64 KiB of
+        // default buffering, small traces sit unflushed until drop. Every
+        // recorded line must still be present afterwards.
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                match self.0.lock() {
+                    Ok(mut v) => v.extend_from_slice(buf),
+                    Err(p) => p.into_inner().extend_from_slice(buf),
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let sink = JsonLinesSink::new(Box::new(io::BufWriter::new(shared.clone())));
+        const N: u64 = 50;
+        for id in 1..=N {
+            sink.record(&trace(id));
+        }
+        {
+            // Mid-stream: the buffered writer has not been flushed, so the
+            // shared buffer must be missing at least the most recent lines.
+            let seen = match shared.0.lock() {
+                Ok(v) => v.len(),
+                Err(p) => p.into_inner().len(),
+            };
+            let total: usize = (1..=N)
+                .map(|id| serde_json::to_string(&trace(id)).expect("json").len() + 1)
+                .sum();
+            assert!(seen < total, "writer flushed early; test premise broken");
+        }
+        drop(sink);
+        let bytes = match shared.0.lock() {
+            Ok(v) => v.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        let text = String::from_utf8(bytes).expect("utf8");
+        let ids: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<RequestTrace>(l)
+                    .expect("complete json line")
+                    .request_id
+            })
+            .collect();
+        assert_eq!(ids, (1..=N).collect::<Vec<_>>(), "all lines, in order");
     }
 
     #[test]

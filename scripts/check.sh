@@ -3,11 +3,26 @@
 #
 #   scripts/check.sh          # everything
 #   scripts/check.sh --fast   # skip the release build (lints + debug tests)
+#   scripts/check.sh --perf   # additionally run the bench-regression gate
+#                             # (quick mode, twice: blesses a baseline if
+#                             # missing, then gates against it) and print
+#                             # the roofline summary. Off by default —
+#                             # sandboxes without a PMU still work (the
+#                             # gate degrades to wall-clock-only), but CI
+#                             # machines with unstable clocks should opt in
+#                             # deliberately.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+perf=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        --perf) perf=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -28,5 +43,13 @@ cargo test -q
 
 echo "==> BITFLOW_BENCH_QUICK=1 cargo test -q --workspace (all crates, bench in quick mode)"
 BITFLOW_BENCH_QUICK=1 cargo test -q --workspace
+
+if [[ $perf -eq 1 ]]; then
+    echo "==> bench-regression gate (quick, twice: bless-if-needed then gate)"
+    cargo run --release -q -p bitflow-bench --bin regress -- --quick
+    cargo run --release -q -p bitflow-bench --bin regress -- --quick
+    echo "==> roofline summary (quick telemetry bench)"
+    cargo run --release -q -p bitflow-bench --bin telemetry -- --quick 2>/dev/null | grep '^roofline:'
+fi
 
 echo "OK"

@@ -98,6 +98,21 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+// `Value` participates in both traits as the identity conversion, so
+// callers can parse arbitrary JSON into a tree, edit it (e.g. stamp a
+// schema-version field), and serialize it back.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Conversion from the [`Value`] data model.
 pub trait Deserialize: Sized {
     /// Reconstructs `Self` from a value tree.
