@@ -35,6 +35,7 @@ pub use bitflow_gemm as gemm;
 pub use bitflow_gpumodel as gpumodel;
 pub use bitflow_graph as graph;
 pub use bitflow_ops as ops;
+pub use bitflow_serve as serve;
 pub use bitflow_simd as simd;
 pub use bitflow_telemetry as telemetry;
 pub use bitflow_tensor as tensor;
@@ -46,6 +47,11 @@ pub use bitflow_tensor as tensor;
 // `bitflow::SpanSink`.
 pub use bitflow_graph::CompiledModel;
 pub use bitflow_telemetry::{MetricsSnapshot, ModelTelemetry, Roofline, SpanSink, SCHEMA_VERSION};
+
+// The serving runtime, importable straight off the root crate: wrap a
+// `CompiledModel` in a `bitflow::Server` for bounded admission, deadlines,
+// panic isolation, and load shedding.
+pub use bitflow_serve::{Server, ServerConfig};
 
 /// Everything a typical user needs, one import away.
 pub mod prelude {
@@ -59,6 +65,9 @@ pub mod prelude {
         BinaryFcWeights,
     };
     pub use bitflow_ops::{ConvParams, SimdLevel};
+    pub use bitflow_serve::{
+        BreakerConfig, ChaosConfig, ResponseHandle, Server, ServerConfig, ShedPolicy,
+    };
     pub use bitflow_simd::{features, HwFeatures, VectorScheduler};
     pub use bitflow_telemetry::{
         JsonLinesSink, MachineSnapshot, MetricsSnapshot, ModelTelemetry, NoopSink, OpBound,

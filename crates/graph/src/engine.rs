@@ -25,6 +25,7 @@
 //! full-precision baseline engine (im2col conv + sgemm, float max-pool,
 //! sgemm FC).
 
+use crate::cancel::CancelToken;
 use crate::error::{BitFlowError, InputGeometry, SlotKind, SlotTypeError};
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use crate::weights::{LayerWeights, NetworkWeights};
@@ -42,8 +43,22 @@ use bitflow_telemetry::{
     TileStats,
 };
 use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
+use std::cell::Cell;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// A fault-injection hook called at every operator boundary with the
+/// operator's index and name. Installed per model by the chaos layer
+/// (`BITFLOW_CHAOS` via `bitflow-serve`); the hook may sleep (slow-op) or
+/// panic (panic-op). Disabled cost: one `OnceLock::get` per operator.
+pub type FaultHook = Arc<dyn Fn(usize, &str) + Send + Sync>;
+
+thread_local! {
+    /// Index of the operator currently executing on this thread, or
+    /// `usize::MAX` when none is. Lets the `catch_unwind` backstops name
+    /// the operator that panicked without any hot-path allocation.
+    static CURRENT_OP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
 
 /// A pre-allocated runtime buffer.
 enum Slot {
@@ -264,6 +279,9 @@ pub struct CompiledModel {
     /// thread records into the shared handle. The disabled cost is one
     /// `OnceLock::get` pointer check per request.
     telemetry: OnceLock<Arc<ModelTelemetry>>,
+    /// Fault-injection hook, empty in production. Same first-caller-wins
+    /// `OnceLock` discipline as telemetry.
+    fault_hook: OnceLock<FaultHook>,
 }
 
 // Compile-enforced: an `Arc<CompiledModel>` must be usable from any thread.
@@ -469,6 +487,7 @@ impl CompiledModel {
             float_bytes: weights.float_bytes(),
             packed_bytes: weights.packed_bytes(),
             telemetry: OnceLock::new(),
+            fault_hook: OnceLock::new(),
         })
     }
 
@@ -664,14 +683,32 @@ impl CompiledModel {
         ctx: &mut InferenceContext,
         input: &Tensor,
     ) -> Result<Vec<f32>, BitFlowError> {
+        self.try_infer_cancellable(ctx, input, &CancelToken::none())
+    }
+
+    /// [`CompiledModel::try_infer`] with a cooperative [`CancelToken`],
+    /// checked at every operator boundary: a cancelled token surfaces as
+    /// [`BitFlowError::Cancelled`], a passed deadline as
+    /// [`BitFlowError::DeadlineExceeded`]. Abandoning a run between
+    /// operators does not poison `ctx` — every operator fully overwrites
+    /// its output interior and padding margins are never written, so the
+    /// next complete run through the same context stays bit-identical to a
+    /// fresh one.
+    pub fn try_infer_cancellable(
+        &self,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f32>, BitFlowError> {
         self.check_request(ctx, input)?;
         match self.telemetry.get() {
             None => {
                 for i in 0..self.ops.len() {
+                    cancel.check()?;
                     self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
                 }
             }
-            Some(t) => self.run_ops_recorded(t, ctx, input)?,
+            Some(t) => self.run_ops_recorded(t, ctx, input, cancel)?,
         }
         Ok(ctx.slots[self.logits_slot]
             .vec()
@@ -693,6 +730,7 @@ impl CompiledModel {
         t: &ModelTelemetry,
         ctx: &mut InferenceContext,
         input: &Tensor,
+        cancel: &CancelToken,
     ) -> Result<(), BitFlowError> {
         let request_id = t.next_request_id();
         let tracing = t.tracing_enabled();
@@ -700,6 +738,7 @@ impl CompiledModel {
         let t_request = Instant::now();
         t.perf_request_scope(|| -> Result<(), BitFlowError> {
             for i in 0..self.ops.len() {
+                cancel.check()?;
                 let t0 = Instant::now();
                 self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
                 let ns = t0.elapsed().as_nanos() as u64;
@@ -743,9 +782,22 @@ impl CompiledModel {
         ctx: &mut InferenceContext,
         input: &Tensor,
     ) -> Result<ProfiledLogits, BitFlowError> {
+        self.try_infer_profiled_cancellable(ctx, input, &CancelToken::none())
+    }
+
+    /// [`CompiledModel::try_infer_profiled`] with a cooperative
+    /// [`CancelToken`] checked at every operator boundary (same contract
+    /// as [`CompiledModel::try_infer_cancellable`]).
+    pub fn try_infer_profiled_cancellable(
+        &self,
+        ctx: &mut InferenceContext,
+        input: &Tensor,
+        cancel: &CancelToken,
+    ) -> Result<ProfiledLogits, BitFlowError> {
         self.check_request(ctx, input)?;
         let mut times = Vec::with_capacity(self.ops.len());
         for i in 0..self.ops.len() {
+            cancel.check()?;
             let t0 = Instant::now();
             self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
             times.push((self.ops[i].name().to_string(), t0.elapsed()));
@@ -807,25 +859,68 @@ impl CompiledModel {
                 let mut ctx = self.new_context();
                 for (j, o) in outs.iter_mut().enumerate() {
                     let input = &inputs[ci * chunk + j];
-                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.try_infer(&mut ctx, input)
-                    }));
-                    *o = match caught {
-                        Ok(result) => result,
-                        Err(payload) => {
-                            // A panic may have left the session buffers
-                            // partially written — replace them so later
-                            // items stay bit-identical to serial runs.
-                            ctx = self.new_context();
-                            Err(BitFlowError::Internal(panic_message(&payload)))
-                        }
-                    };
+                    let result = self.catch_fault(|| self.try_infer(&mut ctx, input));
+                    if matches!(result, Err(BitFlowError::Internal(_))) {
+                        // A panic may have left the session buffers
+                        // partially written — replace them so later
+                        // items stay bit-identical to serial runs.
+                        ctx = self.new_context();
+                    }
+                    *o = result;
                     if let Some(t) = telemetry {
                         t.batch().item_finished(o.is_ok());
                     }
                 }
             });
         out
+    }
+
+    /// Runs `f`, converting any panic into a typed
+    /// [`BitFlowError::Internal`] whose message names the operator that
+    /// was executing when the panic unwound (tracked in a thread-local the
+    /// operator dispatch maintains). The backstop behind
+    /// [`CompiledModel::try_infer_batch`] and the `bitflow-serve` workers.
+    ///
+    /// After a caught panic the [`InferenceContext`] that was running may
+    /// hold partially-written buffers; replace it (cheap — a handful of
+    /// zeroed allocations) before reusing it for bit-exact results.
+    pub fn catch_fault<R>(
+        &self,
+        f: impl FnOnce() -> Result<R, BitFlowError>,
+    ) -> Result<R, BitFlowError> {
+        CURRENT_OP.with(|c| c.set(usize::MAX));
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => {
+                // `&*payload`, not `&payload`: the latter would unsize the
+                // `Box` itself into the `dyn Any` and every downcast of
+                // the actual message would miss.
+                let msg = panic_message(&*payload);
+                let ctxd = match CURRENT_OP.with(Cell::get) {
+                    usize::MAX => msg,
+                    i => match self.ops.get(i) {
+                        Some(op) => format!("operator `{}` (#{i}): {msg}", op.name()),
+                        None => msg,
+                    },
+                };
+                CURRENT_OP.with(|c| c.set(usize::MAX));
+                Err(BitFlowError::Internal(ctxd))
+            }
+        }
+    }
+
+    /// Installs a [`FaultHook`] called at every operator boundary (chaos
+    /// injection: the hook may sleep or panic). First caller wins, like
+    /// [`CompiledModel::enable_telemetry`]; returns `false` when a hook
+    /// was already installed. Disabled cost is one `OnceLock::get` per
+    /// operator.
+    pub fn install_fault_hook(&self, hook: FaultHook) -> bool {
+        self.fault_hook.set(hook).is_ok()
+    }
+
+    /// Whether a fault hook is installed.
+    pub fn fault_hook_installed(&self) -> bool {
+        self.fault_hook.get().is_some()
     }
 
     /// Runs a batch of images over the installed rayon pool (panicking
@@ -854,6 +949,12 @@ impl CompiledModel {
         input: &Tensor,
     ) -> Result<(), BitFlowError> {
         let op_name = self.ops[i].name();
+        // Record which operator this thread is in, so the catch_unwind
+        // backstops can name it if a panic unwinds out of the kernels.
+        CURRENT_OP.with(|c| c.set(i));
+        if let Some(hook) = self.fault_hook.get() {
+            hook(i, op_name);
+        }
         match &self.ops[i] {
             RtOp::BinarizeInput { out, pad } => {
                 binarize_pack_into(

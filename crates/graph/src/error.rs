@@ -18,6 +18,7 @@
 
 use bitflow_simd::scheduler::UnsupportedKernel;
 use bitflow_tensor::{FilterShape, Shape};
+use serde::{Serialize, Value};
 use std::fmt;
 
 /// What a runtime buffer slot holds (the typed face of the engine's
@@ -307,6 +308,47 @@ impl fmt::Display for InputGeometry {
 
 impl std::error::Error for InputGeometry {}
 
+/// Why the serving runtime refused to admit a request. Produced by
+/// `bitflow-serve`'s `submit`, carried here so the whole request lifecycle
+/// resolves to one [`BitFlowError`] value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum RejectReason {
+    /// The admission queue is at capacity and the shedding policy found no
+    /// request it could drop instead.
+    QueueFull,
+    /// The server is deliberately shedding load (circuit breaker open
+    /// after repeated worker faults).
+    Shedding,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable snake-case label, used as a metric label and error code.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Shedding => "shedding",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "admission queue full"),
+            RejectReason::Shedding => {
+                write!(f, "shedding load (circuit breaker open)")
+            }
+            RejectReason::Draining => write!(f, "server draining"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
 /// The per-subsystem error sum type the serving path returns end to end.
 #[derive(Debug)]
 pub enum BitFlowError {
@@ -322,9 +364,40 @@ pub enum BitFlowError {
     UnsupportedKernel(UnsupportedKernel),
     /// Runtime buffer held the wrong kind of data.
     SlotType(SlotTypeError),
+    /// The request's deadline passed before inference completed; the run
+    /// was abandoned at an operator boundary.
+    DeadlineExceeded,
+    /// The request's [`crate::cancel::CancelToken`] was cancelled (caller
+    /// gone) before inference completed.
+    Cancelled,
+    /// The serving runtime refused to admit the request.
+    Rejected(RejectReason),
     /// A panic caught by the batch backstop, converted to a value so one
     /// poisoned request cannot abort a worker.
     Internal(String),
+}
+
+impl BitFlowError {
+    /// Stable snake-case error code, suitable for wire responses and
+    /// metric labels. One code per variant; [`BitFlowError::Rejected`]
+    /// refines it with the rejection reason.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            BitFlowError::Spec(_) => "spec",
+            BitFlowError::WeightMismatch(_) => "weight_mismatch",
+            BitFlowError::InputGeometry(_) => "input_geometry",
+            BitFlowError::ModelCorrupt(_) => "model_corrupt",
+            BitFlowError::UnsupportedKernel(_) => "unsupported_kernel",
+            BitFlowError::SlotType(_) => "slot_type",
+            BitFlowError::DeadlineExceeded => "deadline_exceeded",
+            BitFlowError::Cancelled => "cancelled",
+            BitFlowError::Rejected(RejectReason::QueueFull) => "rejected_queue_full",
+            BitFlowError::Rejected(RejectReason::Shedding) => "rejected_shedding",
+            BitFlowError::Rejected(RejectReason::Draining) => "rejected_draining",
+            BitFlowError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for BitFlowError {
@@ -336,8 +409,25 @@ impl fmt::Display for BitFlowError {
             BitFlowError::ModelCorrupt(e) => write!(f, "corrupt model: {e}"),
             BitFlowError::UnsupportedKernel(e) => write!(f, "unsupported kernel: {e}"),
             BitFlowError::SlotType(e) => write!(f, "slot type error: {e}"),
+            BitFlowError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before inference completed")
+            }
+            BitFlowError::Cancelled => write!(f, "request cancelled"),
+            BitFlowError::Rejected(reason) => write!(f, "request rejected: {reason}"),
             BitFlowError::Internal(msg) => write!(f, "internal inference failure: {msg}"),
         }
+    }
+}
+
+// Serialized as `{"code": ..., "message": ...}`: the stable machine face
+// (code) plus the human rendering, so a serving frontend can return typed
+// errors without a parallel error schema.
+impl Serialize for BitFlowError {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".to_string(), Value::Str(self.code().to_string())),
+            ("message".to_string(), Value::Str(self.to_string())),
+        ])
     }
 }
 
@@ -350,8 +440,16 @@ impl std::error::Error for BitFlowError {
             BitFlowError::ModelCorrupt(e) => Some(e),
             BitFlowError::UnsupportedKernel(e) => Some(e),
             BitFlowError::SlotType(e) => Some(e),
+            BitFlowError::Rejected(e) => Some(e),
+            BitFlowError::DeadlineExceeded | BitFlowError::Cancelled => None,
             BitFlowError::Internal(_) => None,
         }
+    }
+}
+
+impl From<RejectReason> for BitFlowError {
+    fn from(e: RejectReason) -> Self {
+        BitFlowError::Rejected(e)
     }
 }
 
@@ -407,6 +505,36 @@ mod tests {
         assert!(msg.contains("conv3.1"), "{msg}");
         assert!(msg.contains("pressed map"), "{msg}");
         assert!(msg.contains("float vector"), "{msg}");
+    }
+
+    #[test]
+    fn overload_variants_display_and_code() {
+        assert_eq!(BitFlowError::DeadlineExceeded.code(), "deadline_exceeded");
+        assert!(BitFlowError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert_eq!(BitFlowError::Cancelled.code(), "cancelled");
+        assert!(BitFlowError::Cancelled.to_string().contains("cancelled"));
+        for (reason, code) in [
+            (RejectReason::QueueFull, "rejected_queue_full"),
+            (RejectReason::Shedding, "rejected_shedding"),
+            (RejectReason::Draining, "rejected_draining"),
+        ] {
+            let e = BitFlowError::Rejected(reason);
+            assert_eq!(e.code(), code);
+            assert!(e.to_string().contains("rejected"), "{e}");
+            assert!(e.to_string().contains(&reason.to_string()), "{e}");
+        }
+    }
+
+    #[test]
+    fn errors_serialize_as_code_and_message() {
+        let json = serde_json::to_string(&BitFlowError::Rejected(RejectReason::QueueFull)).unwrap();
+        assert!(json.contains("\"code\""), "{json}");
+        assert!(json.contains("rejected_queue_full"), "{json}");
+        assert!(json.contains("admission queue full"), "{json}");
+        let json = serde_json::to_string(&BitFlowError::DeadlineExceeded).unwrap();
+        assert!(json.contains("deadline_exceeded"), "{json}");
     }
 
     #[test]

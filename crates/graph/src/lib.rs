@@ -35,6 +35,7 @@
 //! benches, examples).
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod model_io;
@@ -43,8 +44,11 @@ pub mod plan;
 pub mod spec;
 pub mod weights;
 
-pub use engine::{CompiledModel, FloatNetwork, InferenceContext, Network};
-pub use error::{BitFlowError, InputGeometry, SlotKind, SlotTypeError, SpecError, WeightMismatch};
+pub use cancel::CancelToken;
+pub use engine::{CompiledModel, FaultHook, FloatNetwork, InferenceContext, Network};
+pub use error::{
+    BitFlowError, InputGeometry, RejectReason, SlotKind, SlotTypeError, SpecError, WeightMismatch,
+};
 pub use model_io::{load_model, save_model, ModelIoError};
 pub use models::{small_cnn, vgg16, vgg19};
 pub use spec::{LayerSpec, NetworkSpec};

@@ -2,15 +2,18 @@
 //! inference requests, and batch-degradation semantics. Everything here
 //! must surface as a typed [`BitFlowError`] — a panic is a failed test.
 
-use bitflow_graph::error::{BitFlowError, InputGeometry, SpecError};
+use bitflow_graph::error::{BitFlowError, InputGeometry, RejectReason, SpecError};
 use bitflow_graph::models::small_cnn;
 use bitflow_graph::spec::{LayerSpec, NetworkSpec};
 use bitflow_graph::weights::NetworkWeights;
-use bitflow_graph::CompiledModel;
+use bitflow_graph::{CancelToken, CompiledModel};
 use bitflow_ops::ConvParams;
 use bitflow_tensor::{Layout, Shape, Tensor};
 use rand::{rngs::StdRng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn compiled() -> (CompiledModel, Tensor) {
     let spec = small_cnn();
@@ -257,4 +260,147 @@ fn all_bad_batch_returns_all_errors() {
 fn empty_batch_is_empty() {
     let (model, _) = compiled();
     assert!(model.try_infer_batch(&[]).is_empty());
+}
+
+/// A cancelled token surfaces as `Err(Cancelled)` — not a panic — and the
+/// abandoned context is not poisoned: the next complete run through it is
+/// bit-identical to a fresh context.
+#[test]
+fn cancellation_is_typed_and_does_not_poison_the_context() {
+    let (model, input) = compiled();
+    let mut ctx = model.new_context();
+    let golden = match model.try_infer(&mut ctx, &input) {
+        Ok(l) => l,
+        Err(e) => panic!("golden run failed: {e}"),
+    };
+
+    let token = CancelToken::new();
+    token.cancel();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        model.try_infer_cancellable(&mut ctx, &input, &token)
+    }));
+    match r {
+        Ok(Err(BitFlowError::Cancelled)) => {}
+        Ok(other) => panic!("expected Cancelled, got {other:?}"),
+        Err(_) => panic!("cancellation panicked"),
+    }
+
+    let again = match model.try_infer(&mut ctx, &input) {
+        Ok(l) => l,
+        Err(e) => panic!("post-cancel run failed: {e}"),
+    };
+    assert_eq!(again, golden, "cancelled run poisoned the context");
+}
+
+/// A deadline in the past surfaces as `Err(DeadlineExceeded)`, and a
+/// deadline crossed *mid-run* (planted via the fault hook slowing one
+/// operator) aborts at the next operator boundary, again without
+/// poisoning the context.
+#[test]
+fn deadline_exceeded_is_typed_and_does_not_poison_the_context() {
+    let (model, input) = compiled();
+    let mut ctx = model.new_context();
+    let golden = match model.try_infer(&mut ctx, &input) {
+        Ok(l) => l,
+        Err(e) => panic!("golden run failed: {e}"),
+    };
+
+    // Already-expired deadline: rejected at the first checkpoint.
+    let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+    match model.try_infer_cancellable(&mut ctx, &input, &expired) {
+        Err(BitFlowError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // Deadline that expires inside operator #0 (the hook stalls it past
+    // the budget): the run must stop at the next boundary.
+    assert!(model.install_fault_hook(Arc::new(|op, _name| {
+        if op == 0 {
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    })));
+    let tight = CancelToken::with_budget(Duration::from_millis(5));
+    match model.try_infer_cancellable(&mut ctx, &input, &tight) {
+        Err(BitFlowError::DeadlineExceeded) => {}
+        other => panic!("expected mid-run DeadlineExceeded, got {other:?}"),
+    }
+
+    let again = match model.try_infer(&mut ctx, &input) {
+        Ok(l) => l,
+        Err(e) => panic!("post-deadline run failed: {e}"),
+    };
+    assert_eq!(again, golden, "deadline-aborted run poisoned the context");
+}
+
+/// A panic planted inside one operator of a batch degrades to a typed
+/// `Internal` error that names the operator; the other items survive
+/// bit-identical, and the model keeps serving afterwards.
+#[test]
+fn batch_panic_is_attributed_to_the_operator() {
+    let (model, _) = compiled();
+    let mut rng = StdRng::seed_from_u64(17);
+    let shape = model.spec().input;
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::random(shape, Layout::Nhwc, &mut rng))
+        .collect();
+
+    // One-shot bomb in operator #1: exactly one invocation panics.
+    let fired = Arc::new(AtomicUsize::new(0));
+    let hook_fired = Arc::clone(&fired);
+    assert!(model.install_fault_hook(Arc::new(move |op, name| {
+        if op == 1 && hook_fired.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("planted fault in {name}");
+        }
+    })));
+
+    let results = model.try_infer_batch(&inputs);
+    assert_eq!(results.len(), inputs.len());
+    let internals: Vec<&BitFlowError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert_eq!(internals.len(), 1, "exactly one item hits the bomb");
+    match internals[0] {
+        BitFlowError::Internal(msg) => {
+            let telemetry = model.enable_telemetry();
+            let op1 = match telemetry.op_name(1) {
+                Some(n) => n.to_string(),
+                None => panic!("model has no operator #1"),
+            };
+            assert!(
+                msg.contains(&format!("operator `{op1}`")) && msg.contains("#1"),
+                "panic not attributed to operator `{op1}`: {msg}"
+            );
+            assert!(msg.contains("planted fault"), "payload text lost: {msg}");
+        }
+        other => panic!("expected Internal, got {other}"),
+    }
+
+    // The survivors match a serial oracle and the model still serves.
+    let mut ctx = model.new_context();
+    for (input, result) in inputs.iter().zip(&results) {
+        if let Ok(got) = result {
+            let want = match model.try_infer(&mut ctx, input) {
+                Ok(l) => l,
+                Err(e) => panic!("oracle failed: {e}"),
+            };
+            assert_eq!(got, &want, "survivor diverged from serial inference");
+        }
+    }
+}
+
+/// The overload-control variants are ordinary values: Display, error
+/// codes, and serde all cover them (the serving layer returns these to
+/// clients, so their wire shape is part of the contract).
+#[test]
+fn overload_errors_are_typed_values() {
+    for (reason, label) in [
+        (RejectReason::QueueFull, "queue_full"),
+        (RejectReason::Shedding, "shedding"),
+        (RejectReason::Draining, "draining"),
+    ] {
+        assert_eq!(reason.label(), label);
+        let err = BitFlowError::from(reason);
+        assert_eq!(err.code(), format!("rejected_{label}"));
+        assert!(!err.to_string().is_empty());
+    }
+    assert_eq!(BitFlowError::DeadlineExceeded.code(), "deadline_exceeded");
+    assert_eq!(BitFlowError::Cancelled.code(), "cancelled");
 }

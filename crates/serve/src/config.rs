@@ -1,0 +1,125 @@
+//! Serving-runtime configuration: pool size, queue bound, default
+//! deadline, shedding policy, circuit breaker, chaos.
+
+use std::time::Duration;
+
+use crate::chaos::ChaosConfig;
+
+/// What `submit` does when the admission queue is at capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the new submission with
+    /// [`bitflow_graph::RejectReason::QueueFull`]. Strict FIFO fairness:
+    /// admitted work is never dropped.
+    #[default]
+    RejectNewest,
+    /// Before rejecting, evict one queued request that is already dead —
+    /// deadline passed or caller-cancelled — resolve it with its typed
+    /// error, and admit the new request in its place. Under deadline'd
+    /// load this converts head-of-line blocking by doomed requests into
+    /// useful admissions; with no dead entry it degrades to
+    /// [`ShedPolicy::RejectNewest`].
+    DeadlineAware,
+}
+
+/// Circuit breaker: after `fault_threshold` *consecutive* worker faults
+/// (panics isolated from inference), the server sheds all new submissions
+/// for `cooldown` while queued work keeps draining.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults that trip the breaker.
+    pub fault_threshold: u32,
+    /// How long admissions stay shed once tripped.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            fault_threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Full server configuration. `Default` is a small sane pool; see
+/// [`ServerConfig::from_env`] for the environment knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one inference context). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Admission-queue bound. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit one.
+    /// `None`: such requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// Behaviour at queue capacity.
+    pub shed_policy: ShedPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Fault injection; `None` serves faithfully.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+            shed_policy: ShedPolicy::default(),
+            breaker: BreakerConfig::default(),
+            chaos: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by the environment:
+    ///
+    /// * `BITFLOW_SERVE_WORKERS` — pool size.
+    /// * `BITFLOW_SERVE_QUEUE` — admission-queue bound.
+    /// * `BITFLOW_SERVE_DEADLINE_MS` — default per-request deadline in
+    ///   milliseconds; `0` means no default deadline.
+    /// * `BITFLOW_CHAOS` — fault injection
+    ///   (`seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm]]]]`).
+    ///
+    /// Malformed values are ignored (the default stands): configuration
+    /// must never take the server down.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = env_u64("BITFLOW_SERVE_WORKERS") {
+            cfg.workers = v as usize;
+        }
+        if let Some(v) = env_u64("BITFLOW_SERVE_QUEUE") {
+            cfg.queue_capacity = v as usize;
+        }
+        if let Some(v) = env_u64("BITFLOW_SERVE_DEADLINE_MS") {
+            cfg.default_deadline = (v > 0).then(|| Duration::from_millis(v));
+        }
+        cfg.chaos = ChaosConfig::from_env();
+        cfg
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_capacity >= 1);
+        assert!(cfg.default_deadline.is_none());
+        assert_eq!(cfg.shed_policy, ShedPolicy::RejectNewest);
+        assert!(cfg.chaos.is_none());
+        assert!(cfg.breaker.fault_threshold >= 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bitflow-serve
+//!
+//! Overload-safe serving runtime in front of a
+//! [`bitflow_graph::CompiledModel`]: a bounded admission queue feeding a
+//! persistent pool of worker threads, each owning one
+//! [`bitflow_graph::engine::InferenceContext`].
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Explicit backpressure.** [`Server::submit`] never blocks and never
+//!    silently drops: it either admits the request or returns a typed
+//!    [`bitflow_graph::RejectReason`] (`QueueFull`, `Shedding`,
+//!    `Draining`). The shedding policy is configurable: reject the newest
+//!    submission, or evict an already-dead queued request first
+//!    ([`ShedPolicy::DeadlineAware`]).
+//! 2. **Deadlines end-to-end.** A per-request deadline becomes a
+//!    [`bitflow_graph::CancelToken`] checked at every operator boundary
+//!    inside the engine, so an expired request stops within one operator's
+//!    latency instead of wasting a worker on a response nobody will read.
+//! 3. **Fault isolation.** A panicking operator takes down one request,
+//!    not the server: workers catch panics per request, replace their
+//!    scratch context, and keep serving. A panic that escapes the
+//!    per-request backstop restarts the worker loop (the watchdog).
+//!    Repeated faults trip a circuit breaker into graceful degradation:
+//!    queued work drains, new work is rejected with `Shedding` until a
+//!    cooldown elapses.
+//! 4. **Chaos is a first-class citizen.** [`ChaosConfig`] injects
+//!    seed-deterministic slow operators, panicking operators, queue
+//!    stalls, and worker kills, so the soak tests exercise every failure
+//!    path above without wall-clock flakiness deciding *which* path.
+//!
+//! Every admitted request resolves exactly once; the
+//! [`bitflow_telemetry::ServeGauges`] counters obey the conservation law
+//! documented on [`bitflow_telemetry::ServeSnapshot`].
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod chaos;
+pub mod config;
+pub mod server;
+
+pub use chaos::ChaosConfig;
+pub use config::{BreakerConfig, ServerConfig, ShedPolicy};
+pub use server::{ResponseHandle, Server};

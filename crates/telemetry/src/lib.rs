@@ -35,10 +35,12 @@ mod snapshot;
 mod span;
 
 pub use hist::{bucket_upper_edge, percentile_of, LatencyHistogram};
-pub use metrics::{BatchGauges, ModelTelemetry, OpCost, OpDescriptor, OpKind, TileStats};
+pub use metrics::{
+    BatchGauges, ModelTelemetry, OpCost, OpDescriptor, OpKind, ServeGauges, TileStats,
+};
 pub use roofline::{BwSource, Roofline};
 pub use snapshot::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
-    SCHEMA_VERSION,
+    ServeSnapshot, SCHEMA_VERSION,
 };
 pub use span::{JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink};

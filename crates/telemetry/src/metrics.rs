@@ -17,9 +17,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use bitflow_simd::perf::{self, PerfSample};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::hist::{bucket_upper_edge, LatencyHistogram};
 use crate::snapshot::{
-    BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, SCHEMA_VERSION,
+    BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, ServeSnapshot,
+    SCHEMA_VERSION,
 };
 use crate::span::{NoopSink, RequestTrace, SpanSink};
 
@@ -199,6 +202,152 @@ impl BatchGauges {
     }
 }
 
+/// Serving-runtime counters updated by `bitflow-serve`: admission,
+/// shedding, deadlines, worker health. All relaxed atomics — the serving
+/// hot path records into these lock-free, and the server shares one handle
+/// with [`ModelTelemetry`] so the counters surface in
+/// [`MetricsSnapshot::serve`] and the Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct ServeGauges {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shedding: AtomicU64,
+    rejected_draining: AtomicU64,
+    shed_deadline: AtomicU64,
+    deadline_missed: AtomicU64,
+    cancelled: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    breaker_trips: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_max: AtomicU64,
+}
+
+impl ServeGauges {
+    /// A request was offered to `submit` (admitted or not).
+    pub fn submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission queue. Raises the depth gauge.
+    pub fn enqueued(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A request left the admission queue (picked up or shed). Lowers the
+    /// depth gauge.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A submission was refused with the given rejection label
+    /// (`"queue_full"`, `"shedding"`, `"draining"` — anything else counts
+    /// as queue-full, the conservative bucket).
+    pub fn rejected(&self, label: &str) {
+        match label {
+            "shedding" => &self.rejected_shedding,
+            "draining" => &self.rejected_draining,
+            _ => &self.rejected_queue_full,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request completed with logits.
+    pub fn completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request resolved to a typed inference error.
+    pub fn failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request was dropped before running: its deadline budget
+    /// was already unmeetable.
+    pub fn shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request was cancelled mid-run by its deadline.
+    pub fn deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request was cancelled by its caller.
+    pub fn cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker caught and isolated a panic.
+    pub fn worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker loop was restarted after a panic escaped the per-request
+    /// backstop.
+    pub fn worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The circuit breaker tripped into the shedding state.
+    pub fn breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests waiting in the admission queue right now.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shedding: self.rejected_shedding.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for c in [
+            &self.submitted,
+            &self.accepted,
+            &self.completed,
+            &self.failed,
+            &self.rejected_queue_full,
+            &self.rejected_shedding,
+            &self.rejected_draining,
+            &self.shed_deadline,
+            &self.deadline_missed,
+            &self.cancelled,
+            &self.worker_panics,
+            &self.worker_restarts,
+            &self.breaker_trips,
+            &self.queue_depth_max,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        // queue_depth is a live gauge, not a counter: leave it alone.
+    }
+}
+
 /// Hardware-counter totals accumulated across sampled requests. All
 /// relaxed atomics; the optional events track how many samples actually
 /// carried them so absence is never reported as zero.
@@ -229,6 +378,7 @@ pub struct ModelTelemetry {
     request_ids: AtomicU64,
     perf_sampling: AtomicBool,
     perf: PerfTotals,
+    serve: Arc<ServeGauges>,
 }
 
 impl ModelTelemetry {
@@ -265,7 +415,15 @@ impl ModelTelemetry {
             request_ids: AtomicU64::new(0),
             perf_sampling: AtomicBool::new(sampling),
             perf: PerfTotals::default(),
+            serve: Arc::new(ServeGauges::default()),
         }
+    }
+
+    /// Handle to the serving-runtime counters. The serving layer clones
+    /// this so its admission/deadline/worker events land in the same
+    /// snapshot and Prometheus exposition as the operator metrics.
+    pub fn serve(&self) -> Arc<ServeGauges> {
+        Arc::clone(&self.serve)
     }
 
     /// Number of operator channels.
@@ -404,6 +562,7 @@ impl ModelTelemetry {
             perf: self.perf_snapshot(),
             ops,
             batch: self.batch.snapshot(),
+            serve: self.serve.snapshot(),
         };
         roofline.annotate(&mut snap);
         snap
@@ -427,6 +586,7 @@ impl ModelTelemetry {
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        self.serve.reset();
     }
 }
 

@@ -279,7 +279,98 @@ impl MetricsSnapshot {
             "bitflow_batch_queued_items",
             "Items currently in flight inside try_infer_batch.",
             "gauge",
-            vec![(mlab, b.queued_items.to_string())],
+            vec![(mlab.clone(), b.queued_items.to_string())],
+        );
+
+        let sv = &self.serve;
+        let serve_counters: [(&str, &str, u64); 10] = [
+            (
+                "bitflow_serve_submitted_total",
+                "Requests offered to the serving admission queue.",
+                sv.submitted,
+            ),
+            (
+                "bitflow_serve_accepted_total",
+                "Requests admitted into the serving queue.",
+                sv.accepted,
+            ),
+            (
+                "bitflow_serve_completed_total",
+                "Admitted requests that returned logits.",
+                sv.completed,
+            ),
+            (
+                "bitflow_serve_failed_total",
+                "Admitted requests that resolved to an inference error.",
+                sv.failed,
+            ),
+            (
+                "bitflow_serve_deadline_shed_total",
+                "Admitted requests dropped before running: deadline unmeetable.",
+                sv.shed_deadline,
+            ),
+            (
+                "bitflow_serve_deadline_missed_total",
+                "Admitted requests cancelled mid-run by their deadline.",
+                sv.deadline_missed,
+            ),
+            (
+                "bitflow_serve_cancelled_total",
+                "Admitted requests cancelled by their caller.",
+                sv.cancelled,
+            ),
+            (
+                "bitflow_serve_worker_panics_total",
+                "Panics caught and isolated by serving workers.",
+                sv.worker_panics,
+            ),
+            (
+                "bitflow_serve_worker_restarts_total",
+                "Worker loops restarted after an escaped panic.",
+                sv.worker_restarts,
+            ),
+            (
+                "bitflow_serve_breaker_trips_total",
+                "Circuit-breaker transitions into the shedding state.",
+                sv.breaker_trips,
+            ),
+        ];
+        for (name, help, value) in serve_counters {
+            family(
+                &mut s,
+                name,
+                help,
+                "counter",
+                vec![(mlab.clone(), value.to_string())],
+            );
+        }
+        family(
+            &mut s,
+            "bitflow_serve_rejected_total",
+            "Submissions refused at admission, by reason.",
+            "counter",
+            [
+                ("queue_full", sv.rejected_queue_full),
+                ("shedding", sv.rejected_shedding),
+                ("draining", sv.rejected_draining),
+            ]
+            .into_iter()
+            .map(|(reason, v)| (format!("{mlab},reason=\"{reason}\""), v.to_string()))
+            .collect(),
+        );
+        family(
+            &mut s,
+            "bitflow_serve_queue_depth",
+            "Requests waiting in the admission queue right now.",
+            "gauge",
+            vec![(mlab.clone(), sv.queue_depth.to_string())],
+        );
+        family(
+            &mut s,
+            "bitflow_serve_queue_depth_max",
+            "High-water mark of the admission queue since the last reset.",
+            "gauge",
+            vec![(mlab, sv.queue_depth_max.to_string())],
         );
 
         s
@@ -290,7 +381,7 @@ impl MetricsSnapshot {
 mod tests {
     use crate::snapshot::{
         BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot,
-        PerfSnapshot, SCHEMA_VERSION,
+        PerfSnapshot, ServeSnapshot, SCHEMA_VERSION,
     };
     use crate::OpKind;
 
@@ -341,6 +432,23 @@ mod tests {
                 tile: None,
             }],
             batch: BatchSnapshot::default(),
+            serve: ServeSnapshot {
+                submitted: 20,
+                accepted: 17,
+                completed: 12,
+                failed: 1,
+                rejected_queue_full: 2,
+                rejected_shedding: 1,
+                rejected_draining: 0,
+                shed_deadline: 2,
+                deadline_missed: 1,
+                cancelled: 1,
+                worker_panics: 1,
+                worker_restarts: 1,
+                breaker_trips: 1,
+                queue_depth: 3,
+                queue_depth_max: 6,
+            },
         }
     }
 
@@ -358,6 +466,24 @@ mod tests {
         assert!(text.contains("status=\"unavailable: no PMU\"} 0"));
         // Unavailable counters are absent, not zero.
         assert!(!text.contains("bitflow_perf_cycles_total{"));
+    }
+
+    #[test]
+    fn serve_families_render() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_serve_submitted_total counter"));
+        assert!(text.contains("bitflow_serve_submitted_total{model=\"small-cnn\"} 20"));
+        assert!(text.contains("bitflow_serve_accepted_total{model=\"small-cnn\"} 17"));
+        assert!(text
+            .contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"queue_full\"} 2"));
+        assert!(text
+            .contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"shedding\"} 1"));
+        assert!(text
+            .contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"draining\"} 0"));
+        assert!(text.contains("# TYPE bitflow_serve_queue_depth gauge"));
+        assert!(text.contains("bitflow_serve_queue_depth{model=\"small-cnn\"} 3"));
+        assert!(text.contains("bitflow_serve_queue_depth_max{model=\"small-cnn\"} 6"));
+        assert!(text.contains("bitflow_serve_breaker_trips_total{model=\"small-cnn\"} 1"));
     }
 
     #[test]

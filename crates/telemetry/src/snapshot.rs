@@ -10,9 +10,10 @@ use crate::metrics::{OpKind, TileStats};
 
 /// Schema version written into every [`MetricsSnapshot`] (and, via the
 /// bench crate, every `results/*.json` artifact). v1 was the PR-3 snapshot
-/// without roofline, machine, or perf-counter fields; v2 added them.
+/// without roofline, machine, or perf-counter fields; v2 added them; v3
+/// added the serving-runtime counters ([`ServeSnapshot`]).
 /// Readers must refuse to overwrite files written by a *newer* schema.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One non-empty latency-histogram bucket: `count` samples with values
 /// `≤ le_ns` (and greater than the previous bucket's edge). Sparse — only
@@ -161,6 +162,51 @@ pub struct BatchSnapshot {
     pub queued_items: u64,
 }
 
+/// Serving-runtime counters from `bitflow-serve`: admission, shedding,
+/// deadlines, and worker health. All zero for a model served without the
+/// runtime.
+///
+/// Conservation law (checked by the soak test): `submitted` equals
+/// `accepted` plus the three `rejected_*` counters, and — once the server
+/// has drained — `accepted` equals `completed + failed + shed_deadline +
+/// deadline_missed + cancelled`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Requests offered to `submit` (admitted or not).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests that completed with logits.
+    pub completed: u64,
+    /// Requests that resolved to a typed inference error (including
+    /// caught worker panics).
+    pub failed: u64,
+    /// Submissions refused because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Submissions refused while the circuit breaker was shedding load.
+    pub rejected_shedding: u64,
+    /// Submissions refused while the server was draining for shutdown.
+    pub rejected_draining: u64,
+    /// Admitted requests dropped *before* running because their deadline
+    /// budget was already unmeetable (deadline-aware shedding).
+    pub shed_deadline: u64,
+    /// Admitted requests cancelled *mid-run* by their deadline.
+    pub deadline_missed: u64,
+    /// Admitted requests cancelled by their caller.
+    pub cancelled: u64,
+    /// Panics caught and isolated inside workers.
+    pub worker_panics: u64,
+    /// Worker loops restarted after a panic escaped the per-request
+    /// backstop.
+    pub worker_restarts: u64,
+    /// Circuit-breaker trips into the shedding state.
+    pub breaker_trips: u64,
+    /// Requests waiting in the admission queue right now (gauge).
+    pub queue_depth: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_max: u64,
+}
+
 /// Everything a model's telemetry knows, frozen at one instant.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -178,6 +224,8 @@ pub struct MetricsSnapshot {
     pub ops: Vec<OpSnapshot>,
     /// Batch-serving counters.
     pub batch: BatchSnapshot,
+    /// Serving-runtime counters (zero without `bitflow-serve`).
+    pub serve: ServeSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -294,6 +342,23 @@ mod tests {
                 max_batch: 3,
                 queued_items: 0,
             },
+            serve: ServeSnapshot {
+                submitted: 12,
+                accepted: 9,
+                completed: 6,
+                failed: 1,
+                rejected_queue_full: 2,
+                rejected_shedding: 1,
+                rejected_draining: 0,
+                shed_deadline: 1,
+                deadline_missed: 1,
+                cancelled: 0,
+                worker_panics: 1,
+                worker_restarts: 1,
+                breaker_trips: 0,
+                queue_depth: 0,
+                queue_depth_max: 4,
+            },
         }
     }
 
@@ -308,6 +373,7 @@ mod tests {
         assert_eq!(back.machine, snap.machine);
         assert_eq!(back.perf, snap.perf);
         assert_eq!(back.batch, snap.batch);
+        assert_eq!(back.serve, snap.serve);
         assert_eq!(back.ops.len(), snap.ops.len());
         for (a, b) in back.ops.iter().zip(snap.ops.iter()) {
             assert_eq!(a.name, b.name);

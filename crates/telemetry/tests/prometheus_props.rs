@@ -14,7 +14,7 @@
 
 use bitflow_telemetry::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpKind, OpSnapshot,
-    PerfSnapshot, SCHEMA_VERSION,
+    PerfSnapshot, ServeSnapshot, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -257,7 +257,39 @@ fn random_snapshot(seed: u64) -> MetricsSnapshot {
             max_batch: rng.gen_range(0..64),
             queued_items: rng.gen_range(0..64),
         },
+        serve: ServeSnapshot {
+            submitted: rng.gen_range(0..100_000),
+            accepted: rng.gen_range(0..100_000),
+            completed: rng.gen_range(0..100_000),
+            failed: rng.gen_range(0..1_000),
+            rejected_queue_full: rng.gen_range(0..10_000),
+            rejected_shedding: rng.gen_range(0..10_000),
+            rejected_draining: rng.gen_range(0..10_000),
+            shed_deadline: rng.gen_range(0..10_000),
+            deadline_missed: rng.gen_range(0..10_000),
+            cancelled: rng.gen_range(0..10_000),
+            worker_panics: rng.gen_range(0..100),
+            worker_restarts: rng.gen_range(0..100),
+            breaker_trips: rng.gen_range(0..100),
+            queue_depth: rng.gen_range(0..256),
+            queue_depth_max: rng.gen_range(0..256),
+        },
     }
+}
+
+/// The value of the unique `bitflow_serve_rejected_total` series with the
+/// given `reason` label.
+fn rejected_value(series: &[Series], reason: &str) -> Option<f64> {
+    let mut it = series.iter().filter(|s| {
+        s.name == "bitflow_serve_rejected_total"
+            && s.labels.iter().any(|(k, v)| k == "reason" && v == reason)
+    });
+    let found = it.next()?;
+    assert!(
+        it.next().is_none(),
+        "duplicate rejected series for {reason}"
+    );
+    Some(found.value)
 }
 
 /// The value of the unique series `name` restricted to label `op="..."`.
@@ -307,6 +339,44 @@ proptest! {
         prop_assert_eq!(
             series_value(&series, "bitflow_machine_logical_cores", None),
             Some(back.machine.logical_cores as f64)
+        );
+
+        // Serving counters round-trip through both exporters too.
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_submitted_total", None),
+            Some(back.serve.submitted as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_accepted_total", None),
+            Some(back.serve.accepted as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_completed_total", None),
+            Some(back.serve.completed as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_deadline_shed_total", None),
+            Some(back.serve.shed_deadline as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_worker_restarts_total", None),
+            Some(back.serve.worker_restarts as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_queue_depth", None),
+            Some(back.serve.queue_depth as f64)
+        );
+        prop_assert_eq!(
+            rejected_value(&series, "queue_full"),
+            Some(back.serve.rejected_queue_full as f64)
+        );
+        prop_assert_eq!(
+            rejected_value(&series, "shedding"),
+            Some(back.serve.rejected_shedding as f64)
+        );
+        prop_assert_eq!(
+            rejected_value(&series, "draining"),
+            Some(back.serve.rejected_draining as f64)
         );
 
         for op in &back.ops {

@@ -3,6 +3,10 @@
 #
 #   scripts/check.sh          # everything
 #   scripts/check.sh --fast   # skip the release build (lints + debug tests)
+#   scripts/check.sh --serve  # additionally run the serving-runtime gate:
+#                             # strict clippy on bitflow-serve (warnings,
+#                             # incl. unwrap/expect, denied) plus the chaos
+#                             # soak in quick mode
 #   scripts/check.sh --perf   # additionally run the bench-regression gate
 #                             # (quick mode, twice: blesses a baseline if
 #                             # missing, then gates against it) and print
@@ -16,10 +20,12 @@ cd "$(dirname "$0")/.."
 
 fast=0
 perf=0
+serve=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --perf) perf=1 ;;
+        --serve) serve=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -43,6 +49,18 @@ cargo test -q
 
 echo "==> BITFLOW_BENCH_QUICK=1 cargo test -q --workspace (all crates, bench in quick mode)"
 BITFLOW_BENCH_QUICK=1 cargo test -q --workspace
+
+if [[ $serve -eq 1 ]]; then
+    echo "==> clippy -p bitflow-serve (unwrap/expect denied on the serving runtime)"
+    # The crate roots carry #![warn(clippy::unwrap_used, clippy::expect_used)];
+    # -D warnings promotes those to errors for this crate without leaking
+    # the lint into vendored path dependencies.
+    cargo clippy -p bitflow-serve --all-targets -- -D warnings
+    echo "==> serving unit tests"
+    cargo test -q -p bitflow-serve
+    echo "==> chaos soak (quick mode)"
+    BITFLOW_QUICK=1 cargo test -q --test serve_soak
+fi
 
 if [[ $perf -eq 1 ]]; then
     echo "==> bench-regression gate (quick, twice: bless-if-needed then gate)"

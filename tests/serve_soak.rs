@@ -1,0 +1,259 @@
+//! Chaos soak for the serving runtime (`bitflow-serve`).
+//!
+//! One `Server` over a shared `small_cnn` model takes a few thousand
+//! requests with a mixed deadline profile while seed-deterministic chaos
+//! injects slow operators, panicking operators, queue stalls, and worker
+//! kills. The assertions are the serving contract:
+//!
+//! * **No deadlock, no lost request** — every submission resolves exactly
+//!   once (admission rejections resolve at `submit`; admitted requests
+//!   resolve through their handle, polled with a watchdog timeout so a
+//!   hang fails fast instead of wedging the suite).
+//! * **Counters conserve** — the gauge totals equal the per-request
+//!   outcomes tallied caller-side, and the `ServeSnapshot` conservation
+//!   law holds: `submitted == accepted + rejected_*` and
+//!   `accepted == completed + failed + shed_deadline + deadline_missed +
+//!   cancelled`, with the queue empty after drain.
+//! * **Successes are bit-identical to serial inference** — panics,
+//!   cancellations, context replacement, and worker restarts must never
+//!   perturb the logits of the requests that do complete.
+//!
+//! Sizing: `BITFLOW_QUICK=1` runs a few hundred requests (CI gate);
+//! `BITFLOW_SOAK_REQUESTS=N` overrides; the default sits in between. The
+//! chaos seed comes from `BITFLOW_CHAOS` when set, so a failing seed can
+//! be replayed verbatim.
+
+use bitflow::prelude::*;
+use bitflow_graph::BitFlowError;
+use bitflow_serve::ResponseHandle;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Distinct inputs cycled over the request stream (request `i` sends
+/// input `i % DISTINCT_INPUTS`, so each success has a precomputed oracle).
+const DISTINCT_INPUTS: usize = 16;
+
+fn soak_requests() -> usize {
+    if let Ok(v) = std::env::var("BITFLOW_SOAK_REQUESTS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var_os("BITFLOW_QUICK").is_some_and(|v| v == "1") {
+        300
+    } else {
+        1500
+    }
+}
+
+fn compiled_small_cnn(seed: u64) -> (Arc<CompiledModel>, Vec<Tensor>) {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    let inputs: Vec<Tensor> = (0..DISTINCT_INPUTS)
+        .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+        .collect();
+    (Arc::new(CompiledModel::compile(&spec, &weights)), inputs)
+}
+
+/// Waits for a handle with a watchdog: a request that does not resolve
+/// within `timeout` is a deadlock, reported as a failure rather than a
+/// hung test process.
+fn wait_with_watchdog(
+    handle: &ResponseHandle,
+    timeout: Duration,
+) -> Result<Vec<f32>, BitFlowError> {
+    let start = Instant::now();
+    loop {
+        if let Some(result) = handle.try_wait() {
+            return result;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "request {} did not resolve within {timeout:?}: serving runtime deadlocked",
+            handle.id()
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Per-request outcomes tallied caller-side, to be reconciled against the
+/// server's gauges.
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    failed: u64,
+    deadline: u64, // shed before running or cut mid-run: same client error
+    cancelled: u64,
+    rejected: u64,
+}
+
+#[test]
+fn chaos_soak_conserves_every_request_and_preserves_logits() {
+    let n = soak_requests();
+    let (model, inputs) = compiled_small_cnn(42);
+
+    // Serial oracle, computed before any chaos hook is installed on the
+    // model (the hook only fires on serving threads, but computing the
+    // oracle first also keeps this test meaningful if that ever changes).
+    let mut oracle_ctx = model.new_context();
+    let oracle: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|img| model.infer(&mut oracle_ctx, img))
+        .collect();
+
+    let chaos = ChaosConfig::from_env().unwrap_or_else(|| ChaosConfig::with_seed(0xB17F));
+    let server = Server::start(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 32,
+            shed_policy: ShedPolicy::DeadlineAware,
+            breaker: BreakerConfig {
+                // High threshold: the soak wants sustained admission, not
+                // a shedding wall; the breaker has its own unit tests.
+                fault_threshold: 64,
+                cooldown: Duration::from_millis(10),
+            },
+            chaos: Some(chaos),
+            default_deadline: None,
+        },
+    );
+
+    let mut tally = Tally::default();
+    let mut pending: Vec<(usize, ResponseHandle)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let input = inputs[i % DISTINCT_INPUTS].clone();
+        // Mixed deadline profile: most requests unbounded, some generous,
+        // some hopeless (they exercise shedding and mid-run expiry).
+        let submitted = match i % 10 {
+            9 => server.submit_with_deadline(input, Duration::from_micros(50)),
+            7 | 8 => server.submit_with_deadline(input, Duration::from_millis(500)),
+            _ => server.submit(input),
+        };
+        match submitted {
+            Ok(handle) => {
+                // A slice of explicit client cancellations.
+                if i % 37 == 0 {
+                    handle.cancel();
+                }
+                pending.push((i, handle));
+            }
+            Err(_reason) => tally.rejected += 1,
+        }
+    }
+
+    for (i, handle) in pending {
+        match wait_with_watchdog(&handle, Duration::from_secs(60)) {
+            Ok(logits) => {
+                assert_eq!(
+                    logits,
+                    oracle[i % DISTINCT_INPUTS],
+                    "request {i} completed with logits differing from serial inference"
+                );
+                tally.completed += 1;
+            }
+            Err(BitFlowError::DeadlineExceeded) => tally.deadline += 1,
+            Err(BitFlowError::Cancelled) => tally.cancelled += 1,
+            Err(BitFlowError::Internal(msg)) => {
+                assert!(
+                    msg.contains("chaos"),
+                    "request {i}: only injected panics may fail here, got: {msg}"
+                );
+                tally.failed += 1;
+            }
+            Err(other) => panic!("request {i}: unexpected typed error {other}"),
+        }
+    }
+
+    let snap = server.shutdown();
+
+    // Caller-side tallies reconcile exactly with the server's gauges.
+    assert_eq!(snap.submitted, n as u64, "every submission counted");
+    assert_eq!(snap.completed, tally.completed);
+    assert_eq!(snap.failed, tally.failed);
+    assert_eq!(snap.cancelled, tally.cancelled);
+    assert_eq!(
+        snap.shed_deadline + snap.deadline_missed,
+        tally.deadline,
+        "deadline outcomes split across shed/missed must sum to the client view"
+    );
+    assert_eq!(
+        snap.rejected_queue_full + snap.rejected_shedding + snap.rejected_draining,
+        tally.rejected
+    );
+
+    // The ServeSnapshot conservation law.
+    assert_eq!(
+        snap.submitted,
+        snap.accepted + snap.rejected_queue_full + snap.rejected_shedding + snap.rejected_draining
+    );
+    assert_eq!(
+        snap.accepted,
+        snap.completed + snap.failed + snap.shed_deadline + snap.deadline_missed + snap.cancelled
+    );
+    assert_eq!(snap.queue_depth, 0, "drain leaves the queue empty");
+
+    // All inputs are well-formed, so the only failures are isolated
+    // panics — and each one was counted as exactly one worker fault.
+    assert_eq!(snap.worker_panics, snap.failed);
+
+    // The soak must actually exercise the machinery it claims to: chaos
+    // panics fire at ~2% of requests and the single-threaded submitter
+    // outruns the pool, so a healthy run sees faults and overload.
+    assert!(snap.completed > 0, "no request completed");
+    if n >= 1000 {
+        assert!(snap.worker_panics > 0, "chaos panics never fired");
+        assert!(
+            snap.rejected_queue_full + snap.shed_deadline + snap.deadline_missed > 0,
+            "no overload behaviour observed"
+        );
+    }
+}
+
+/// The same pipeline with chaos off: everything completes, nothing is
+/// shed, and the fault counters stay at zero — the chaos soak's control
+/// group, guarding against the runtime injecting failures of its own.
+#[test]
+fn calm_soak_completes_everything() {
+    let n = soak_requests().min(500);
+    let (model, inputs) = compiled_small_cnn(43);
+    let mut oracle_ctx = model.new_context();
+    let oracle: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|img| model.infer(&mut oracle_ctx, img))
+        .collect();
+
+    let server = Server::start(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: n.max(1),
+            ..ServerConfig::default()
+        },
+    );
+    let handles: Vec<(usize, ResponseHandle)> = (0..n)
+        .map(|i| {
+            let handle = server
+                .submit(inputs[i % DISTINCT_INPUTS].clone())
+                .unwrap_or_else(|r| panic!("request {i} rejected ({r}) with an unbounded queue"));
+            (i, handle)
+        })
+        .collect();
+    for (i, handle) in handles {
+        let logits = match wait_with_watchdog(&handle, Duration::from_secs(60)) {
+            Ok(l) => l,
+            Err(e) => panic!("request {i} failed without chaos: {e}"),
+        };
+        assert_eq!(logits, oracle[i % DISTINCT_INPUTS], "request {i} diverged");
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.completed, n as u64);
+    assert_eq!(snap.accepted, n as u64);
+    assert_eq!(
+        snap.failed + snap.worker_panics + snap.worker_restarts + snap.breaker_trips,
+        0,
+        "calm soak must be fault-free"
+    );
+}
