@@ -66,7 +66,8 @@ pub mod prelude {
     };
     pub use bitflow_ops::{ConvParams, SimdLevel};
     pub use bitflow_serve::{
-        BreakerConfig, ChaosConfig, ResponseHandle, Server, ServerConfig, ShedPolicy,
+        BreakerConfig, ChaosConfig, ModelClient, ModelEntry, ModelRegistry, ResponseHandle, Server,
+        ServerConfig, ShedPolicy,
     };
     pub use bitflow_simd::{features, HwFeatures, VectorScheduler};
     pub use bitflow_telemetry::{

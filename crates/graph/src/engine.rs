@@ -32,8 +32,8 @@ use crate::weights::{LayerWeights, NetworkWeights};
 use bitflow_gemm::pack::PackedMatrix;
 use bitflow_gemm::sgemm::transpose;
 use bitflow_ops::binary::{
-    binarize_pack_into, binarize_threshold_into, binary_max_pool_into, fold_bn_into_thresholds,
-    pressed_conv_parallel_into, pressed_conv_sign_scratch_into, BinaryFcWeights,
+    binarize_pack_into, binarize_threshold_into, binary_max_pool_into, pressed_conv_parallel_into,
+    pressed_conv_sign_scratch_into, BinaryFcWeights,
 };
 use bitflow_ops::float::{conv_im2col_parallel, fc_parallel, max_pool_parallel, relu};
 use bitflow_simd::kernels::SimdLevel;
@@ -48,16 +48,48 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A fault-injection hook called at every operator boundary with the
-/// operator's index and name. Installed per model by the chaos layer
-/// (`BITFLOW_CHAOS` via `bitflow-serve`); the hook may sleep (slow-op) or
-/// panic (panic-op). Disabled cost: one `OnceLock::get` per operator.
-pub type FaultHook = Arc<dyn Fn(usize, &str) + Send + Sync>;
+/// operator's index, name, and the request tag of the inference run on
+/// this thread ([`UNTAGGED`] outside any tagged run). Installed per model
+/// by the chaos layer (`BITFLOW_CHAOS` via `bitflow-serve`); the hook may
+/// sleep (slow-op) or panic (panic-op). The tag travels through
+/// [`InferTagGuard`], so it reaches hooks even on rayon workers inside
+/// [`CompiledModel::try_infer_batch_cancellable`], where a serve-side
+/// thread-local would not. Disabled cost: one `OnceLock::get` per operator.
+pub type FaultHook = Arc<dyn Fn(usize, &str, u64) + Send + Sync>;
+
+/// The request tag reported to a [`FaultHook`] when no tagged inference is
+/// running on the current thread.
+pub const UNTAGGED: u64 = u64::MAX;
 
 thread_local! {
     /// Index of the operator currently executing on this thread, or
     /// `usize::MAX` when none is. Lets the `catch_unwind` backstops name
     /// the operator that panicked without any hot-path allocation.
     static CURRENT_OP: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Request tag of the inference run on this thread ([`UNTAGGED`] when
+    /// none), maintained by [`InferTagGuard`] and handed to fault hooks.
+    static CURRENT_TAG: Cell<u64> = const { Cell::new(UNTAGGED) };
+}
+
+/// RAII guard that tags every operator executed on this thread with a
+/// request id until dropped (restoring the previous tag, so nested scopes
+/// compose). Fault hooks receive the tag, letting per-request chaos
+/// decisions survive the hop onto rayon workers.
+pub struct InferTagGuard {
+    prev: u64,
+}
+
+/// Tags the current thread's inference with `tag` for the guard's
+/// lifetime.
+pub fn enter_infer_tag(tag: u64) -> InferTagGuard {
+    let prev = CURRENT_TAG.with(|c| c.replace(tag));
+    InferTagGuard { prev }
+}
+
+impl Drop for InferTagGuard {
+    fn drop(&mut self) {
+        CURRENT_TAG.with(|c| c.set(self.prev));
+    }
 }
 
 /// A pre-allocated runtime buffer.
@@ -147,6 +179,19 @@ impl Slot {
 /// Logits plus the per-operator wall-clock times of the run that produced
 /// them.
 pub type ProfiledLogits = (Vec<f32>, Vec<(String, Duration)>);
+
+/// One request inside a coalesced inference batch
+/// ([`CompiledModel::try_infer_batch_cancellable`]): the input tensor, the
+/// request's own cancel token, and the tag fault hooks see while it runs.
+pub struct BatchItem<'a> {
+    /// Input image.
+    pub input: &'a Tensor,
+    /// Cooperative cancellation for this item only.
+    pub cancel: &'a CancelToken,
+    /// Request tag reported to the installed [`FaultHook`] (use
+    /// [`UNTAGGED`] for none).
+    pub tag: u64,
+}
 
 /// Attaches layer context to a slot-kind mismatch, making it a
 /// [`BitFlowError::SlotType`].
@@ -356,8 +401,7 @@ impl CompiledModel {
                 (LayerSpec::Conv { name, k, params }, LayerWeights::Conv { w, fshape, bn }) => {
                     debug_assert_eq!(*fshape, FilterShape::new(*k, params.kh, params.kw, in_c));
                     let bank = BitFilterBank::from_floats(w, *fshape);
-                    let fold =
-                        fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                    let fold = bn.fold();
                     let (oh, ow) = match shapes[i] {
                         LayerIo::Map { h, w, .. } => (h, w),
                         _ => unreachable!(),
@@ -454,8 +498,7 @@ impl CompiledModel {
                         });
                         cur = CurSlot::Packed(usize::MAX); // terminal
                     } else {
-                        let fold =
-                            fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                        let fold = bn.fold();
                         let scratch = slot_specs.len();
                         slot_specs.push(SlotSpec::Vec { len: *k });
                         let out = slot_specs.len();
@@ -875,6 +918,57 @@ impl CompiledModel {
         out
     }
 
+    /// [`CompiledModel::try_infer_batch`] for serving: each item carries
+    /// its own [`CancelToken`] (checked at every operator boundary) and a
+    /// request tag that reaches the installed [`FaultHook`] on whatever
+    /// rayon worker runs the item — so per-request chaos decisions and
+    /// cancellations keep working when requests are coalesced into a
+    /// batch. Per-item results, same graceful degradation and bit-exact
+    /// guarantees as `try_infer_batch`.
+    pub fn try_infer_batch_cancellable(
+        &self,
+        items: &[BatchItem<'_>],
+    ) -> Vec<Result<Vec<f32>, BitFlowError>> {
+        use rayon::prelude::*;
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = items.len().div_ceil(threads).max(1);
+        let telemetry = self.telemetry.get();
+        if let Some(t) = telemetry {
+            t.batch()
+                .batch_started(items.len() as u64, items.len().div_ceil(chunk) as u64);
+        }
+        let mut out: Vec<Result<Vec<f32>, BitFlowError>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || {
+            Err(BitFlowError::Internal("item not reached".into()))
+        });
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, outs)| {
+                let mut ctx = self.new_context();
+                for (j, o) in outs.iter_mut().enumerate() {
+                    let item = &items[ci * chunk + j];
+                    let result = self.catch_fault(|| {
+                        // Guard inside the catch: a panicking hook unwinds
+                        // through the guard's Drop, restoring the tag
+                        // before the next item runs on this worker.
+                        let _tag = enter_infer_tag(item.tag);
+                        self.try_infer_cancellable(&mut ctx, item.input, item.cancel)
+                    });
+                    if matches!(result, Err(BitFlowError::Internal(_))) {
+                        ctx = self.new_context();
+                    }
+                    *o = result;
+                    if let Some(t) = telemetry {
+                        t.batch().item_finished(o.is_ok());
+                    }
+                }
+            });
+        out
+    }
+
     /// Runs `f`, converting any panic into a typed
     /// [`BitFlowError::Internal`] whose message names the operator that
     /// was executing when the panic unwound (tracked in a thread-local the
@@ -953,7 +1047,7 @@ impl CompiledModel {
         // backstops can name it if a panic unwinds out of the kernels.
         CURRENT_OP.with(|c| c.set(i));
         if let Some(hook) = self.fault_hook.get() {
-            hook(i, op_name);
+            hook(i, op_name, CURRENT_TAG.with(Cell::get));
         }
         match &self.ops[i] {
             RtOp::BinarizeInput { out, pad } => {
@@ -1548,8 +1642,7 @@ mod tests {
         let got = net.infer(&input);
 
         use bitflow_ops::binary::{
-            binarize_pack_padded, binary_fc, binary_max_pool, fold_bn_into_thresholds,
-            pressed_conv, BinaryFcWeights,
+            binarize_pack_padded, binary_fc, binary_max_pool, pressed_conv, BinaryFcWeights,
         };
         let (cw, cf, cbn) = match &weights.layers[0] {
             LayerWeights::Conv { w, fshape, bn } => (w, fshape, bn),
@@ -1558,7 +1651,7 @@ mod tests {
         let bank = BitFilterBank::from_floats(cw, *cf);
         let pressed = binarize_pack_padded(&input, 1);
         let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
-        let fold = fold_bn_into_thresholds(&cbn.gamma, &cbn.beta, &cbn.mean, &cbn.var, 1e-5);
+        let fold = cbn.fold();
         let signed = bitflow_ops::binary::binarize_threshold_padded(
             &counts,
             &fold.thresholds,
@@ -1763,6 +1856,170 @@ mod tests {
         // A later with_sink call cannot replace the live handle.
         let c = model.enable_telemetry_with_sink(Box::new(bitflow_telemetry::NoopSink));
         assert!(std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn batch_cancellable_matches_serial_and_honours_tokens() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let mut rng = StdRng::seed_from_u64(17);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+            .collect();
+        let mut ctx = model.new_context();
+        let serial: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|img| model.infer(&mut ctx, img))
+            .collect();
+        let tokens: Vec<CancelToken> = (0..6).map(|_| CancelToken::new()).collect();
+        tokens[3].cancel();
+        let items: Vec<BatchItem<'_>> = inputs
+            .iter()
+            .zip(&tokens)
+            .enumerate()
+            .map(|(i, (input, cancel))| BatchItem {
+                input,
+                cancel,
+                tag: i as u64,
+            })
+            .collect();
+        let results = model.try_infer_batch_cancellable(&items);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                assert!(
+                    matches!(r, Err(BitFlowError::Cancelled)),
+                    "cancelled item must abort, got {r:?}"
+                );
+            } else {
+                assert_eq!(
+                    r.as_ref().expect("uncancelled item"),
+                    &serial[i],
+                    "item {i} diverged from serial inference"
+                );
+            }
+        }
+        assert!(model.try_infer_batch_cancellable(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_items_report_their_tags_to_fault_hooks() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let seen = Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+        let sink = Arc::clone(&seen);
+        assert!(model.install_fault_hook(Arc::new(move |_, _, tag| {
+            sink.lock().expect("hook lock").insert(tag);
+        })));
+        let mut rng = StdRng::seed_from_u64(19);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+            .collect();
+        let none = CancelToken::none();
+        let items: Vec<BatchItem<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| BatchItem {
+                input,
+                cancel: &none,
+                tag: 100 + i as u64,
+            })
+            .collect();
+        let results = model.try_infer_batch_cancellable(&items);
+        assert!(results.iter().all(Result::is_ok));
+        {
+            // Scoped: the hook locks this same mutex on this thread during
+            // the untagged inference below.
+            let seen = seen.lock().expect("lock");
+            for i in 0..5u64 {
+                assert!(
+                    seen.contains(&(100 + i)),
+                    "tag {} never reached the fault hook (rayon workers lose \
+                     serve-side thread-locals — the tag must travel with the item)",
+                    100 + i
+                );
+            }
+        }
+        // Untagged inference reports UNTAGGED, not a stale batch tag.
+        let mut ctx = model.new_context();
+        let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        model.infer(&mut ctx, &input);
+        assert!(seen.lock().expect("lock").contains(&UNTAGGED));
+    }
+
+    #[test]
+    fn nondefault_bn_epsilon_matches_float_reference() {
+        // A model whose BN layers use ε = 1e-1 over deliberately small
+        // variances (so ε dominates the denominator), with β amplified so
+        // the ε-induced threshold shift spans several integer count
+        // levels: the engine must fold with the layer's own ε. The
+        // reference computes the explicit float BN + sign path; a second
+        // compile with the old hardcoded default shows the bug this
+        // guards against.
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        for lw in &mut weights.layers {
+            if let LayerWeights::Conv { bn, .. } | LayerWeights::Fc { bn, .. } = lw {
+                bn.eps = 1e-1;
+                for v in &mut bn.var {
+                    *v *= 1e-3;
+                }
+                for b in &mut bn.beta {
+                    *b *= 20.0;
+                }
+            }
+        }
+        let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+        let mut net = Network::compile(&spec, &weights);
+        let got = net.infer(&input);
+
+        // Hand-executed chain with explicit BN: y = γ·(x−μ)/√(σ²+ε) + β,
+        // bit = y ≥ 0 — no folding anywhere.
+        use bitflow_ops::binary::{
+            binarize_pack_padded, binarize_threshold_padded, binary_fc, binary_max_pool,
+            pressed_conv, BinaryFcWeights,
+        };
+        let (cw, cf, cbn) = match &weights.layers[0] {
+            LayerWeights::Conv { w, fshape, bn } => (w, fshape, bn),
+            _ => unreachable!(),
+        };
+        let bank = BitFilterBank::from_floats(cw, *cf);
+        let pressed = binarize_pack_padded(&input, 1);
+        let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
+        let k = cf.k;
+        let mut bn_out = counts.clone();
+        for (i, y) in bn_out.data_mut().iter_mut().enumerate() {
+            let c = i % k;
+            *y = cbn.gamma[c] * (*y - cbn.mean[c]) / (cbn.var[c] + cbn.eps).sqrt() + cbn.beta[c];
+        }
+        let zeros = vec![0.0f32; k];
+        let no_flip = vec![false; k];
+        let signed = binarize_threshold_padded(&bn_out, &zeros, &no_flip, 0);
+        let pooled = binary_max_pool(SimdLevel::Avx512, &signed, 2, 2, 2);
+        let (fw, fn_, fk) = match &weights.layers[2] {
+            LayerWeights::Fc { w, n, k, .. } => (w, *n, *k),
+            _ => unreachable!(),
+        };
+        let flat = pooled.to_tensor();
+        let packed_w = BinaryFcWeights::pack(fw, fn_, fk);
+        let want = binary_fc(SimdLevel::Avx512, flat.data(), &packed_w);
+        assert_eq!(got, want, "engine must fold with the layer's ε");
+
+        // Regression half: the old behavior (hardcoded 1e-5) folds
+        // different thresholds, and with ε-dominated variances the logits
+        // actually diverge.
+        let mut old = weights.clone();
+        for lw in &mut old.layers {
+            if let LayerWeights::Conv { bn, .. } | LayerWeights::Fc { bn, .. } = lw {
+                bn.eps = 1e-5;
+            }
+        }
+        let old_logits = Network::compile(&spec, &old).infer(&input);
+        assert_ne!(
+            got, old_logits,
+            "folding with the default ε must be observable on this model \
+             (otherwise this test cannot catch the bug)"
+        );
     }
 
     #[test]

@@ -321,6 +321,10 @@ pub enum RejectReason {
     Shedding,
     /// The server is draining for shutdown and accepts no new work.
     Draining,
+    /// The target model's admission quota is exhausted: as many of its
+    /// requests are already queued or in flight as its tenancy config
+    /// allows.
+    QuotaExceeded,
 }
 
 impl RejectReason {
@@ -331,6 +335,7 @@ impl RejectReason {
             RejectReason::QueueFull => "queue_full",
             RejectReason::Shedding => "shedding",
             RejectReason::Draining => "draining",
+            RejectReason::QuotaExceeded => "quota",
         }
     }
 }
@@ -343,6 +348,9 @@ impl fmt::Display for RejectReason {
                 write!(f, "shedding load (circuit breaker open)")
             }
             RejectReason::Draining => write!(f, "server draining"),
+            RejectReason::QuotaExceeded => {
+                write!(f, "model admission quota exhausted")
+            }
         }
     }
 }
@@ -395,6 +403,7 @@ impl BitFlowError {
             BitFlowError::Rejected(RejectReason::QueueFull) => "rejected_queue_full",
             BitFlowError::Rejected(RejectReason::Shedding) => "rejected_shedding",
             BitFlowError::Rejected(RejectReason::Draining) => "rejected_draining",
+            BitFlowError::Rejected(RejectReason::QuotaExceeded) => "rejected_quota",
             BitFlowError::Internal(_) => "internal",
         }
     }
@@ -519,6 +528,7 @@ mod tests {
             (RejectReason::QueueFull, "rejected_queue_full"),
             (RejectReason::Shedding, "rejected_shedding"),
             (RejectReason::Draining, "rejected_draining"),
+            (RejectReason::QuotaExceeded, "rejected_quota"),
         ] {
             let e = BitFlowError::Rejected(reason);
             assert_eq!(e.code(), code);

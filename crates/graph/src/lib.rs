@@ -45,11 +45,14 @@ pub mod spec;
 pub mod weights;
 
 pub use cancel::CancelToken;
-pub use engine::{CompiledModel, FaultHook, FloatNetwork, InferenceContext, Network};
+pub use engine::{
+    enter_infer_tag, BatchItem, CompiledModel, FaultHook, FloatNetwork, InferTagGuard,
+    InferenceContext, Network, UNTAGGED,
+};
 pub use error::{
     BitFlowError, InputGeometry, RejectReason, SlotKind, SlotTypeError, SpecError, WeightMismatch,
 };
 pub use model_io::{load_model, save_model, ModelIoError};
 pub use models::{small_cnn, vgg16, vgg19};
 pub use spec::{LayerSpec, NetworkSpec};
-pub use weights::{LayerWeights, NetworkWeights};
+pub use weights::{BnParams, LayerWeights, NetworkWeights, DEFAULT_BN_EPS};

@@ -1,7 +1,7 @@
 //! Model persistence: one self-describing binary container holding a
 //! [`NetworkSpec`] plus its [`NetworkWeights`].
 //!
-//! Format (v2):
+//! Format (v3):
 //!
 //! ```text
 //! magic "BTFM" | u32 version | u32 header_len | u64 payload_len
@@ -9,9 +9,14 @@
 //! ```
 //!
 //! The header is the spec plus per-layer payload descriptors and the
-//! payload is raw little-endian `f32` runs (weights, then γ/β/μ/σ² for
+//! payload is raw little-endian `f32` runs (weights, then γ/β/μ/σ²/ε for
 //! parametric layers). Keeps VGG-scale models loadable without a 2×-size
 //! JSON blow-up.
+//!
+//! Version history: v3 appends the batch-norm ε (one `f32`) after each
+//! layer's σ² run, fixing the bug where every decoded model silently
+//! folded thresholds with the default ε. v2 containers (no ε run) still
+//! decode, defaulting ε to [`DEFAULT_BN_EPS`].
 //!
 //! [`decode_model`] is part of the panic-free serving path: every length
 //! field is bound-checked with overflow-safe arithmetic *before* any
@@ -23,7 +28,7 @@
 //! [`CompiledModel::try_compile`](crate::engine::CompiledModel::try_compile).
 
 use crate::spec::NetworkSpec;
-use crate::weights::{BnParams, LayerWeights, NetworkWeights};
+use crate::weights::{BnParams, LayerWeights, NetworkWeights, DEFAULT_BN_EPS};
 use bitflow_tensor::FilterShape;
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +36,11 @@ use serde::{Deserialize, Serialize};
 pub const MODEL_MAGIC: u32 = 0x4254_464D;
 
 /// Container format version written by [`encode_model`].
-pub const MODEL_VERSION: u32 = 2;
+pub const MODEL_VERSION: u32 = 3;
+
+/// Oldest container version [`decode_model`] still accepts (v2 payloads
+/// carry no ε run; decode defaults it to [`DEFAULT_BN_EPS`]).
+pub const MIN_MODEL_VERSION: u32 = 2;
 
 /// Fixed prefix: magic + version + header_len + payload_len + checksum.
 const PREFIX_LEN: usize = 4 + 4 + 4 + 8 + 8;
@@ -128,10 +137,16 @@ fn read_f32s(data: &[u8], off: &mut usize, n: usize) -> Result<Vec<f32>, ModelIo
 }
 
 /// Element count a descriptor promises, with overflow-checked arithmetic
-/// (descriptors come straight from an untrusted header).
-fn desc_elems(desc: &LayerDesc) -> Result<usize, ModelIoError> {
+/// (descriptors come straight from an untrusted header). v3 payloads carry
+/// one extra ε element per batch-norm run.
+fn desc_elems(desc: &LayerDesc, version: u32) -> Result<usize, ModelIoError> {
     let over = || ModelIoError::Corrupt("layer descriptor size overflows".into());
-    let checked_bn = |bn_c: usize| bn_c.checked_mul(4).ok_or_else(over);
+    let eps_elems = if version >= 3 { 1 } else { 0 };
+    let checked_bn = |bn_c: usize| {
+        bn_c.checked_mul(4)
+            .and_then(|x| x.checked_add(eps_elems))
+            .ok_or_else(over)
+    };
     match desc {
         LayerDesc::Conv { fshape, bn_c } => {
             let w = fshape
@@ -192,6 +207,7 @@ pub fn encode_model(spec: &NetworkSpec, weights: &NetworkWeights) -> Vec<u8> {
                 push_f32s(&mut body, &bn.beta);
                 push_f32s(&mut body, &bn.mean);
                 push_f32s(&mut body, &bn.var);
+                push_f32s(&mut body, &[bn.eps]);
             }
             LayerWeights::Pool => {}
         }
@@ -221,9 +237,10 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
         return Err(ModelIoError::Truncated);
     }
     let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
-    if version != MODEL_VERSION {
+    if !(MIN_MODEL_VERSION..=MODEL_VERSION).contains(&version) {
         return Err(ModelIoError::BadHeader(format!(
-            "unsupported container version {version} (expected {MODEL_VERSION})"
+            "unsupported container version {version} \
+             (expected {MIN_MODEL_VERSION}..={MODEL_VERSION})"
         )));
     }
     let hlen = u32::from_le_bytes([data[8], data[9], data[10], data[11]]) as usize;
@@ -266,7 +283,7 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
     let mut promised = 0usize;
     for desc in &header.layers {
         promised = promised
-            .checked_add(desc_elems(desc)?)
+            .checked_add(desc_elems(desc, version)?)
             .ok_or_else(|| ModelIoError::Corrupt("layer descriptor size overflows".into()))?;
     }
     let promised_bytes = promised
@@ -287,7 +304,7 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
         let lw = match desc {
             LayerDesc::Conv { fshape, bn_c } => {
                 let w = read_f32s(payload, &mut off, fshape.numel())?;
-                let bn = read_bn(payload, &mut off, *bn_c)?;
+                let bn = read_bn(payload, &mut off, *bn_c, version)?;
                 LayerWeights::Conv {
                     w,
                     fshape: *fshape,
@@ -296,7 +313,7 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
             }
             LayerDesc::Fc { n, k, bn_c } => {
                 let w = read_f32s(payload, &mut off, n * k)?;
-                let bn = read_bn(payload, &mut off, *bn_c)?;
+                let bn = read_bn(payload, &mut off, *bn_c, version)?;
                 LayerWeights::Fc {
                     w,
                     n: *n,
@@ -321,12 +338,23 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
     Ok((header.spec, weights))
 }
 
-fn read_bn(data: &[u8], off: &mut usize, c: usize) -> Result<BnParams, ModelIoError> {
+fn read_bn(data: &[u8], off: &mut usize, c: usize, version: u32) -> Result<BnParams, ModelIoError> {
+    let gamma = read_f32s(data, off, c)?;
+    let beta = read_f32s(data, off, c)?;
+    let mean = read_f32s(data, off, c)?;
+    let var = read_f32s(data, off, c)?;
+    // v2 containers predate the ε run; they were folded with the default.
+    let eps = if version >= 3 {
+        read_f32s(data, off, 1)?[0]
+    } else {
+        DEFAULT_BN_EPS
+    };
     Ok(BnParams {
-        gamma: read_f32s(data, off, c)?,
-        beta: read_f32s(data, off, c)?,
-        mean: read_f32s(data, off, c)?,
-        var: read_f32s(data, off, c)?,
+        gamma,
+        beta,
+        mean,
+        var,
+        eps,
     })
 }
 
@@ -353,7 +381,7 @@ mod tests {
 
     use super::*;
     use crate::models::{small_cnn, tiered_cnn};
-    use rand::{rngs::StdRng, SeedableRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn round_trip_in_memory() {
@@ -440,11 +468,126 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
         let mut bytes = encode_model(&spec, &weights);
-        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
-        assert!(matches!(
-            decode_model(&bytes),
-            Err(ModelIoError::BadHeader(_))
-        ));
+        for bad in [1u32, 99] {
+            let mut b = bytes.clone();
+            b[4..8].copy_from_slice(&bad.to_le_bytes());
+            assert!(
+                matches!(decode_model(&b), Err(ModelIoError::BadHeader(_))),
+                "version {bad} must be rejected"
+            );
+        }
+        bytes[4..8].copy_from_slice(&MODEL_VERSION.to_le_bytes());
+        assert!(decode_model(&bytes).is_ok());
+    }
+
+    /// Re-encodes a model in the legacy v2 layout (no ε run) so the
+    /// backward-compat decode path can be exercised against real bytes.
+    fn encode_model_v2(spec: &NetworkSpec, weights: &NetworkWeights) -> Vec<u8> {
+        let descs: Vec<LayerDesc> = weights
+            .layers
+            .iter()
+            .map(|lw| match lw {
+                LayerWeights::Conv { fshape, bn, .. } => LayerDesc::Conv {
+                    fshape: *fshape,
+                    bn_c: bn.gamma.len(),
+                },
+                LayerWeights::Fc { n, k, bn, .. } => LayerDesc::Fc {
+                    n: *n,
+                    k: *k,
+                    bn_c: bn.gamma.len(),
+                },
+                LayerWeights::Pool => LayerDesc::Pool,
+            })
+            .collect();
+        let header = Header {
+            spec: spec.clone(),
+            layers: descs,
+        };
+        let header_json = serde_json::to_vec(&header).unwrap();
+        let mut body = header_json.clone();
+        for lw in &weights.layers {
+            match lw {
+                LayerWeights::Conv { w, bn, .. } | LayerWeights::Fc { w, bn, .. } => {
+                    push_f32s(&mut body, w);
+                    push_f32s(&mut body, &bn.gamma);
+                    push_f32s(&mut body, &bn.beta);
+                    push_f32s(&mut body, &bn.mean);
+                    push_f32s(&mut body, &bn.var);
+                }
+                LayerWeights::Pool => {}
+            }
+        }
+        let payload_len = (body.len() - header_json.len()) as u64;
+        let mut buf = Vec::with_capacity(PREFIX_LEN + body.len());
+        buf.extend_from_slice(&MODEL_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload_len.to_le_bytes());
+        buf.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        buf.extend_from_slice(&body);
+        buf
+    }
+
+    #[test]
+    fn decodes_legacy_v2_container_with_default_eps() {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(16);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        let bytes = encode_model_v2(&spec, &weights);
+        let (spec2, weights2) = decode_model(&bytes).unwrap();
+        assert_eq!(spec, spec2);
+        // A v2 payload has no ε run: every layer comes back with the
+        // default, and everything else survives byte-exactly.
+        for (a, b) in weights.layers.iter().zip(&weights2.layers) {
+            match (a, b) {
+                (LayerWeights::Conv { w, bn, .. }, LayerWeights::Conv { w: w2, bn: bn2, .. })
+                | (LayerWeights::Fc { w, bn, .. }, LayerWeights::Fc { w: w2, bn: bn2, .. }) => {
+                    assert_eq!(w, w2);
+                    assert_eq!(bn.gamma, bn2.gamma);
+                    assert_eq!(bn.beta, bn2.beta);
+                    assert_eq!(bn.mean, bn2.mean);
+                    assert_eq!(bn.var, bn2.var);
+                    assert_eq!(bn2.eps, DEFAULT_BN_EPS);
+                }
+                (LayerWeights::Pool, LayerWeights::Pool) => {}
+                _ => panic!("layer kinds diverged"),
+            }
+        }
+    }
+
+    /// Property-style round-trip sweep: across many random models with
+    /// randomized per-layer ε, encode→decode is the identity, and the v2
+    /// re-encoding of the same model decodes with ε collapsed to the
+    /// default — covering both the new field and old-version decode.
+    #[test]
+    fn round_trip_property_covers_eps_and_legacy_decode() {
+        for seed in 0..16u64 {
+            let spec = if seed % 2 == 0 {
+                small_cnn()
+            } else {
+                tiered_cnn()
+            };
+            let mut rng = StdRng::seed_from_u64(0xE9_5000 + seed);
+            let mut weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+            for lw in &mut weights.layers {
+                if let LayerWeights::Conv { bn, .. } | LayerWeights::Fc { bn, .. } = lw {
+                    bn.eps = rng.gen_range(1e-6f32..1e-2);
+                }
+            }
+            let (spec2, weights2) = decode_model(&encode_model(&spec, &weights)).unwrap();
+            assert_eq!(spec, spec2, "seed {seed}: spec round-trip");
+            assert_eq!(
+                weights, weights2,
+                "seed {seed}: weights (incl. ε) round-trip"
+            );
+
+            let (_, legacy) = decode_model(&encode_model_v2(&spec, &weights)).unwrap();
+            for lw in &legacy.layers {
+                if let LayerWeights::Conv { bn, .. } | LayerWeights::Fc { bn, .. } = lw {
+                    assert_eq!(bn.eps, DEFAULT_BN_EPS, "seed {seed}: legacy ε default");
+                }
+            }
+        }
     }
 
     #[test]

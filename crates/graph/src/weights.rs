@@ -11,6 +11,10 @@ use bitflow_tensor::FilterShape;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The normalization epsilon used when none was recorded: the BatchNorm
+/// default, and what every pre-`eps` model container implicitly used.
+pub const DEFAULT_BN_EPS: f32 = 1e-5;
+
 /// Inference-time batch-norm statistics for one layer (per output channel).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BnParams {
@@ -22,6 +26,10 @@ pub struct BnParams {
     pub mean: Vec<f32>,
     /// Running variance.
     pub var: Vec<f32>,
+    /// Normalization epsilon (`y = γ·(x−μ)/√(σ²+ε) + β`). Part of the
+    /// trained model: folding with a different ε than training used shifts
+    /// every sign threshold, so it must survive export and persistence.
+    pub eps: f32,
 }
 
 impl BnParams {
@@ -33,6 +41,7 @@ impl BnParams {
             beta: vec![0.0; c],
             mean: vec![0.0; c],
             var: vec![1.0; c],
+            eps: DEFAULT_BN_EPS,
         }
     }
 
@@ -43,7 +52,21 @@ impl BnParams {
             beta: (0..c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
             mean: (0..c).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
             var: (0..c).map(|_| rng.gen_range(0.2f32..2.0)).collect(),
+            eps: DEFAULT_BN_EPS,
         }
+    }
+
+    /// Folds these statistics into per-channel sign thresholds using this
+    /// layer's own ε — the single fold entry point for the engine, so the
+    /// epsilon can never diverge between call sites again.
+    pub fn fold(&self) -> bitflow_ops::binary::BnFold {
+        bitflow_ops::binary::fold_bn_into_thresholds(
+            &self.gamma,
+            &self.beta,
+            &self.mean,
+            &self.var,
+            self.eps,
+        )
     }
 }
 
@@ -417,10 +440,37 @@ mod tests {
     #[test]
     fn identity_bn_thresholds_are_zero() {
         let bn = BnParams::identity(4);
-        let fold = bitflow_ops::binary::fold_bn_into_thresholds(
-            &bn.gamma, &bn.beta, &bn.mean, &bn.var, 0.0,
-        );
+        let fold = bn.fold();
         assert!(fold.thresholds.iter().all(|&t| t == 0.0));
         assert!(fold.flip.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn fold_uses_the_layers_own_epsilon() {
+        // A coarse ε (1e-1) against a small variance moves the threshold
+        // visibly; folding with the default ε instead would be wrong.
+        let bn = BnParams {
+            gamma: vec![1.0],
+            beta: vec![1.0],
+            mean: vec![0.0],
+            var: vec![0.01],
+            eps: 1e-1,
+        };
+        let fold = bn.fold();
+        let expected = bitflow_ops::binary::fold_bn_into_thresholds(
+            &bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-1,
+        );
+        assert_eq!(fold.thresholds, expected.thresholds);
+        let wrong = bitflow_ops::binary::fold_bn_into_thresholds(
+            &bn.gamma,
+            &bn.beta,
+            &bn.mean,
+            &bn.var,
+            DEFAULT_BN_EPS,
+        );
+        assert_ne!(
+            fold.thresholds, wrong.thresholds,
+            "ε must actually reach the fold"
+        );
     }
 }

@@ -314,7 +314,7 @@ fn deadline_exceeded_is_typed_and_does_not_poison_the_context() {
 
     // Deadline that expires inside operator #0 (the hook stalls it past
     // the budget): the run must stop at the next boundary.
-    assert!(model.install_fault_hook(Arc::new(|op, _name| {
+    assert!(model.install_fault_hook(Arc::new(|op, _name, _tag| {
         if op == 0 {
             std::thread::sleep(Duration::from_millis(30));
         }
@@ -347,7 +347,7 @@ fn batch_panic_is_attributed_to_the_operator() {
     // One-shot bomb in operator #1: exactly one invocation panics.
     let fired = Arc::new(AtomicUsize::new(0));
     let hook_fired = Arc::clone(&fired);
-    assert!(model.install_fault_hook(Arc::new(move |op, name| {
+    assert!(model.install_fault_hook(Arc::new(move |op, name, _tag| {
         if op == 1 && hook_fired.fetch_add(1, Ordering::SeqCst) == 0 {
             panic!("planted fault in {name}");
         }

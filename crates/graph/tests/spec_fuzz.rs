@@ -6,8 +6,7 @@ use bitflow_graph::spec::{LayerSpec, NetworkSpec};
 use bitflow_graph::weights::{LayerWeights, NetworkWeights};
 use bitflow_graph::{BitFlowError, CompiledModel, Network};
 use bitflow_ops::binary::{
-    binarize_pack_padded, binarize_threshold_padded, binary_max_pool, fold_bn_into_thresholds,
-    pressed_conv, BinaryFcWeights,
+    binarize_pack_padded, binarize_threshold_padded, binary_max_pool, pressed_conv, BinaryFcWeights,
 };
 use bitflow_ops::{ConvParams, SimdLevel};
 use bitflow_tensor::{BitFilterBank, Layout, Shape, Tensor};
@@ -32,7 +31,7 @@ fn interpret(spec: &NetworkSpec, weights: &NetworkWeights, input: &Tensor) -> Ve
             ) => {
                 let bank = BitFilterBank::from_floats(w, *fshape);
                 let counts = pressed_conv(SimdLevel::Avx512, &bits, &bank, params.stride);
-                let fold = fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                let fold = bn.fold();
                 let _ = k;
                 Cur::Bits(binarize_threshold_padded(
                     &counts,
@@ -65,8 +64,7 @@ fn interpret(spec: &NetworkSpec, weights: &NetworkWeights, input: &Tensor) -> Ve
                 if is_last {
                     Cur::Vec(counts)
                 } else {
-                    let fold =
-                        fold_bn_into_thresholds(&bn.gamma, &bn.beta, &bn.mean, &bn.var, 1e-5);
+                    let fold = bn.fold();
                     let signed: Vec<f32> = counts
                         .iter()
                         .enumerate()
@@ -216,6 +214,41 @@ proptest! {
             net.infer(&input)
         };
         prop_assert_eq!(par, serial);
+    }
+
+    /// Container round-trip over arbitrary valid topologies and ε values:
+    /// encode→decode is the identity (the v3 payload carries each layer's
+    /// ε), and the legacy-version decode path accepts a v2-stamped
+    /// container only when its payload has the v2 layout.
+    #[test]
+    fn container_round_trip_preserves_eps(
+        spec in arb_spec(),
+        seed in any::<u64>(),
+        eps in 1e-6f32..1e-2,
+    ) {
+        use bitflow_graph::model_io::{decode_model, encode_model};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        for lw in &mut weights.layers {
+            if let LayerWeights::Conv { bn, .. } | LayerWeights::Fc { bn, .. } = lw {
+                bn.eps = eps;
+            }
+        }
+        let bytes = encode_model(&spec, &weights);
+        let (spec2, weights2) = match decode_model(&bytes) {
+            Ok(pair) => pair,
+            Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e}"))),
+        };
+        prop_assert_eq!(&spec, &spec2);
+        prop_assert_eq!(&weights, &weights2);
+
+        // Re-stamping the version as v2 without removing the ε runs makes
+        // the descriptors disagree with the payload length — the decoder
+        // must reject it rather than misread the runs.
+        let mut v2_stamped = bytes.clone();
+        v2_stamped[4..8].copy_from_slice(&2u32.to_le_bytes());
+        prop_assert!(decode_model(&v2_stamped).is_err());
     }
 
     /// The validate → compile → infer contract: a spec that passes

@@ -10,23 +10,24 @@
 //!
 //! * **Per-(request, operator)** — decided inside the engine via the
 //!   model's fault hook: an operator either sleeps ([`ChaosConfig::slow`])
-//!   or panics. The hook only fires for threads that have a serving
-//!   request id installed ([`set_current_request`]), so direct
-//!   `try_infer` callers (oracles, tests) on the same model are never
-//!   chaos'd.
+//!   or panics. The hook keys its decisions on the engine's per-request
+//!   tag ([`bitflow_graph::enter_infer_tag`]), which the serving worker
+//!   sets to the request id — including inside coalesced micro-batches,
+//!   where inference runs on rayon threads a serve-side thread-local
+//!   could never reach. Untagged inference (oracles, tests, direct
+//!   `try_infer` callers) is never chaos'd.
 //! * **Per-pop** — decided by the worker around each queue pop: a stall
 //!   (sleep before processing, simulating a descheduled consumer) or a
-//!   worker kill (panic *after* the popped request resolves, so no
-//!   request is ever lost — the kill exercises the watchdog restart
-//!   path, not response delivery).
+//!   worker kill (panic *after* the popped batch resolves, so no request
+//!   is ever lost — the kill exercises the watchdog restart path, not
+//!   response delivery).
 //!
 //! Configured from `BITFLOW_CHAOS` (see [`ChaosConfig::from_env`]).
 
-use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bitflow_graph::FaultHook;
+use bitflow_graph::{FaultHook, UNTAGGED};
 
 /// Probability scale: decisions are `hash % SCALE < ppm`.
 const SCALE: u64 = 1_000_000;
@@ -35,32 +36,6 @@ const SCALE: u64 = 1_000_000;
 /// are independent.
 const DOMAIN_OP: u64 = 0x6f70; // "op"
 const DOMAIN_POP: u64 = 0x706f70; // "pop"
-
-thread_local! {
-    /// The serving request id the current thread is executing, or
-    /// `u64::MAX` when the thread is not inside a served request. The
-    /// fault hook reads this to key its decisions (and to stand down on
-    /// non-serving threads).
-    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(u64::MAX) };
-}
-
-/// Marks the current thread as executing serving request `id` for the
-/// duration of the returned guard.
-pub(crate) fn enter_request(id: u64) -> RequestGuard {
-    CURRENT_REQUEST.with(|c| c.set(id));
-    RequestGuard
-}
-
-/// Clears the thread's request id on drop — including the unwind out of
-/// an injected panic, so a worker that survives a fault does not leak the
-/// dead request's id into its next run.
-pub(crate) struct RequestGuard;
-
-impl Drop for RequestGuard {
-    fn drop(&mut self) {
-        CURRENT_REQUEST.with(|c| c.set(u64::MAX));
-    }
-}
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -203,18 +178,18 @@ enum OpFault {
 
 /// Builds the engine fault hook for `cfg`. Installed once per model via
 /// [`bitflow_graph::CompiledModel::install_fault_hook`]; fires at every
-/// operator entry but stands down unless the calling thread is inside a
-/// served request.
+/// operator entry but stands down unless the inference carries a request
+/// tag (the serving worker tags both single requests and every item of a
+/// coalesced micro-batch with its request id).
 pub(crate) fn fault_hook(cfg: ChaosConfig) -> FaultHook {
-    Arc::new(move |op_index, op_name| {
-        let request = CURRENT_REQUEST.with(Cell::get);
-        if request == u64::MAX {
+    Arc::new(move |op_index, op_name, tag| {
+        if tag == UNTAGGED {
             return;
         }
-        match cfg.op_roll(request, op_index as u64) {
+        match cfg.op_roll(tag, op_index as u64) {
             OpFault::None => {}
             OpFault::Slow => std::thread::sleep(cfg.slow),
-            OpFault::Panic => panic!("chaos: injected panic in `{op_name}` (request {request})"),
+            OpFault::Panic => panic!("chaos: injected panic in `{op_name}` (request {tag})"),
         }
     })
 }

@@ -1,5 +1,5 @@
 //! Serving-runtime configuration: pool size, queue bound, default
-//! deadline, shedding policy, circuit breaker, chaos.
+//! deadline, shedding policy, micro-batching, circuit breaker, chaos.
 
 use std::time::Duration;
 
@@ -55,6 +55,16 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Behaviour at queue capacity.
     pub shed_policy: ShedPolicy,
+    /// Largest micro-batch a worker may coalesce into one engine call.
+    /// `1` disables batching (every request is served individually).
+    /// Clamped to ≥ 1.
+    pub max_batch: usize,
+    /// How long a worker with an under-full batch may wait for more
+    /// compatible requests to arrive before serving what it has.
+    /// `Duration::ZERO` (the default) never waits: under calm traffic a
+    /// lone request is served immediately and p50 latency is unchanged;
+    /// batches then only form when the queue is already deep.
+    pub coalesce_window: Duration,
     /// Circuit-breaker tuning.
     pub breaker: BreakerConfig,
     /// Fault injection; `None` serves faithfully.
@@ -68,6 +78,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline: None,
             shed_policy: ShedPolicy::default(),
+            max_batch: 8,
+            coalesce_window: Duration::ZERO,
             breaker: BreakerConfig::default(),
             chaos: None,
         }
@@ -81,6 +93,10 @@ impl ServerConfig {
     /// * `BITFLOW_SERVE_QUEUE` — admission-queue bound.
     /// * `BITFLOW_SERVE_DEADLINE_MS` — default per-request deadline in
     ///   milliseconds; `0` means no default deadline.
+    /// * `BITFLOW_SERVE_MAX_BATCH` — largest coalesced micro-batch;
+    ///   `1` disables batching.
+    /// * `BITFLOW_SERVE_COALESCE_US` — max wait for an under-full batch,
+    ///   microseconds; `0` (default) never waits.
     /// * `BITFLOW_CHAOS` — fault injection
     ///   (`seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm]]]]`).
     ///
@@ -97,6 +113,12 @@ impl ServerConfig {
         }
         if let Some(v) = env_u64("BITFLOW_SERVE_DEADLINE_MS") {
             cfg.default_deadline = (v > 0).then(|| Duration::from_millis(v));
+        }
+        if let Some(v) = env_u64("BITFLOW_SERVE_MAX_BATCH") {
+            cfg.max_batch = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("BITFLOW_SERVE_COALESCE_US") {
+            cfg.coalesce_window = Duration::from_micros(v);
         }
         cfg.chaos = ChaosConfig::from_env();
         cfg
@@ -121,5 +143,11 @@ mod tests {
         assert_eq!(cfg.shed_policy, ShedPolicy::RejectNewest);
         assert!(cfg.chaos.is_none());
         assert!(cfg.breaker.fault_threshold >= 1);
+        assert!(cfg.max_batch >= 1);
+        assert_eq!(
+            cfg.coalesce_window,
+            Duration::ZERO,
+            "calm-traffic latency must not regress by default"
+        );
     }
 }

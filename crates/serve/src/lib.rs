@@ -24,20 +24,37 @@
 //!    Repeated faults trip a circuit breaker into graceful degradation:
 //!    queued work drains, new work is rejected with `Shedding` until a
 //!    cooldown elapses.
-//! 4. **Chaos is a first-class citizen.** [`ChaosConfig`] injects
+//! 4. **Goodput under load.** Workers practice *continuous
+//!    micro-batching*: a deep queue is coalesced into batched engine
+//!    calls ([`ServerConfig::max_batch`], deadline-aware, same model
+//!    only), amortising dispatch overhead exactly when throughput
+//!    matters; a calm queue is served one request at a time with zero
+//!    added latency (the default [`ServerConfig::coalesce_window`] is
+//!    zero).
+//! 5. **Multi-model tenancy.** One queue and one pool serve every entry
+//!    of a [`ModelRegistry`]; per-tenant admission quotas and per-tenant
+//!    [`bitflow_telemetry::ServeGauges`] keep tenants isolated and
+//!    accountable, and [`ModelClient::swap`] hot-swaps a tenant's model
+//!    with zero downtime (in-flight requests finish on the weights they
+//!    were admitted with).
+//! 6. **Chaos is a first-class citizen.** [`ChaosConfig`] injects
 //!    seed-deterministic slow operators, panicking operators, queue
 //!    stalls, and worker kills, so the soak tests exercise every failure
-//!    path above without wall-clock flakiness deciding *which* path.
+//!    path above without wall-clock flakiness deciding *which* path —
+//!    including inside coalesced batches, where the engine's per-request
+//!    tags carry the chaos stream onto rayon threads.
 //!
-//! Every admitted request resolves exactly once; the
-//! [`bitflow_telemetry::ServeGauges`] counters obey the conservation law
-//! documented on [`bitflow_telemetry::ServeSnapshot`].
+//! Every admitted request resolves exactly once; each tenant's
+//! [`bitflow_telemetry::ServeGauges`] counters independently obey the
+//! conservation law documented on [`bitflow_telemetry::ServeSnapshot`].
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod chaos;
 pub mod config;
+pub mod registry;
 pub mod server;
 
 pub use chaos::ChaosConfig;
 pub use config::{BreakerConfig, ServerConfig, ShedPolicy};
-pub use server::{ResponseHandle, Server};
+pub use registry::{ModelEntry, ModelRegistry, DEFAULT_MODEL};
+pub use server::{ModelClient, ResponseHandle, Server};

@@ -1,38 +1,60 @@
-//! The serving runtime: bounded admission queue, worker pool, circuit
-//! breaker, and response delivery.
+//! The serving runtime: bounded admission queue, worker pool with
+//! deadline-aware continuous micro-batching, multi-model tenancy,
+//! circuit breaker, and response delivery.
 //!
-//! Invariants (the soak test in `tests/serve_soak.rs` checks all of them
+//! Invariants (the soak tests in `tests/serve_soak.rs` check all of them
 //! under chaos):
 //!
 //! * Every admitted request **resolves exactly once** — with logits, or
 //!   with a typed [`BitFlowError`]. Rejected submissions never allocate a
 //!   response slot at all.
-//! * [`bitflow_telemetry::ServeSnapshot`]'s conservation law holds:
-//!   `submitted == accepted + rejected_*`, and once drained
+//! * [`bitflow_telemetry::ServeSnapshot`]'s conservation law holds **per
+//!   model**: `submitted == accepted + rejected_*`, and once drained
 //!   `accepted == completed + failed + shed_deadline + deadline_missed +
-//!   cancelled`.
+//!   cancelled`. Serving counters live on the [`ModelEntry`], so a
+//!   multi-tenant server keeps one independent ledger per served name.
 //! * A worker panic (injected or real) is isolated to its request; the
 //!   worker replaces its scratch context and keeps serving. A panic that
 //!   escapes the per-request backstop restarts the worker loop. Either
 //!   way the pool never shrinks.
 //! * Successful responses are bit-identical to serial `try_infer` on a
 //!   fresh context — the engine's no-poisoning guarantee, exercised here
-//!   across panics, cancellations, and context replacement.
+//!   across panics, cancellations, context replacement, and coalesced
+//!   micro-batches (batch inference runs each item on its own context).
+//!
+//! **Micro-batching**: a worker pops the queue head, then greedily
+//! coalesces queued requests that run the *same model `Arc`* and whose
+//! deadlines can absorb the entry's measured batch latency
+//! ([`ModelEntry`]'s EWMA), up to [`ServerConfig::max_batch`]. With a
+//! non-zero [`ServerConfig::coalesce_window`] an under-full batch may
+//! additionally wait for followers; the default window is zero, so calm
+//! traffic is served immediately and p50 latency does not regress —
+//! batches then only form when the queue is already deep, which is
+//! exactly when amortising dispatch across requests buys goodput.
+//!
+//! **Tenancy**: [`Server::start_multi`] serves every entry of a
+//! [`ModelRegistry`] from one queue and one worker pool. Each entry has
+//! its own gauges and an optional admission quota charged at admission
+//! and released at resolution, so one tenant cannot starve the others of
+//! queue space. [`Server::client`] scopes submission to one entry;
+//! [`ModelClient::swap`] hot-swaps its model with zero downtime.
 
 use std::collections::VecDeque;
+use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bitflow_graph::engine::InferenceContext;
-use bitflow_graph::{BitFlowError, CancelToken, CompiledModel, RejectReason};
-use bitflow_telemetry::{ServeGauges, ServeSnapshot};
+use bitflow_graph::{BatchItem, BitFlowError, CancelToken, CompiledModel, RejectReason};
+use bitflow_telemetry::ServeSnapshot;
 use bitflow_tensor::Tensor;
 
 use crate::chaos;
 use crate::config::{ServerConfig, ShedPolicy};
+use crate::registry::{ModelEntry, ModelRegistry};
 
 /// Locks, treating poisoning as recovered: the runtime catches panics
 /// around everything that runs under these locks, and the guarded state
@@ -77,7 +99,8 @@ impl std::fmt::Debug for ResponseHandle {
 }
 
 impl ResponseHandle {
-    /// Server-assigned request id (also the chaos decision stream).
+    /// Server-assigned request id (also the chaos decision stream and the
+    /// engine's inference tag inside micro-batches).
     #[must_use]
     pub fn id(&self) -> u64 {
         self.id
@@ -119,9 +142,13 @@ impl ResponseHandle {
     }
 }
 
-/// One queued request.
+/// One queued request. The model `Arc` is captured at admission: a hot
+/// swap concurrent with this request does not change the weights it runs
+/// against.
 struct Request {
     id: u64,
+    entry: Arc<ModelEntry>,
+    model: Arc<CompiledModel>,
     input: Tensor,
     token: CancelToken,
     slot: Arc<ResponseSlot>,
@@ -139,9 +166,9 @@ struct BreakerState {
 }
 
 struct Shared {
-    model: Arc<CompiledModel>,
+    registry: ModelRegistry,
+    default_entry: Arc<ModelEntry>,
     config: ServerConfig,
-    gauges: Arc<ServeGauges>,
     queue: Mutex<QueueState>,
     available: Condvar,
     breaker: Mutex<BreakerState>,
@@ -172,7 +199,9 @@ impl Shared {
         b.consecutive_faults = b.consecutive_faults.saturating_add(1);
         if b.consecutive_faults >= self.config.breaker.fault_threshold && b.open_until.is_none() {
             b.open_until = Some(Instant::now() + self.config.breaker.cooldown);
-            self.gauges.breaker_trip();
+            // The breaker guards the whole pool, so its trips land on the
+            // default entry's gauges.
+            self.default_entry.counters().breaker_trip();
         }
     }
 
@@ -190,32 +219,53 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts `config.workers` worker threads over a shared compiled
-    /// model. If the model has telemetry enabled, serving counters land in
-    /// the same [`bitflow_telemetry::MetricsSnapshot`] as its operator
-    /// metrics; otherwise the server keeps standalone gauges (see
+    /// Starts a single-model server: the model is registered as
+    /// [`crate::registry::DEFAULT_MODEL`], unmetered, and the
+    /// [`Server::submit`] family targets it. If the model has telemetry
+    /// enabled, serving counters land in the same
+    /// [`bitflow_telemetry::MetricsSnapshot`] as its operator metrics;
+    /// otherwise the server keeps standalone gauges (see
     /// [`Server::metrics`]).
-    ///
-    /// If `config.chaos` injects operator faults, the model's fault hook
-    /// is installed here (first server wins — the hook slot is one per
-    /// model).
     #[must_use]
-    pub fn start(model: Arc<CompiledModel>, mut config: ServerConfig) -> Self {
+    pub fn start(model: Arc<CompiledModel>, config: ServerConfig) -> Self {
+        Self::start_multi(ModelRegistry::single(model), config)
+    }
+
+    /// Starts `config.workers` worker threads over every model in
+    /// `registry`. One queue and one pool serve all tenants; per-model
+    /// quotas and gauges keep them isolated and accountable. The first
+    /// registered entry is the default the [`Server::submit`] family
+    /// targets; use [`Server::client`] to address the others.
+    ///
+    /// If `config.chaos` injects operator faults, each model's fault hook
+    /// is installed here (first installer wins — the hook slot is one per
+    /// model).
+    ///
+    /// # Panics
+    /// If the registry is empty.
+    #[must_use]
+    pub fn start_multi(registry: ModelRegistry, mut config: ServerConfig) -> Self {
+        assert!(
+            !registry.entries().is_empty(),
+            "a server needs at least one registered model"
+        );
         config.workers = config.workers.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
+        config.max_batch = config.max_batch.max(1);
         if let Some(chaos_cfg) = &config.chaos {
             if chaos_cfg.slow_ppm > 0 || chaos_cfg.panic_ppm > 0 {
-                let _ = model.install_fault_hook(chaos::fault_hook(chaos_cfg.clone()));
+                for entry in registry.entries() {
+                    let _ = entry
+                        .current()
+                        .install_fault_hook(chaos::fault_hook(chaos_cfg.clone()));
+                }
             }
         }
-        let gauges = model
-            .telemetry()
-            .map(|t| t.serve())
-            .unwrap_or_else(|| Arc::new(ServeGauges::default()));
+        let default_entry = Arc::clone(&registry.entries()[0]);
         let shared = Arc::new(Shared {
-            model,
+            registry,
+            default_entry,
             config,
-            gauges,
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 draining: false,
@@ -237,44 +287,64 @@ impl Server {
         Self { shared, workers }
     }
 
-    /// Submits with the configured default deadline (if any).
+    /// Submits to the default model with the configured default deadline
+    /// (if any).
     pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, RejectReason> {
-        let token = match self.shared.config.default_deadline {
-            Some(budget) => CancelToken::with_budget(budget),
-            None => CancelToken::new(),
-        };
-        self.submit_with_token(input, token)
+        let token = self.default_token();
+        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token)
     }
 
-    /// Submits with an explicit latency budget (overrides the default).
+    /// Submits to the default model with an explicit latency budget
+    /// (overrides the default).
     pub fn submit_with_deadline(
         &self,
         input: Tensor,
         budget: Duration,
     ) -> Result<ResponseHandle, RejectReason> {
-        self.submit_with_token(input, CancelToken::with_budget(budget))
+        self.submit_inner(
+            &Arc::clone(&self.shared.default_entry),
+            input,
+            CancelToken::with_budget(budget),
+        )
     }
 
-    /// Submits with a caller-built token (deadline, external cancellation,
-    /// or both). Never blocks: the request is either admitted or rejected
-    /// with a typed reason, counted either way.
+    /// Submits to the default model with a caller-built token (deadline,
+    /// external cancellation, or both). Never blocks: the request is
+    /// either admitted or rejected with a typed reason, counted either
+    /// way.
     pub fn submit_with_token(
         &self,
         input: Tensor,
         token: CancelToken,
     ) -> Result<ResponseHandle, RejectReason> {
+        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token)
+    }
+
+    fn default_token(&self) -> CancelToken {
+        match self.shared.config.default_deadline {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        entry: &Arc<ModelEntry>,
+        input: Tensor,
+        token: CancelToken,
+    ) -> Result<ResponseHandle, RejectReason> {
         let sh = &self.shared;
-        sh.gauges.submitted();
+        entry.counters().submitted();
         if sh.breaker_open() {
-            return Err(self.reject(RejectReason::Shedding));
+            return Err(reject(entry, RejectReason::Shedding));
         }
         let mut q = lock(&sh.queue);
         if q.draining {
-            return Err(self.reject(RejectReason::Draining));
+            return Err(reject(entry, RejectReason::Draining));
         }
         if q.items.len() >= sh.config.queue_capacity {
             match sh.config.shed_policy {
-                ShedPolicy::RejectNewest => return Err(self.reject(RejectReason::QueueFull)),
+                ShedPolicy::RejectNewest => return Err(reject(entry, RejectReason::QueueFull)),
                 ShedPolicy::DeadlineAware => {
                     let dead = q
                         .items
@@ -282,47 +352,68 @@ impl Server {
                         .position(|r| r.token.is_cancelled() || r.token.deadline_passed());
                     match dead.and_then(|i| q.items.remove(i)) {
                         Some(victim) => {
-                            sh.gauges.dequeued();
-                            resolve_dead(sh, &victim);
+                            victim.entry.counters().dequeued();
+                            resolve_dead(&victim);
                         }
-                        None => return Err(self.reject(RejectReason::QueueFull)),
+                        None => return Err(reject(entry, RejectReason::QueueFull)),
                     }
                 }
             }
+        }
+        // Quota last, after every other reject: a charge is then always
+        // matched by a queued request, and no reject path needs a release.
+        if !entry.try_admit() {
+            return Err(reject(entry, RejectReason::QuotaExceeded));
         }
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ResponseSlot::default());
         q.items.push_back(Request {
             id,
+            entry: Arc::clone(entry),
+            model: entry.current(),
             input,
             token: token.clone(),
             slot: Arc::clone(&slot),
         });
-        sh.gauges.enqueued();
+        entry.counters().enqueued();
         drop(q);
         sh.available.notify_one();
         Ok(ResponseHandle { id, token, slot })
     }
 
-    fn reject(&self, reason: RejectReason) -> RejectReason {
-        self.shared.gauges.rejected(reason.label());
-        reason
+    /// A submission handle scoped to one registered model, or `None` if
+    /// `name` is not registered. The client borrows the server: tenants
+    /// cannot outlive the pool serving them.
+    #[must_use]
+    pub fn client(&self, name: &str) -> Option<ModelClient<'_>> {
+        self.shared.registry.get(name).map(|entry| ModelClient {
+            server: self,
+            entry: Arc::clone(entry),
+        })
     }
 
-    /// Point-in-time serving counters (shared with the model's telemetry
-    /// when that is enabled).
+    /// The tenant set this server serves.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Point-in-time serving counters of the **default** model (shared
+    /// with its telemetry when that is enabled). Per-tenant counters live
+    /// on [`ModelClient::metrics`].
     #[must_use]
     pub fn metrics(&self) -> ServeSnapshot {
-        self.shared.gauges.snapshot()
+        self.shared.default_entry.counters().snapshot()
     }
 
-    /// The live gauges handle (e.g. to wire into an exporter).
+    /// The default model's live gauges handle (e.g. to wire into an
+    /// exporter).
     #[must_use]
-    pub fn gauges(&self) -> Arc<ServeGauges> {
-        Arc::clone(&self.shared.gauges)
+    pub fn gauges(&self) -> Arc<bitflow_telemetry::ServeGauges> {
+        self.shared.default_entry.gauges()
     }
 
-    /// Requests currently waiting in the admission queue.
+    /// Requests currently waiting in the admission queue (all tenants).
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         lock(&self.shared.queue).items.len()
@@ -336,13 +427,13 @@ impl Server {
     }
 
     /// Stops admissions, serves out the queue, joins the pool, and
-    /// returns the final counters.
+    /// returns the default model's final counters.
     pub fn shutdown(mut self) -> ServeSnapshot {
         self.begin_drain();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        self.shared.gauges.snapshot()
+        self.shared.default_entry.counters().snapshot()
     }
 
     fn begin_drain(&self) {
@@ -360,115 +451,353 @@ impl Drop for Server {
     }
 }
 
-/// Resolves a request that died in the queue (evicted by deadline-aware
-/// shedding, or popped already-dead): caller cancellation wins over
-/// deadline expiry, mirroring [`CancelToken::check`].
-fn resolve_dead(shared: &Shared, req: &Request) {
-    if req.token.is_cancelled() {
-        shared.gauges.cancelled();
-        req.slot.resolve(Err(BitFlowError::Cancelled));
-    } else {
-        shared.gauges.shed_deadline();
-        req.slot.resolve(Err(BitFlowError::DeadlineExceeded));
+/// A submission handle scoped to one tenant of a multi-model server.
+pub struct ModelClient<'a> {
+    server: &'a Server,
+    entry: Arc<ModelEntry>,
+}
+
+impl std::fmt::Debug for ModelClient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelClient")
+            .field("entry", &self.entry)
+            .finish_non_exhaustive()
     }
 }
 
-/// The watchdog shell around one worker: restarts the serving loop (with
-/// a fresh context — the old one is mid-panic suspect) until it exits
-/// cleanly at drain. Restarts are counted but never give up: a worker
-/// that keeps dying keeps coming back, and the circuit breaker — not the
-/// pool size — is what turns persistent faults into load shedding.
-fn worker_main(shared: &Shared, worker_id: u64) {
-    loop {
-        let mut ctx = shared.model.new_context();
-        let exited = catch_unwind(AssertUnwindSafe(|| {
-            worker_loop(shared, worker_id, &mut ctx)
-        }));
-        match exited {
-            Ok(()) => return,
-            Err(_) => shared.gauges.worker_restart(),
+impl ModelClient<'_> {
+    /// Submits to this tenant with the server's default deadline (if any).
+    pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, RejectReason> {
+        let token = self.server.default_token();
+        self.server.submit_inner(&self.entry, input, token)
+    }
+
+    /// Submits to this tenant with an explicit latency budget.
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor,
+        budget: Duration,
+    ) -> Result<ResponseHandle, RejectReason> {
+        self.server
+            .submit_inner(&self.entry, input, CancelToken::with_budget(budget))
+    }
+
+    /// Submits to this tenant with a caller-built token.
+    pub fn submit_with_token(
+        &self,
+        input: Tensor,
+        token: CancelToken,
+    ) -> Result<ResponseHandle, RejectReason> {
+        self.server.submit_inner(&self.entry, input, token)
+    }
+
+    /// The registry entry this client submits to.
+    #[must_use]
+    pub fn entry(&self) -> &Arc<ModelEntry> {
+        &self.entry
+    }
+
+    /// This tenant's point-in-time serving counters.
+    #[must_use]
+    pub fn metrics(&self) -> ServeSnapshot {
+        self.entry.counters().snapshot()
+    }
+
+    /// Hot-swaps this tenant's model with zero downtime: in-flight and
+    /// queued requests finish on the weights they were admitted with;
+    /// subsequent admissions run `new`. Returns the displaced model. If
+    /// the server injects operator chaos, the replacement gets the fault
+    /// hook before it can serve.
+    pub fn swap(&self, new: Arc<CompiledModel>) -> Arc<CompiledModel> {
+        if let Some(chaos_cfg) = &self.server.shared.config.chaos {
+            if chaos_cfg.slow_ppm > 0 || chaos_cfg.panic_ppm > 0 {
+                let _ = new.install_fault_hook(chaos::fault_hook(chaos_cfg.clone()));
+            }
+        }
+        self.entry.swap_model(new)
+    }
+}
+
+/// Counts a rejection on the entry's ledger and passes the reason through.
+fn reject(entry: &ModelEntry, reason: RejectReason) -> RejectReason {
+    entry.counters().rejected(reason.label());
+    reason
+}
+
+/// Resolves a request that died in the queue (evicted by deadline-aware
+/// shedding, or popped already-dead): caller cancellation wins over
+/// deadline expiry, mirroring [`CancelToken::check`]. Releases the
+/// request's quota charge.
+fn resolve_dead(req: &Request) {
+    if req.token.is_cancelled() {
+        req.entry.counters().cancelled();
+        req.slot.resolve(Err(BitFlowError::Cancelled));
+    } else {
+        req.entry.counters().shed_deadline();
+        req.slot.resolve(Err(BitFlowError::DeadlineExceeded));
+    }
+    req.entry.release();
+}
+
+/// A worker's scratch context, keyed by the model it was built for. In a
+/// multi-model server a worker hops between tenants; the cache rebuilds
+/// only when the served model actually changes (hot swap or tenant hop),
+/// so the common single-tenant path reuses one context forever.
+#[derive(Default)]
+struct CtxCache {
+    slot: Option<(Arc<CompiledModel>, InferenceContext)>,
+}
+
+impl CtxCache {
+    fn ctx_for(&mut self, model: &Arc<CompiledModel>) -> &mut InferenceContext {
+        let stale = match &self.slot {
+            Some((cached, _)) => !Arc::ptr_eq(cached, model),
+            None => true,
+        };
+        if stale {
+            self.slot = Some((Arc::clone(model), model.new_context()));
+        }
+        match &mut self.slot {
+            Some((_, ctx)) => ctx,
+            None => unreachable!("slot was just filled"),
+        }
+    }
+
+    /// Replaces the cached context after an isolated fault (the scratch
+    /// state is suspect).
+    fn replace(&mut self) {
+        if let Some((model, ctx)) = &mut self.slot {
+            *ctx = model.new_context();
         }
     }
 }
 
-/// Pops and serves requests until drain completes. Panics escape to
-/// [`worker_main`] only from the chaos kill site or a bug in this crate —
-/// inference panics are contained per-request by `catch_fault`.
-fn worker_loop(shared: &Shared, worker_id: u64, ctx: &mut InferenceContext) {
-    loop {
-        let popped = {
-            let mut q = lock(&shared.queue);
-            loop {
-                if let Some(req) = q.items.pop_front() {
-                    shared.gauges.dequeued();
-                    break Some(req);
+/// Whether the engine's parallel batch path has any hardware parallelism
+/// to exploit (cached: the answer cannot change mid-process).
+fn batch_parallelism_available() -> bool {
+    static PAR: OnceLock<bool> = OnceLock::new();
+    *PAR.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get) > 1)
+}
+
+/// Whether a request's deadline can absorb an estimated batch latency.
+/// No estimate yet (`est_ns == 0`) or no deadline → always fits.
+fn deadline_fits(token: &CancelToken, est_ns: u64) -> bool {
+    if est_ns == 0 {
+        return true;
+    }
+    match token.deadline() {
+        Some(d) => Instant::now() + Duration::from_nanos(est_ns) <= d,
+        None => true,
+    }
+}
+
+/// Greedily moves queued requests compatible with `batch[0]` — same model
+/// `Arc`, deadline fits the entry's batch-latency estimate — into the
+/// batch, preserving queue order among the rest.
+fn take_compatible(q: &mut QueueState, batch: &mut Vec<Request>, max_batch: usize) {
+    let est = batch[0].entry.est_batch_ns();
+    let mut i = 0;
+    while batch.len() < max_batch && i < q.items.len() {
+        let fits = Arc::ptr_eq(&q.items[i].model, &batch[0].model)
+            && deadline_fits(&q.items[i].token, est);
+        if fits {
+            match q.items.remove(i) {
+                Some(req) => {
+                    req.entry.counters().dequeued();
+                    batch.push(req);
                 }
-                if q.draining {
-                    break None;
-                }
-                q = shared
-                    .available
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
+                None => break,
             }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Blocks for the next micro-batch: pops the queue head, coalesces
+/// compatible followers, and (with a non-zero coalesce window) waits a
+/// bounded time for more. Returns `None` when the queue is drained dry.
+fn pop_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut q = lock(&shared.queue);
+    let head = loop {
+        if let Some(req) = q.items.pop_front() {
+            req.entry.counters().dequeued();
+            break req;
+        }
+        if q.draining {
+            return None;
+        }
+        q = shared
+            .available
+            .wait(q)
+            .unwrap_or_else(PoisonError::into_inner);
+    };
+    let max = shared.config.max_batch;
+    let mut batch = vec![head];
+    if max > 1 {
+        take_compatible(&mut q, &mut batch, max);
+        let window = shared.config.coalesce_window;
+        if batch.len() < max && window > Duration::ZERO && !q.draining {
+            // Cap the wait by what the head's deadline can absorb: a batch
+            // that forms too late to serve its own head is worse than no
+            // batch at all.
+            let est = batch[0].entry.est_batch_ns();
+            let cap = Instant::now() + window;
+            let wait_until = match batch[0].token.deadline() {
+                Some(d) => d
+                    .checked_sub(Duration::from_nanos(est))
+                    .map_or(cap, |latest| latest.min(cap)),
+                None => cap,
+            };
+            loop {
+                let now = Instant::now();
+                if now >= wait_until || batch.len() >= max || q.draining {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .available
+                    .wait_timeout(q, wait_until - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                take_compatible(&mut q, &mut batch, max);
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        if !q.items.is_empty() {
+            // Incompatible requests may remain; make sure another worker
+            // wakes for them (this worker consumed notifications while
+            // coalescing).
+            shared.available.notify_one();
+        }
+    }
+    Some(batch)
+}
+
+/// The watchdog shell around one worker: restarts the serving loop (with
+/// a fresh context cache — the old one is mid-panic suspect) until it
+/// exits cleanly at drain. Restarts are counted but never give up: a
+/// worker that keeps dying keeps coming back, and the circuit breaker —
+/// not the pool size — is what turns persistent faults into load
+/// shedding.
+fn worker_main(shared: &Shared, worker_id: u64) {
+    loop {
+        let mut cache = CtxCache::default();
+        let exited = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(shared, worker_id, &mut cache)
+        }));
+        match exited {
+            Ok(()) => return,
+            Err(_) => shared.default_entry.counters().worker_restart(),
+        }
+    }
+}
+
+/// Pops and serves micro-batches until drain completes. Panics escape to
+/// [`worker_main`] only from the chaos kill site or a bug in this crate —
+/// inference panics are contained per-request inside the engine.
+fn worker_loop(shared: &Shared, worker_id: u64, cache: &mut CtxCache) {
+    loop {
+        let Some(batch) = pop_batch(shared) else {
+            return;
         };
-        let Some(req) = popped else { return };
         let pop = shared.pops.fetch_add(1, Ordering::Relaxed);
         if let Some(chaos_cfg) = &shared.config.chaos {
             if chaos_cfg.stall_hit(worker_id, pop) {
                 std::thread::sleep(chaos_cfg.stall);
             }
         }
-        serve_one(shared, ctx, &req);
+        serve_batch(shared, cache, batch);
         if let Some(chaos_cfg) = &shared.config.chaos {
             if chaos_cfg.kill_hit(worker_id, pop) {
-                // After `serve_one`: the popped request has resolved, so
-                // killing the loop here can only cost a restart, never a
-                // response.
+                // After `serve_batch`: every popped request has resolved,
+                // so killing the loop here can only cost a restart, never
+                // a response.
                 panic!("chaos: injected worker kill (worker {worker_id}, pop {pop})");
             }
         }
     }
 }
 
-/// Serves one popped request and resolves its slot. Exactly one of the
-/// outcome counters fires per call, keeping the conservation law exact.
-fn serve_one(shared: &Shared, ctx: &mut InferenceContext, req: &Request) {
-    // Dead on arrival: don't spend a context run on it.
-    if req.token.is_cancelled() || req.token.deadline_passed() {
-        resolve_dead(shared, req);
-        return;
+/// Serves one popped micro-batch and resolves every slot. Exactly one
+/// outcome counter fires per request, keeping the conservation law exact.
+fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
+    // Dead on arrival: don't spend an inference run on them.
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for req in batch {
+        if req.token.is_cancelled() || req.token.deadline_passed() {
+            resolve_dead(&req);
+        } else {
+            live.push(req);
+        }
     }
-    let result = {
-        // Guard, not a plain set/clear: an injected panic unwinds through
-        // here, and the next request on this worker must not inherit the
-        // dead request's chaos stream.
-        let _in_request = chaos::enter_request(req.id);
-        shared.model.catch_fault(|| {
-            shared
-                .model
-                .try_infer_cancellable(ctx, &req.input, &req.token)
-        })
-    };
+    let Some(head) = live.first() else { return };
+    let entry = Arc::clone(&head.entry);
+    entry.counters().batch_served(live.len() as u64);
+    let started = Instant::now();
+    if live.len() == 1 || !batch_parallelism_available() {
+        // Singletons, and whole batches on a single-hardware-thread host:
+        // serve back-to-back on this worker's cached context. The
+        // engine's parallel batch path would pay rayon dispatch plus a
+        // fresh context per chunk with nothing to gain here — coalescing
+        // still amortises queue pops and wakeups, which is all batching
+        // can buy without spare cores. Items share one model
+        // (`take_compatible` groups by model), so the cache stays warm.
+        for req in &live {
+            let ctx = cache.ctx_for(&req.model);
+            let result = req.model.catch_fault(|| {
+                let _tag = bitflow_graph::enter_infer_tag(req.id);
+                req.model.try_infer_cancellable(ctx, &req.input, &req.token)
+            });
+            if matches!(result, Err(BitFlowError::Internal(_))) {
+                // A panic was isolated inside inference; the cached
+                // context's scratch state is suspect.
+                cache.replace();
+            }
+            account(shared, req, result);
+        }
+    } else {
+        let items: Vec<BatchItem<'_>> = live
+            .iter()
+            .map(|r| BatchItem {
+                input: &r.input,
+                cancel: &r.token,
+                tag: r.id,
+            })
+            .collect();
+        // Batch inference runs each chunk on its own fresh context, so a
+        // panic in one item never poisons another's result — and the
+        // worker's cached context is untouched.
+        let results = head.model.try_infer_batch_cancellable(&items);
+        for (req, result) in live.iter().zip(results) {
+            account(shared, req, result);
+        }
+    }
+    entry.record_batch_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Counts one request's outcome on its entry's ledger, resolves its slot,
+/// and releases its quota charge.
+fn account(shared: &Shared, req: &Request, result: Result<Vec<f32>, BitFlowError>) {
     match &result {
         Ok(_) => {
-            shared.gauges.completed();
+            req.entry.counters().completed();
             shared.breaker_success();
         }
-        Err(BitFlowError::Cancelled) => shared.gauges.cancelled(),
-        Err(BitFlowError::DeadlineExceeded) => shared.gauges.deadline_missed(),
+        Err(BitFlowError::Cancelled) => req.entry.counters().cancelled(),
+        Err(BitFlowError::DeadlineExceeded) => req.entry.counters().deadline_missed(),
         Err(BitFlowError::Internal(_)) => {
-            // A panic was isolated inside inference. The context's scratch
-            // state is suspect; replace it before the next request. This
-            // is the only outcome that feeds the breaker.
-            shared.gauges.worker_panic();
-            shared.gauges.failed();
-            *ctx = shared.model.new_context();
+            // A panic isolated inside inference. This is the only outcome
+            // that feeds the breaker.
+            req.entry.counters().worker_panic();
+            req.entry.counters().failed();
             shared.breaker_fault();
         }
-        Err(_) => shared.gauges.failed(),
+        Err(_) => req.entry.counters().failed(),
     }
     req.slot.resolve(result);
+    req.entry.release();
 }
 
 #[cfg(test)]
@@ -481,6 +810,13 @@ mod tests {
     use bitflow_graph::weights::NetworkWeights;
     use bitflow_tensor::Layout;
     use rand::{rngs::StdRng, SeedableRng};
+
+    fn model_with_seed(seed: u64) -> Arc<CompiledModel> {
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+        Arc::new(CompiledModel::try_compile(&spec, &weights).expect("seed model compiles"))
+    }
 
     fn model_and_inputs(n: usize) -> (Arc<CompiledModel>, Vec<Tensor>) {
         let spec = small_cnn();
@@ -733,5 +1069,233 @@ mod tests {
         for handle in handles {
             assert!(handle.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn micro_batches_coalesce_and_match_serial() {
+        let (model, inputs) = model_and_inputs(32);
+        // One worker that stalls 100ms per pop: submissions pile up behind
+        // the first pop, so later pops must coalesce real batches.
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                max_batch: 8,
+                chaos: Some(always_stall(Duration::from_millis(100))),
+                ..ServerConfig::default()
+            },
+        );
+        let handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .map(|i| server.submit(i.clone()).expect("admitted"))
+            .collect();
+        let mut oracle_ctx = model.new_context();
+        for (input, handle) in inputs.iter().zip(handles) {
+            let want = model.try_infer(&mut oracle_ctx, input).expect("oracle");
+            assert_eq!(
+                handle.wait().expect("served"),
+                want,
+                "batched responses must be bit-identical to serial inference"
+            );
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 32);
+        assert_eq!(snap.batch_items, 32, "every request served via a batch");
+        assert!(
+            snap.batches < 32,
+            "a deep queue must coalesce, got {} batches",
+            snap.batches
+        );
+        assert!(snap.batch_size_max > 1);
+        assert!(
+            snap.batch_size_max <= 8,
+            "max_batch bounds coalescing, got {}",
+            snap.batch_size_max
+        );
+    }
+
+    #[test]
+    fn coalesce_window_waits_for_followers() {
+        let (model, inputs) = model_and_inputs(2);
+        let server = Server::start(
+            model,
+            ServerConfig {
+                workers: 1,
+                max_batch: 2,
+                coalesce_window: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        );
+        let h1 = server.submit(inputs[0].clone()).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20));
+        let h2 = server.submit(inputs[1].clone()).expect("admitted");
+        assert!(h1.wait().is_ok());
+        assert!(h2.wait().is_ok());
+        let snap = server.shutdown();
+        // Whether the worker popped before or after the second submission,
+        // the window merges both requests into one batch.
+        assert_eq!(snap.batches, 1, "window must coalesce the follower");
+        assert_eq!(snap.batch_items, 2);
+        assert_eq!(snap.batch_size_max, 2);
+    }
+
+    #[test]
+    fn drain_races_submit_without_losing_work() {
+        let (model, inputs) = model_and_inputs(1);
+        let server = Arc::new(Server::start(
+            model,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 4096,
+                ..ServerConfig::default()
+            },
+        ));
+        let submitter = {
+            let server = Arc::clone(&server);
+            let input = inputs[0].clone();
+            std::thread::spawn(move || {
+                let mut admitted = Vec::new();
+                loop {
+                    match server.submit(input.clone()) {
+                        Ok(handle) => admitted.push(handle),
+                        Err(RejectReason::Draining) => break,
+                        // A tight submit loop can outrun the pool.
+                        Err(RejectReason::QueueFull) => {}
+                        Err(other) => panic!("unexpected rejection: {other:?}"),
+                    }
+                }
+                // Draining is irreversible: later submissions must keep
+                // being rejected the same way.
+                for _ in 0..16 {
+                    match server.submit(input.clone()) {
+                        Err(RejectReason::Draining) => {}
+                        other => panic!("expected Draining after drain, got {other:?}"),
+                    }
+                }
+                admitted
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        server.drain();
+        let admitted = submitter.join().expect("submitter thread");
+        let accepted = admitted.len() as u64;
+        for handle in admitted {
+            assert!(
+                handle.wait().is_ok(),
+                "admitted work must be served across the drain race"
+            );
+        }
+        let snap = server.metrics();
+        assert!(snap.rejected_draining >= 16);
+        assert_eq!(snap.accepted, accepted);
+        assert_eq!(
+            snap.submitted,
+            snap.accepted + snap.rejected_draining + snap.rejected_queue_full,
+            "conservation across the submit/drain race"
+        );
+        assert_eq!(snap.completed, accepted, "no admitted request was lost");
+    }
+
+    #[test]
+    fn multi_model_tenancy_isolates_quotas_and_counters() {
+        let model_a = model_with_seed(42);
+        let model_b = model_with_seed(7);
+        let (_, inputs) = model_and_inputs(5);
+        let mut registry = ModelRegistry::new();
+        registry.register("a", Arc::clone(&model_a), None);
+        registry.register("b", Arc::clone(&model_b), Some(2));
+        // One worker stalled 200ms per pop: quota-charged requests stay
+        // unresolved while we submit, making the quota outcome exact.
+        let server = Server::start_multi(
+            registry,
+            ServerConfig {
+                workers: 1,
+                max_batch: 8,
+                chaos: Some(always_stall(Duration::from_millis(200))),
+                ..ServerConfig::default()
+            },
+        );
+        assert!(server.client("c").is_none(), "unknown tenant");
+        let client_a = server.client("a").expect("registered");
+        let client_b = server.client("b").expect("registered");
+
+        let mut b_handles = Vec::new();
+        let mut b_rejected = 0u64;
+        for input in &inputs {
+            match client_b.submit(input.clone()) {
+                Ok(h) => b_handles.push(h),
+                Err(RejectReason::QuotaExceeded) => b_rejected += 1,
+                Err(other) => panic!("unexpected rejection: {other:?}"),
+            }
+        }
+        assert_eq!(b_handles.len(), 2, "quota admits exactly two");
+        assert_eq!(b_rejected, 3);
+        let a_handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .take(4)
+            .map(|i| client_a.submit(i.clone()).expect("unmetered tenant admits"))
+            .collect();
+
+        let mut ctx_a = model_a.new_context();
+        let mut ctx_b = model_b.new_context();
+        for (input, handle) in inputs.iter().zip(b_handles) {
+            let want = model_b.try_infer(&mut ctx_b, input).expect("b oracle");
+            assert_eq!(handle.wait().expect("served"), want);
+        }
+        for (input, handle) in inputs.iter().zip(a_handles) {
+            let want = model_a.try_infer(&mut ctx_a, input).expect("a oracle");
+            assert_eq!(handle.wait().expect("served"), want);
+        }
+
+        let snap_a = client_a.metrics();
+        let snap_b = client_b.metrics();
+        assert_eq!(
+            (snap_a.submitted, snap_a.accepted, snap_a.completed),
+            (4, 4, 4)
+        );
+        assert_eq!(
+            (snap_b.submitted, snap_b.accepted, snap_b.completed),
+            (5, 2, 2)
+        );
+        assert_eq!(snap_b.rejected_quota, 3);
+        assert_eq!(client_a.entry().in_flight(), 0, "quota fully released");
+        assert_eq!(client_b.entry().in_flight(), 0, "quota fully released");
+        drop(server);
+    }
+
+    #[test]
+    fn hot_swap_serves_new_model_without_downtime() {
+        let model_a = model_with_seed(42);
+        let model_b = model_with_seed(7);
+        let (_, inputs) = model_and_inputs(1);
+        let input = &inputs[0];
+        let mut ctx_a = model_a.new_context();
+        let mut ctx_b = model_b.new_context();
+        let want_a = model_a.try_infer(&mut ctx_a, input).expect("a oracle");
+        let want_b = model_b.try_infer(&mut ctx_b, input).expect("b oracle");
+        assert_ne!(want_a, want_b, "seeds must produce distinct models");
+
+        let server = Server::start(
+            Arc::clone(&model_a),
+            ServerConfig {
+                workers: 1,
+                chaos: Some(always_stall(Duration::from_millis(100))),
+                ..ServerConfig::default()
+            },
+        );
+        let client = server
+            .client(crate::registry::DEFAULT_MODEL)
+            .expect("default");
+        // h1 captures the old model at admission; the swap races the stall
+        // but can never retarget it.
+        let h1 = server.submit(input.clone()).expect("admitted");
+        let displaced = client.swap(Arc::clone(&model_b));
+        assert!(Arc::ptr_eq(&displaced, &model_a));
+        let h2 = server.submit(input.clone()).expect("admitted");
+        assert_eq!(h1.wait().expect("served"), want_a, "pre-swap weights");
+        assert_eq!(h2.wait().expect("served"), want_b, "post-swap weights");
+        assert_eq!(client.entry().swaps(), 1);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 2);
     }
 }

@@ -41,6 +41,6 @@ pub use metrics::{
 pub use roofline::{BwSource, Roofline};
 pub use snapshot::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
-    ServeSnapshot, SCHEMA_VERSION,
+    ServeSnapshot, SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 pub use span::{JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink};

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use crate::hist::{bucket_upper_edge, LatencyHistogram};
 use crate::snapshot::{
     BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, ServeSnapshot,
-    SCHEMA_VERSION,
+    SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 use crate::span::{NoopSink, RequestTrace, SpanSink};
 
@@ -216,6 +216,7 @@ pub struct ServeGauges {
     rejected_queue_full: AtomicU64,
     rejected_shedding: AtomicU64,
     rejected_draining: AtomicU64,
+    rejected_quota: AtomicU64,
     shed_deadline: AtomicU64,
     deadline_missed: AtomicU64,
     cancelled: AtomicU64,
@@ -224,6 +225,11 @@ pub struct ServeGauges {
     breaker_trips: AtomicU64,
     queue_depth: AtomicU64,
     queue_depth_max: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
+    batch_size_max: AtomicU64,
+    // One counter per BATCH_SIZE_EDGES bucket plus the overflow bucket.
+    batch_size_hist: [AtomicU64; BATCH_SIZE_EDGES.len() + 1],
 }
 
 impl ServeGauges {
@@ -246,15 +252,29 @@ impl ServeGauges {
     }
 
     /// A submission was refused with the given rejection label
-    /// (`"queue_full"`, `"shedding"`, `"draining"` — anything else counts
-    /// as queue-full, the conservative bucket).
+    /// (`"queue_full"`, `"shedding"`, `"draining"`, `"quota"` — anything
+    /// else counts as queue-full, the conservative bucket).
     pub fn rejected(&self, label: &str) {
         match label {
             "shedding" => &self.rejected_shedding,
             "draining" => &self.rejected_draining,
+            "quota" => &self.rejected_quota,
             _ => &self.rejected_queue_full,
         }
         .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker served one coalesced micro-batch of `size` requests in a
+    /// single engine call (`size == 1` is the unbatched fast path).
+    pub fn batch_served(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(size, Ordering::Relaxed);
+        self.batch_size_max.fetch_max(size, Ordering::Relaxed);
+        let idx = BATCH_SIZE_EDGES
+            .iter()
+            .position(|&edge| size <= edge)
+            .unwrap_or(BATCH_SIZE_EDGES.len());
+        self.batch_size_hist[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// An admitted request completed with logits.
@@ -314,6 +334,7 @@ impl ServeGauges {
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shedding: self.rejected_shedding.load(Ordering::Relaxed),
             rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
@@ -322,6 +343,19 @@ impl ServeGauges {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            batch_size_max: self.batch_size_max.load(Ordering::Relaxed),
+            batch_size_hist: self
+                .batch_size_hist
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.load(Ordering::Relaxed) > 0)
+                .map(|(idx, c)| SizeBucket {
+                    le: BATCH_SIZE_EDGES.get(idx).copied().unwrap_or(u64::MAX),
+                    count: c.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -334,6 +368,7 @@ impl ServeGauges {
             &self.rejected_queue_full,
             &self.rejected_shedding,
             &self.rejected_draining,
+            &self.rejected_quota,
             &self.shed_deadline,
             &self.deadline_missed,
             &self.cancelled,
@@ -341,7 +376,13 @@ impl ServeGauges {
             &self.worker_restarts,
             &self.breaker_trips,
             &self.queue_depth_max,
+            &self.batches,
+            &self.batch_items,
+            &self.batch_size_max,
         ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.batch_size_hist {
             c.store(0, Ordering::Relaxed);
         }
         // queue_depth is a live gauge, not a counter: leave it alone.
@@ -756,6 +797,37 @@ mod tests {
         assert_eq!(snap.ops[0].p50_ns, 0);
         assert_eq!(snap.batch.batches, 0);
         assert_eq!(snap.batch.items, 0);
+    }
+
+    #[test]
+    fn serve_gauges_track_quota_and_batch_sizes() {
+        let g = ServeGauges::default();
+        g.rejected("quota");
+        g.batch_served(1);
+        g.batch_served(3);
+        g.batch_served(40);
+        let snap = g.snapshot();
+        assert_eq!(snap.rejected_quota, 1);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batch_items, 44);
+        assert_eq!(snap.batch_size_max, 40);
+        // 1 lands in le=1, 3 in le=4, 40 overflows past the last edge.
+        assert_eq!(
+            snap.batch_size_hist,
+            vec![
+                SizeBucket { le: 1, count: 1 },
+                SizeBucket { le: 4, count: 1 },
+                SizeBucket {
+                    le: u64::MAX,
+                    count: 1
+                },
+            ]
+        );
+        g.reset();
+        let snap = g.snapshot();
+        assert_eq!(snap.rejected_quota, 0);
+        assert_eq!(snap.batches, 0);
+        assert!(snap.batch_size_hist.is_empty());
     }
 
     #[test]

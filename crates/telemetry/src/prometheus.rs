@@ -353,6 +353,7 @@ impl MetricsSnapshot {
                 ("queue_full", sv.rejected_queue_full),
                 ("shedding", sv.rejected_shedding),
                 ("draining", sv.rejected_draining),
+                ("quota", sv.rejected_quota),
             ]
             .into_iter()
             .map(|(reason, v)| (format!("{mlab},reason=\"{reason}\""), v.to_string()))
@@ -370,7 +371,44 @@ impl MetricsSnapshot {
             "bitflow_serve_queue_depth_max",
             "High-water mark of the admission queue since the last reset.",
             "gauge",
-            vec![(mlab, sv.queue_depth_max.to_string())],
+            vec![(mlab.clone(), sv.queue_depth_max.to_string())],
+        );
+
+        // Served-batch-size histogram: cumulative buckets from the sparse
+        // snapshot, +Inf at the total batch count, _sum over served items.
+        let mut batch_rows = Vec::new();
+        let mut cum = 0u64;
+        for b in &sv.batch_size_hist {
+            cum += b.count;
+            let le = if b.le == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                b.le.to_string()
+            };
+            batch_rows.push((format!("{mlab},le=\"{le}\""), cum.to_string()));
+        }
+        if sv.batch_size_hist.last().map(|b| b.le) != Some(u64::MAX) {
+            batch_rows.push((format!("{mlab},le=\"+Inf\""), sv.batches.to_string()));
+        }
+        family(
+            &mut s,
+            "bitflow_serve_batch_size",
+            "Requests per served micro-batch (1 is the unbatched path).",
+            "histogram",
+            batch_rows,
+        );
+        let _ = writeln!(
+            s,
+            "bitflow_serve_batch_size_sum{{{mlab}}} {}",
+            sv.batch_items
+        );
+        let _ = writeln!(s, "bitflow_serve_batch_size_count{{{mlab}}} {}", sv.batches);
+        family(
+            &mut s,
+            "bitflow_serve_batch_size_max",
+            "Largest micro-batch served since the last reset.",
+            "gauge",
+            vec![(mlab, sv.batch_size_max.to_string())],
         );
 
         s
@@ -381,7 +419,7 @@ impl MetricsSnapshot {
 mod tests {
     use crate::snapshot::{
         BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot,
-        PerfSnapshot, ServeSnapshot, SCHEMA_VERSION,
+        PerfSnapshot, ServeSnapshot, SizeBucket, SCHEMA_VERSION,
     };
     use crate::OpKind;
 
@@ -440,6 +478,7 @@ mod tests {
                 rejected_queue_full: 2,
                 rejected_shedding: 1,
                 rejected_draining: 0,
+                rejected_quota: 3,
                 shed_deadline: 2,
                 deadline_missed: 1,
                 cancelled: 1,
@@ -448,6 +487,13 @@ mod tests {
                 breaker_trips: 1,
                 queue_depth: 3,
                 queue_depth_max: 6,
+                batches: 6,
+                batch_items: 14,
+                batch_size_max: 4,
+                batch_size_hist: vec![
+                    SizeBucket { le: 1, count: 2 },
+                    SizeBucket { le: 4, count: 4 },
+                ],
             },
         }
     }
@@ -484,6 +530,21 @@ mod tests {
         assert!(text.contains("bitflow_serve_queue_depth{model=\"small-cnn\"} 3"));
         assert!(text.contains("bitflow_serve_queue_depth_max{model=\"small-cnn\"} 6"));
         assert!(text.contains("bitflow_serve_breaker_trips_total{model=\"small-cnn\"} 1"));
+        assert!(
+            text.contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"quota\"} 3")
+        );
+    }
+
+    #[test]
+    fn batch_size_histogram_is_cumulative_with_inf_terminator() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_serve_batch_size histogram"));
+        assert!(text.contains("bitflow_serve_batch_size{model=\"small-cnn\",le=\"1\"} 2"));
+        assert!(text.contains("bitflow_serve_batch_size{model=\"small-cnn\",le=\"4\"} 6"));
+        assert!(text.contains("bitflow_serve_batch_size{model=\"small-cnn\",le=\"+Inf\"} 6"));
+        assert!(text.contains("bitflow_serve_batch_size_sum{model=\"small-cnn\"} 14"));
+        assert!(text.contains("bitflow_serve_batch_size_count{model=\"small-cnn\"} 6"));
+        assert!(text.contains("bitflow_serve_batch_size_max{model=\"small-cnn\"} 4"));
     }
 
     #[test]

@@ -11,9 +11,28 @@ use crate::metrics::{OpKind, TileStats};
 /// Schema version written into every [`MetricsSnapshot`] (and, via the
 /// bench crate, every `results/*.json` artifact). v1 was the PR-3 snapshot
 /// without roofline, machine, or perf-counter fields; v2 added them; v3
-/// added the serving-runtime counters ([`ServeSnapshot`]).
+/// added the serving-runtime counters ([`ServeSnapshot`]); v4 added the
+/// multi-model tenancy counters (quota rejections) and the served
+/// micro-batch-size histogram.
 /// Readers must refuse to overwrite files written by a *newer* schema.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
+
+/// Upper edges of the served-batch-size histogram buckets. Batches larger
+/// than the last edge land in the implicit overflow bucket
+/// (`le == u64::MAX` in [`SizeBucket`] terms).
+pub const BATCH_SIZE_EDGES: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One non-empty batch-size-histogram bucket: `count` served micro-batches
+/// of `≤ le` requests (and more than the previous bucket's edge). Sparse
+/// and non-cumulative, like [`HistBucket`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeBucket {
+    /// Inclusive upper edge of the bucket (requests per batch);
+    /// `u64::MAX` marks the overflow bucket.
+    pub le: u64,
+    /// Batches that landed in this bucket.
+    pub count: u64,
+}
 
 /// One non-empty latency-histogram bucket: `count` samples with values
 /// `≤ le_ns` (and greater than the previous bucket's edge). Sparse — only
@@ -167,9 +186,10 @@ pub struct BatchSnapshot {
 /// runtime.
 ///
 /// Conservation law (checked by the soak test): `submitted` equals
-/// `accepted` plus the three `rejected_*` counters, and — once the server
+/// `accepted` plus the four `rejected_*` counters, and — once the server
 /// has drained — `accepted` equals `completed + failed + shed_deadline +
-/// deadline_missed + cancelled`.
+/// deadline_missed + cancelled`. In a multi-model server each model's
+/// gauges obey the law independently.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeSnapshot {
     /// Requests offered to `submit` (admitted or not).
@@ -187,6 +207,9 @@ pub struct ServeSnapshot {
     pub rejected_shedding: u64,
     /// Submissions refused while the server was draining for shutdown.
     pub rejected_draining: u64,
+    /// Submissions refused because the target model's admission quota was
+    /// exhausted (multi-model tenancy).
+    pub rejected_quota: u64,
     /// Admitted requests dropped *before* running because their deadline
     /// budget was already unmeetable (deadline-aware shedding).
     pub shed_deadline: u64,
@@ -205,6 +228,17 @@ pub struct ServeSnapshot {
     pub queue_depth: u64,
     /// Highest queue depth observed.
     pub queue_depth_max: u64,
+    /// Coalesced micro-batches served (a batch of one is the unbatched
+    /// fast path).
+    pub batches: u64,
+    /// Requests served across all micro-batches (`batch_items / batches`
+    /// is the mean served batch size).
+    pub batch_items: u64,
+    /// Largest micro-batch served.
+    pub batch_size_max: u64,
+    /// Served-batch-size histogram over [`BATCH_SIZE_EDGES`] (sparse,
+    /// non-cumulative; `le == u64::MAX` is the overflow bucket).
+    pub batch_size_hist: Vec<SizeBucket>,
 }
 
 /// Everything a model's telemetry knows, frozen at one instant.
@@ -350,6 +384,7 @@ mod tests {
                 rejected_queue_full: 2,
                 rejected_shedding: 1,
                 rejected_draining: 0,
+                rejected_quota: 0,
                 shed_deadline: 1,
                 deadline_missed: 1,
                 cancelled: 0,
@@ -358,6 +393,13 @@ mod tests {
                 breaker_trips: 0,
                 queue_depth: 0,
                 queue_depth_max: 4,
+                batches: 4,
+                batch_items: 7,
+                batch_size_max: 3,
+                batch_size_hist: vec![
+                    SizeBucket { le: 1, count: 2 },
+                    SizeBucket { le: 4, count: 2 },
+                ],
             },
         }
     }

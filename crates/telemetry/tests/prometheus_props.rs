@@ -14,7 +14,7 @@
 
 use bitflow_telemetry::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpKind, OpSnapshot,
-    PerfSnapshot, ServeSnapshot, SCHEMA_VERSION,
+    PerfSnapshot, ServeSnapshot, SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -257,22 +257,41 @@ fn random_snapshot(seed: u64) -> MetricsSnapshot {
             max_batch: rng.gen_range(0..64),
             queued_items: rng.gen_range(0..64),
         },
-        serve: ServeSnapshot {
-            submitted: rng.gen_range(0..100_000),
-            accepted: rng.gen_range(0..100_000),
-            completed: rng.gen_range(0..100_000),
-            failed: rng.gen_range(0..1_000),
-            rejected_queue_full: rng.gen_range(0..10_000),
-            rejected_shedding: rng.gen_range(0..10_000),
-            rejected_draining: rng.gen_range(0..10_000),
-            shed_deadline: rng.gen_range(0..10_000),
-            deadline_missed: rng.gen_range(0..10_000),
-            cancelled: rng.gen_range(0..10_000),
-            worker_panics: rng.gen_range(0..100),
-            worker_restarts: rng.gen_range(0..100),
-            breaker_trips: rng.gen_range(0..100),
-            queue_depth: rng.gen_range(0..256),
-            queue_depth_max: rng.gen_range(0..256),
+        serve: {
+            // Sparse batch-size histogram consistent with `batches`: the
+            // +Inf row the renderer emits absorbs the remainder.
+            let batches = rng.gen_range(0..10_000u64);
+            let mut remaining = batches;
+            let mut batch_size_hist = Vec::new();
+            for &le in &BATCH_SIZE_EDGES {
+                let c = rng.gen_range(0..=remaining);
+                remaining -= c;
+                if c > 0 {
+                    batch_size_hist.push(SizeBucket { le, count: c });
+                }
+            }
+            ServeSnapshot {
+                submitted: rng.gen_range(0..100_000),
+                accepted: rng.gen_range(0..100_000),
+                completed: rng.gen_range(0..100_000),
+                failed: rng.gen_range(0..1_000),
+                rejected_queue_full: rng.gen_range(0..10_000),
+                rejected_shedding: rng.gen_range(0..10_000),
+                rejected_draining: rng.gen_range(0..10_000),
+                rejected_quota: rng.gen_range(0..10_000),
+                shed_deadline: rng.gen_range(0..10_000),
+                deadline_missed: rng.gen_range(0..10_000),
+                cancelled: rng.gen_range(0..10_000),
+                worker_panics: rng.gen_range(0..100),
+                worker_restarts: rng.gen_range(0..100),
+                breaker_trips: rng.gen_range(0..100),
+                queue_depth: rng.gen_range(0..256),
+                queue_depth_max: rng.gen_range(0..256),
+                batches,
+                batch_items: rng.gen_range(0..100_000),
+                batch_size_max: rng.gen_range(0..64),
+                batch_size_hist,
+            }
         },
     }
 }
@@ -377,6 +396,18 @@ proptest! {
         prop_assert_eq!(
             rejected_value(&series, "draining"),
             Some(back.serve.rejected_draining as f64)
+        );
+        prop_assert_eq!(
+            rejected_value(&series, "quota"),
+            Some(back.serve.rejected_quota as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_batch_size_count", None),
+            Some(back.serve.batches as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_serve_batch_size_sum", None),
+            Some(back.serve.batch_items as f64)
         );
 
         for op in &back.ops {

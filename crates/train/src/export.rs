@@ -68,6 +68,7 @@ pub fn export(model: &Model) -> (NetworkSpec, NetworkWeights) {
                         beta: bn.beta.clone(),
                         mean: bn.running_mean.clone(),
                         var: bn.running_var.clone(),
+                        eps: bn.eps(),
                     },
                 });
                 layers.push(LayerSpec::Pool {
@@ -93,6 +94,7 @@ pub fn export(model: &Model) -> (NetworkSpec, NetworkWeights) {
                             beta: bn.beta.clone(),
                             mean: bn.running_mean.clone(),
                             var: bn.running_var.clone(),
+                            eps: bn.eps(),
                         }
                     }
                     _ => {

@@ -57,6 +57,15 @@ impl BatchNorm {
         self.eps
     }
 
+    /// Same layer with a non-default normalization ε (must be positive).
+    /// The export fold carries this value into the engine, so models
+    /// trained with a coarser ε stay bit-exact after export.
+    pub fn with_eps(mut self, eps: f32) -> Self {
+        assert!(eps > 0.0, "bn epsilon must be positive");
+        self.eps = eps;
+        self
+    }
+
     fn feature_of(&self, shape: SampleShape, idx_in_sample: usize) -> usize {
         match shape {
             SampleShape::Map { c, .. } => idx_in_sample % c,

@@ -5,8 +5,12 @@
 #   scripts/check.sh --fast   # skip the release build (lints + debug tests)
 #   scripts/check.sh --serve  # additionally run the serving-runtime gate:
 #                             # strict clippy on bitflow-serve (warnings,
-#                             # incl. unwrap/expect, denied) plus the chaos
-#                             # soak in quick mode
+#                             # incl. unwrap/expect, denied), the chaos
+#                             # soaks in quick mode (single-model and the
+#                             # multi-model batched variant), and the
+#                             # goodput micro-batching comparison (quick,
+#                             # informational — appended to
+#                             # results/history/goodput.jsonl)
 #   scripts/check.sh --perf   # additionally run the bench-regression gate
 #                             # (quick mode, twice: blesses a baseline if
 #                             # missing, then gates against it) and print
@@ -58,8 +62,10 @@ if [[ $serve -eq 1 ]]; then
     cargo clippy -p bitflow-serve --all-targets -- -D warnings
     echo "==> serving unit tests"
     cargo test -q -p bitflow-serve
-    echo "==> chaos soak (quick mode)"
+    echo "==> chaos soaks (quick mode: single-model + multi-model batched)"
     BITFLOW_QUICK=1 cargo test -q --test serve_soak
+    echo "==> goodput micro-batching comparison (quick, informational)"
+    cargo run --release -q -p bitflow-bench --bin goodput -- --quick
 fi
 
 if [[ $perf -eq 1 ]]; then

@@ -18,6 +18,12 @@
 //!   cancellations, context replacement, and worker restarts must never
 //!   perturb the logits of the requests that do complete.
 //!
+//! The multi-model variant runs the same contract per tenant: two models
+//! behind one server (one quota-metered), continuous micro-batching on,
+//! and a mid-stream hot swap to bit-identical weights — each tenant's
+//! gauges must conserve independently and every success must match that
+//! tenant's oracle.
+//!
 //! Sizing: `BITFLOW_QUICK=1` runs a few hundred requests (CI gate);
 //! `BITFLOW_SOAK_REQUESTS=N` overrides; the default sits in between. The
 //! chaos seed comes from `BITFLOW_CHAOS` when set, so a failing seed can
@@ -110,6 +116,10 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
             workers: 4,
             queue_capacity: 32,
             shed_policy: ShedPolicy::DeadlineAware,
+            // Single-request serving: the batched path has its own soak
+            // (`multi_model_batched_chaos_soak_conserves_per_model`).
+            max_batch: 1,
+            coalesce_window: Duration::ZERO,
             breaker: BreakerConfig {
                 // High threshold: the soak wants sustained admission, not
                 // a shedding wall; the breaker has its own unit tests.
@@ -124,6 +134,14 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
     let mut tally = Tally::default();
     let mut pending: Vec<(usize, ResponseHandle)> = Vec::with_capacity(n);
     for i in 0..n {
+        // Pace the submitter in bursts: an unthrottled loop finishes in
+        // microseconds and admits only ~2 queue-fulls of work, so almost
+        // no request id ever reaches the chaos streams. Bursts of 8 keep
+        // the queue pressured (overload still observed) while hundreds of
+        // requests actually run.
+        if i % 8 == 7 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
         let input = inputs[i % DISTINCT_INPUTS].clone();
         // Mixed deadline profile: most requests unbounded, some generous,
         // some hopeless (they exercise shedding and mid-run expiry).
@@ -208,6 +226,180 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
         assert!(
             snap.rejected_queue_full + snap.shed_deadline + snap.deadline_missed > 0,
             "no overload behaviour observed"
+        );
+    }
+}
+
+/// A model compiled from `seed` without fresh inputs (for tenants that
+/// share the input set of [`compiled_small_cnn`]).
+fn compiled_model_only(seed: u64) -> Arc<CompiledModel> {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    Arc::new(CompiledModel::compile(&spec, &weights))
+}
+
+/// The multi-tenant, micro-batched variant of the chaos soak: two models
+/// behind one server (one quota-metered), mixed-deadline traffic
+/// interleaved across them, continuous micro-batching on, and a
+/// zero-downtime hot swap to bit-identical replacement weights
+/// mid-stream. Each tenant's gauges must obey the conservation law
+/// independently, every success must match that tenant's serial oracle,
+/// and the coalescer must have formed real batches under saturation.
+#[test]
+fn multi_model_batched_chaos_soak_conserves_per_model() {
+    let n = soak_requests();
+    let (model_a, inputs) = compiled_small_cnn(42);
+    let model_b = compiled_model_only(7);
+    // The hot-swap replacement: same weights as `model_a`, recompiled —
+    // logits stay bit-identical, so the oracle survives the swap while
+    // the swap machinery (Arc flip under live load) is fully exercised.
+    let model_a2 = compiled_small_cnn(42).0;
+
+    let mut ctx_a = model_a.new_context();
+    let mut ctx_b = model_b.new_context();
+    let oracle_a: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| model_a.infer(&mut ctx_a, i))
+        .collect();
+    let oracle_b: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| model_b.infer(&mut ctx_b, i))
+        .collect();
+
+    let chaos = ChaosConfig::from_env().unwrap_or_else(|| ChaosConfig::with_seed(0xB17F));
+    let mut registry = ModelRegistry::new();
+    registry.register("a", Arc::clone(&model_a), None);
+    registry.register("b", Arc::clone(&model_b), Some(8));
+    let server = Server::start_multi(
+        registry,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 32,
+            shed_policy: ShedPolicy::DeadlineAware,
+            max_batch: 8,
+            coalesce_window: Duration::from_micros(50),
+            breaker: BreakerConfig {
+                fault_threshold: 64,
+                cooldown: Duration::from_millis(10),
+            },
+            chaos: Some(chaos),
+            default_deadline: None,
+        },
+    );
+    let gauges_b = server.client("b").expect("registered").entry().gauges();
+
+    // (model index 0 = a, 1 = b) → caller-side tallies and pending sets.
+    let mut tallies = [Tally::default(), Tally::default()];
+    let mut submitted = [0u64, 0u64];
+    let mut pending: Vec<(usize, usize, ResponseHandle)> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == n / 2 {
+            let displaced = server
+                .client("a")
+                .expect("registered")
+                .swap(Arc::clone(&model_a2));
+            assert!(
+                Arc::ptr_eq(&displaced, &model_a),
+                "swap must return the model it displaced"
+            );
+        }
+        let which = usize::from(i % 3 == 0); // a, a, b, a, a, b, ...
+        let name = if which == 0 { "a" } else { "b" };
+        let client = server.client(name).expect("registered");
+        let input = inputs[i % DISTINCT_INPUTS].clone();
+        let result = match i % 10 {
+            9 => client.submit_with_deadline(input, Duration::from_micros(50)),
+            7 | 8 => client.submit_with_deadline(input, Duration::from_millis(500)),
+            _ => client.submit(input),
+        };
+        submitted[which] += 1;
+        match result {
+            Ok(handle) => {
+                if i % 37 == 0 {
+                    handle.cancel();
+                }
+                pending.push((which, i, handle));
+            }
+            Err(_reason) => tallies[which].rejected += 1,
+        }
+    }
+
+    for (which, i, handle) in pending {
+        let oracle = if which == 0 { &oracle_a } else { &oracle_b };
+        let tally = &mut tallies[which];
+        match wait_with_watchdog(&handle, Duration::from_secs(60)) {
+            Ok(logits) => {
+                assert_eq!(
+                    logits,
+                    oracle[i % DISTINCT_INPUTS],
+                    "request {i} (model {which}) diverged from its tenant's oracle"
+                );
+                tally.completed += 1;
+            }
+            Err(BitFlowError::DeadlineExceeded) => tally.deadline += 1,
+            Err(BitFlowError::Cancelled) => tally.cancelled += 1,
+            Err(BitFlowError::Internal(msg)) => {
+                assert!(msg.contains("chaos"), "request {i}: {msg}");
+                tally.failed += 1;
+            }
+            Err(other) => panic!("request {i}: unexpected typed error {other}"),
+        }
+    }
+
+    assert_eq!(
+        server.client("a").expect("registered").entry().swaps(),
+        1,
+        "the mid-stream hot swap must be recorded"
+    );
+    let snap_a = server.shutdown(); // "a" registered first: the default entry
+    let snap_b = gauges_b.snapshot();
+
+    for (which, snap) in [(0usize, &snap_a), (1usize, &snap_b)] {
+        let tally = &tallies[which];
+        let rejected = snap.rejected_queue_full
+            + snap.rejected_shedding
+            + snap.rejected_draining
+            + snap.rejected_quota;
+        assert_eq!(snap.submitted, submitted[which], "model {which} submitted");
+        assert_eq!(snap.completed, tally.completed, "model {which} completed");
+        assert_eq!(snap.failed, tally.failed, "model {which} failed");
+        assert_eq!(snap.cancelled, tally.cancelled, "model {which} cancelled");
+        assert_eq!(
+            snap.shed_deadline + snap.deadline_missed,
+            tally.deadline,
+            "model {which} deadline outcomes"
+        );
+        assert_eq!(rejected, tally.rejected, "model {which} rejections");
+        // The conservation law, independently per tenant.
+        assert_eq!(snap.submitted, snap.accepted + rejected, "model {which}");
+        assert_eq!(
+            snap.accepted,
+            snap.completed
+                + snap.failed
+                + snap.shed_deadline
+                + snap.deadline_missed
+                + snap.cancelled,
+            "model {which} admitted requests all resolved exactly once"
+        );
+        assert_eq!(snap.worker_panics, snap.failed, "model {which} panics");
+        assert!(snap.completed > 0, "model {which} starved");
+        assert!(snap.batches > 0, "model {which} never served a batch");
+        assert!(
+            snap.batch_items >= snap.completed,
+            "model {which}: every completed request went through a batch"
+        );
+    }
+    assert_eq!(snap_a.queue_depth, 0, "drain leaves the queue empty");
+
+    if n >= 1000 {
+        assert!(
+            snap_a.batch_size_max > 1,
+            "saturation must coalesce multi-request batches"
+        );
+        assert!(
+            snap_b.rejected_quota > 0,
+            "the metered tenant must hit its quota under saturation"
         );
     }
 }
