@@ -34,6 +34,7 @@
 pub use bitflow_gemm as gemm;
 pub use bitflow_gpumodel as gpumodel;
 pub use bitflow_graph as graph;
+pub use bitflow_net as net;
 pub use bitflow_ops as ops;
 pub use bitflow_serve as serve;
 pub use bitflow_simd as simd;
@@ -53,6 +54,11 @@ pub use bitflow_telemetry::{MetricsSnapshot, ModelTelemetry, Roofline, SpanSink,
 // panic isolation, and load shedding.
 pub use bitflow_serve::{Server, ServerConfig};
 
+// The network front-end, importable straight off the root crate: bind a
+// `bitflow::NetServer` over a `Server` to speak HTTP/1.1 with hostile-client
+// hardening (header/read/write deadlines, connection caps, bounded bodies).
+pub use bitflow_net::{NetConfig, NetServer};
+
 /// Everything a typical user needs, one import away.
 pub mod prelude {
     pub use bitflow_gpumodel::GpuModel;
@@ -60,6 +66,7 @@ pub mod prelude {
     pub use bitflow_graph::spec::{LayerSpec, NetworkSpec};
     pub use bitflow_graph::weights::{BnParams, LayerWeights, NetworkWeights};
     pub use bitflow_graph::{CompiledModel, FloatNetwork, InferenceContext, Network};
+    pub use bitflow_net::{NetConfig, NetServer};
     pub use bitflow_ops::binary::{
         binary_conv_im2col, binary_fc, binary_max_pool, pressed_conv, pressed_conv_parallel,
         BinaryFcWeights,
@@ -105,6 +112,24 @@ mod tests {
     fn facade_exposes_gpu_model() {
         let t = GpuModel::gtx1080().network_time(&vgg16());
         assert!(t.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn facade_exposes_net_front_end() {
+        // The network names resolve at the crate root and the whole
+        // bind/shutdown lifecycle works through the facade alone.
+        let spec = small_cnn();
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = NetworkWeights::random(&spec, &mut rng);
+        let model = crate::CompiledModel::compile(&spec, &weights);
+        let server = std::sync::Arc::new(crate::Server::start(
+            std::sync::Arc::new(model),
+            ServerConfig::default(),
+        ));
+        let net =
+            crate::NetServer::bind(server, crate::NetConfig::default()).expect("bind loopback");
+        assert_ne!(net.local_addr().port(), 0);
+        assert!(net.shutdown());
     }
 
     #[test]

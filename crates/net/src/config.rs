@@ -1,0 +1,114 @@
+//! Network front-end configuration: bind address, connection cap, body
+//! bound, and the per-connection deadlines that make slow clients a
+//! bounded cost instead of a resource leak.
+
+use std::time::Duration;
+
+/// Full front-end configuration. `Default` binds an ephemeral loopback
+/// port with small sane limits; see [`NetConfig::from_env`] for the
+/// environment knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Bind address, e.g. `127.0.0.1:8080`. Port `0` asks the OS for an
+    /// ephemeral port ([`crate::NetServer::local_addr`] reports it).
+    pub addr: String,
+    /// Most connections served concurrently; the accept loop sheds the
+    /// excess with an immediate `503`. Clamped to ≥ 1.
+    pub max_conns: usize,
+    /// Largest accepted request body, bytes. Bigger declared bodies are
+    /// refused with `413` before any body byte is read. Clamped to ≥ 1.
+    pub max_body_bytes: usize,
+    /// Slowloris guard: the whole request head (request line + headers)
+    /// must arrive within this budget, however many packets it drips in
+    /// over. Also bounds how long an idle keep-alive connection is held.
+    pub header_timeout: Duration,
+    /// Budget for reading the request body once the head is complete.
+    pub read_timeout: Duration,
+    /// Budget for writing one response.
+    pub write_timeout: Duration,
+    /// How long a graceful shutdown waits for open connections to finish
+    /// their in-flight request before giving up on them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            max_body_bytes: 4 << 20,
+            header_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Defaults overridden by the environment:
+    ///
+    /// * `BITFLOW_NET_ADDR` — bind address (`host:port`).
+    /// * `BITFLOW_NET_MAX_CONNS` — concurrent-connection cap.
+    /// * `BITFLOW_NET_MAX_BODY` — request-body bound, bytes.
+    /// * `BITFLOW_NET_HEADER_TIMEOUT_MS` — slowloris header deadline.
+    /// * `BITFLOW_NET_READ_TIMEOUT_MS` — body-read deadline.
+    /// * `BITFLOW_NET_WRITE_TIMEOUT_MS` — response-write deadline.
+    /// * `BITFLOW_NET_DRAIN_TIMEOUT_MS` — graceful-shutdown drain budget.
+    ///
+    /// Malformed values are ignored (the default stands): configuration
+    /// must never take the listener down.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("BITFLOW_NET_ADDR") {
+            let v = v.trim();
+            if !v.is_empty() {
+                cfg.addr = v.to_string();
+            }
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_MAX_CONNS") {
+            cfg.max_conns = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_MAX_BODY") {
+            cfg.max_body_bytes = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_HEADER_TIMEOUT_MS") {
+            cfg.header_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_READ_TIMEOUT_MS") {
+            cfg.read_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_WRITE_TIMEOUT_MS") {
+            cfg.write_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_u64("BITFLOW_NET_DRAIN_TIMEOUT_MS") {
+            cfg.drain_timeout = Duration::from_millis(v);
+        }
+        cfg
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = NetConfig::default();
+        assert!(cfg.max_conns >= 1);
+        assert!(cfg.max_body_bytes >= 1);
+        assert!(cfg.header_timeout > Duration::ZERO);
+        assert!(cfg.read_timeout > Duration::ZERO);
+        assert!(cfg.write_timeout > Duration::ZERO);
+        assert!(
+            cfg.addr.ends_with(":0"),
+            "default must not squat a fixed port"
+        );
+    }
+}

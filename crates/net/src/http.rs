@@ -1,0 +1,338 @@
+//! Minimal HTTP/1.1 grammar: request-head parsing and response building.
+//!
+//! Only what the front-end needs, parsed defensively: a request line, a
+//! bounded header block, `content-length`-framed bodies. Anything else —
+//! chunked transfer coding, obsolete line folding, a missing version —
+//! is refused with a typed error the caller turns into a 4xx/5xx. The
+//! socket handling (deadlines, chaos, byte accounting) lives in
+//! [`crate::server`]; this module is pure bytes-in, values-out and is
+//! unit-tested as such.
+
+use std::fmt;
+
+/// Largest accepted request head (request line + headers), bytes. A head
+/// that has not terminated within this bound is hostile or broken.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Why a request head was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not parseable as an HTTP/1.x request head.
+    Malformed(&'static str),
+    /// The request declared a transfer coding this front-end rejects
+    /// (only `content-length` framing is served).
+    UnsupportedTransferEncoding,
+    /// A body-carrying method arrived without a `content-length`.
+    LengthRequired,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "only content-length framing is supported")
+            }
+            ParseError::LengthRequired => write!(f, "content-length required"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed request head: method, target, and lower-cased header names.
+#[derive(Clone, Debug)]
+pub struct Head {
+    /// Request method, as sent (methods are case-sensitive).
+    pub method: String,
+    /// Request target (origin form, e.g. `/v1/infer/default`).
+    pub target: String,
+    /// Whether the request was HTTP/1.1 (governs the keep-alive default).
+    pub http11: bool,
+    headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// The first value of header `name` (ASCII case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length. `Ok(None)` when absent; an unparseable
+    /// value or a rejected transfer coding is an error, never a guess.
+    pub fn content_length(&self) -> Result<Option<usize>, ParseError> {
+        if self.header("transfer-encoding").is_some() {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        match self.header("content-length") {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ParseError::Malformed("content-length not a number")),
+        }
+    }
+
+    /// Whether the connection should be kept open after the response:
+    /// HTTP/1.1 defaults to yes, HTTP/1.0 to no, `connection: close`
+    /// always wins.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Position one past the `\r\n\r\n` head terminator, if present.
+#[must_use]
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parses a complete request head (everything before the terminating
+/// blank line, which may be included).
+pub fn parse_head(bytes: &[u8]) -> Result<Head, ParseError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| ParseError::Malformed("head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.chars().all(|c| c.is_ascii_uppercase()))
+        .ok_or(ParseError::Malformed("bad method"))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(ParseError::Malformed("bad request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("extra request-line fields"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ParseError::Malformed("unsupported HTTP version")),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        // Obsolete line folding (a header continued on an indented line)
+        // is a known request-smuggling vector: refuse it.
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(ParseError::Malformed("folded header"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Head {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+    })
+}
+
+/// Canonical reason phrase for the statuses this front-end emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// One response, rendered to bytes in a single buffer so the socket
+/// writer deals in whole responses (and truncation is the *chaos*
+/// injection's job, never an accident of buffering).
+#[derive(Clone, Debug)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    #[must_use]
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The response status.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Appends one header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    #[must_use]
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Sets a plain-text body.
+    #[must_use]
+    pub fn text(self, body: &str) -> Self {
+        self.header("content-type", "text/plain; charset=utf-8")
+            .body(body.as_bytes().to_vec())
+    }
+
+    /// Renders the full wire form. `content-length` and `connection` are
+    /// always emitted so clients can frame the body and pipeline safely.
+    #[must_use]
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(
+            format!(
+                "connection: {}\r\n\r\n",
+                if keep_alive { "keep-alive" } else { "close" }
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn parses_a_full_head() {
+        let head =
+            parse_head(b"POST /v1/infer/default HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n")
+                .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.target, "/v1/infer/default");
+        assert!(head.http11);
+        assert_eq!(head.header("content-length"), Some("12"));
+        assert_eq!(head.header("CONTENT-LENGTH"), Some("12"));
+        assert_eq!(head.content_length().unwrap(), Some(12));
+        assert!(head.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let head = parse_head(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!head.keep_alive());
+        let head = parse_head(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!head.http11);
+        assert!(!head.keep_alive());
+        let head = parse_head(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(head.keep_alive());
+    }
+
+    #[test]
+    fn refuses_garbage() {
+        for bad in [
+            &b"garbage\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\na: b\r\n folded\r\n\r\n",
+            b"\xff\xfe /x HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                parse_head(bad).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_and_bad_lengths() {
+        let head = parse_head(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+        assert_eq!(
+            head.content_length(),
+            Err(ParseError::UnsupportedTransferEncoding)
+        );
+        let head = parse_head(b"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n").unwrap();
+        assert!(head.content_length().is_err());
+        let head = parse_head(b"POST /x HTTP/1.1\r\nContent-Length: lots\r\n\r\n").unwrap();
+        assert!(head.content_length().is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nBODY"), Some(18));
+    }
+
+    #[test]
+    fn response_wire_form() {
+        let bytes = Response::new(429)
+            .header("retry-after", 2)
+            .text("slow down")
+            .to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("content-length: 9\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nslow down"));
+        let closed = Response::new(200).to_bytes(false);
+        assert!(String::from_utf8(closed)
+            .unwrap()
+            .contains("connection: close"));
+    }
+}

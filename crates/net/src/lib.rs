@@ -1,0 +1,47 @@
+//! # bitflow-net
+//!
+//! HTTP/1.1 network front-end for the BitFlow serving runtime: the wire
+//! face of [`bitflow_serve::Server`], built directly on
+//! [`std::net::TcpListener`] — no async runtime, no HTTP library, one
+//! thread per connection bounded by a connection cap.
+//!
+//! ## Wire contract
+//!
+//! * `POST /v1/infer` and `POST /v1/infer/{tenant}` — body is a BitFlow
+//!   tensor container ([`bitflow_tensor::io::encode_tensor`]); a `200`
+//!   carries the raw little-endian `f32` logits
+//!   (`content-type: application/octet-stream`) plus an
+//!   `x-bitflow-request-id` header. An optional `x-bitflow-deadline-ms`
+//!   request header sets the per-request latency budget.
+//! * Typed failures map onto wire statuses in one exhaustive match
+//!   ([`status::reject_status`] / [`status::error_status`]): queue-full
+//!   and breaker shedding are `429` with a `Retry-After` derived from the
+//!   queue depth and the tenant's batch-latency EWMA, quota exhaustion is
+//!   `429` with an `x-bitflow-quota` header, draining is `503`, a missed
+//!   deadline is `504`. Error bodies are the engine's own
+//!   `{"code", "message"}` JSON ([`bitflow_graph::BitFlowError`]).
+//! * `GET /metrics` — Prometheus text exposition of the default tenant.
+//! * `GET /healthz` — `200 ok` while the circuit breaker is closed and
+//!   the server is not draining; `503` otherwise.
+//!
+//! ## Hostile-client hardening
+//!
+//! Every connection gets a slowloris header deadline, a bounded header
+//! block, a length-checked bounded body, read/write deadlines, and
+//! partial-write-safe responses; the accept loop sheds connections past
+//! the cap with an immediate `503`. Shutdown is a graceful drain: stop
+//! accepting, finish requests already on a connection, then close. All
+//! of it is observable through the `net_*` counters on the default
+//! tenant's [`bitflow_telemetry::ServeGauges`], and all of it is
+//! chaos-injectable (connection kills, stalled reads, truncated writes)
+//! from the same seeded [`bitflow_serve::ChaosConfig`] streams as the
+//! serving runtime.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod config;
+pub mod http;
+pub mod server;
+pub mod status;
+
+pub use config::NetConfig;
+pub use server::NetServer;

@@ -1,0 +1,637 @@
+//! The listener: accept loop, per-connection threads, hostile-client
+//! hardening, and graceful drain.
+//!
+//! One OS thread per connection, bounded by [`NetConfig::max_conns`] —
+//! past the cap the accept loop sheds with an immediate `503` and never
+//! blocks. Every socket interaction is deadline-bounded: the request head
+//! must complete within `header_timeout` however slowly it drips in
+//! (slowloris), bodies are length-checked before a byte is read and
+//! bounded by `read_timeout`, responses by `write_timeout`. Reads poll in
+//! short slices so an idle keep-alive connection notices a drain within
+//! ~100 ms instead of holding shutdown hostage.
+//!
+//! Chaos: when the serving runtime carries a seeded
+//! [`bitflow_serve::ChaosConfig`], the listener injects from the same
+//! deterministic streams — connection kills at accept, read stalls that
+//! burn poll slices, truncated writes that close mid-response. The
+//! `net_*` counters ([`bitflow_telemetry::ServeGauges`]) account for all
+//! of it: `malformed_requests` counts every request refused at the HTTP
+//! layer (bad grammar, bad framing, oversized head or body), the
+//! timeout/byte counters track the socket work itself.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bitflow_graph::{BitFlowError, RejectReason};
+use bitflow_serve::{ChaosConfig, Server};
+use bitflow_telemetry::{MetricsSnapshot, ServeGauges};
+
+use crate::config::NetConfig;
+use crate::http::{self, ParseError, Response};
+use crate::status::{error_status, reject_status, reject_wants_retry_after};
+
+/// How often blocked socket reads/waits re-check the shutdown flag.
+const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// The HTTP front-end: a bound listener plus its accept thread.
+///
+/// Dropping (or calling [`NetServer::shutdown`]) drains gracefully:
+/// stop accepting, let requests already on a connection finish, then
+/// close — bounded by [`NetConfig::drain_timeout`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+struct NetShared {
+    config: NetConfig,
+    server: Arc<Server>,
+    chaos: Option<ChaosConfig>,
+    shutdown: AtomicBool,
+    open_conns: AtomicUsize,
+    conn_ids: AtomicU64,
+    gauges: Arc<ServeGauges>,
+}
+
+/// Decrements the open-connection count when a handler thread exits —
+/// by any path, including a panic unwinding through it.
+struct ConnGuard(Arc<NetShared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.open_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl NetServer {
+    /// Binds `config.addr` and starts serving `server` over HTTP.
+    ///
+    /// Chaos and the `net_*` counters both ride on the serving runtime:
+    /// injection streams come from the server's [`ChaosConfig`] (if any),
+    /// counters land on the default tenant's gauges so they surface in
+    /// `/metrics` and in [`bitflow_serve::Server::metrics`].
+    pub fn bind(server: Arc<Server>, config: NetConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let gauges = server.gauges();
+        let chaos = server.chaos().cloned();
+        let shared = Arc::new(NetShared {
+            config,
+            server,
+            chaos,
+            shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            conn_ids: AtomicU64::new(0),
+            gauges,
+        });
+        let loop_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("bitflow-net-accept".to_string())
+            .spawn(move || accept_loop(&loop_shared, &listener))?;
+        Ok(Self {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn open_conns(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Acquire)
+    }
+
+    /// The serving runtime behind this listener.
+    #[must_use]
+    pub fn server(&self) -> &Arc<Server> {
+        &self.shared.server
+    }
+
+    /// Graceful drain: stop accepting, wait for open connections to
+    /// finish their in-flight request (idle keep-alive connections close
+    /// within one poll slice), then return. `true` when every connection
+    /// drained inside [`NetConfig::drain_timeout`]; `false` when
+    /// stragglers were abandoned to their own deadlines.
+    pub fn shutdown(mut self) -> bool {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> bool {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        loop {
+            if self.shared.open_conns.load(Ordering::Acquire) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+                if let Some(chaos) = &shared.chaos {
+                    if chaos.conn_kill_hit(conn) {
+                        // Injected abrupt disconnect: accepted, then gone
+                        // before a single byte moves either way.
+                        shared.gauges.conn_accepted();
+                        drop(stream);
+                        continue;
+                    }
+                }
+                if shared.open_conns.load(Ordering::Acquire) >= shared.config.max_conns {
+                    shared.gauges.conn_rejected();
+                    shed(shared, stream);
+                    continue;
+                }
+                shared.gauges.conn_accepted();
+                shared.open_conns.fetch_add(1, Ordering::AcqRel);
+                let conn_shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name(format!("bitflow-net-conn-{conn}"))
+                    .spawn(move || {
+                        let _guard = ConnGuard(Arc::clone(&conn_shared));
+                        handle_conn(&conn_shared, stream, conn);
+                    });
+                if spawned.is_err() {
+                    // The guard never existed; undo the reservation and
+                    // treat the connection as shed.
+                    shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+                    shared.gauges.conn_rejected();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Best-effort `503` to a connection past the cap — one bounded write,
+/// never a thread.
+fn shed(shared: &NetShared, mut stream: TcpStream) {
+    let bytes = Response::new(503)
+        .header("retry-after", 1)
+        .text("connection limit reached")
+        .to_bytes(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    if let Ok(n) = stream.write(&bytes) {
+        shared.gauges.add_bytes_out(n as u64);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+enum HeadOutcome {
+    /// Head complete; value is one past the terminating blank line.
+    Complete(usize),
+    /// Close silently (peer gone, idle expiry, or drain).
+    Close,
+    /// Respond with this status, then close.
+    Fail(u16),
+}
+
+enum ReadOutcome {
+    Data,
+    Nothing,
+    Closed,
+}
+
+enum RouteOutcome {
+    /// Respond; connection may stay open per keep-alive rules.
+    Respond(Response),
+    /// Respond, then close (unread body bytes may still be in flight).
+    RespondClose(Response),
+    /// Close without responding.
+    Close,
+}
+
+fn handle_conn(shared: &Arc<NetShared>, mut stream: TcpStream, conn: u64) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut read_no: u64 = 0;
+    let mut req_no: u64 = 0;
+    loop {
+        let head_end = match read_head(shared, &mut stream, conn, &mut buf, &mut read_no) {
+            HeadOutcome::Complete(end) => end,
+            HeadOutcome::Close => return,
+            HeadOutcome::Fail(status) => {
+                let resp = Response::new(status).text(http::reason(status));
+                let _ = write_response(shared, &mut stream, conn, req_no, &resp, false);
+                return;
+            }
+        };
+        let head_bytes: Vec<u8> = buf[..head_end].to_vec();
+        buf.drain(..head_end);
+        let head = match http::parse_head(&head_bytes) {
+            Ok(head) => head,
+            Err(e) => {
+                shared.gauges.malformed_request();
+                let resp = Response::new(400).text(&e.to_string());
+                let _ = write_response(shared, &mut stream, conn, req_no, &resp, false);
+                return;
+            }
+        };
+        // Draining: finish this request, but advertise (and enforce) that
+        // the connection closes after it.
+        let keep_alive = head.keep_alive() && !shared.shutdown.load(Ordering::Acquire);
+        let (resp, keep_alive) =
+            match route(shared, &mut stream, conn, &mut buf, &mut read_no, &head) {
+                RouteOutcome::Respond(resp) => (resp, keep_alive),
+                RouteOutcome::RespondClose(resp) => (resp, false),
+                RouteOutcome::Close => return,
+            };
+        if write_response(shared, &mut stream, conn, req_no, &resp, keep_alive).is_err() {
+            return;
+        }
+        req_no += 1;
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Reads until one full request head is buffered. The whole head shares
+/// one `header_timeout` budget no matter how many packets it arrives in —
+/// the slowloris guard.
+fn read_head(
+    shared: &NetShared,
+    stream: &mut TcpStream,
+    conn: u64,
+    buf: &mut Vec<u8>,
+    read_no: &mut u64,
+) -> HeadOutcome {
+    let deadline = Instant::now() + shared.config.header_timeout;
+    loop {
+        if let Some(end) = http::find_head_end(buf) {
+            if end > http::MAX_HEAD_BYTES {
+                shared.gauges.malformed_request();
+                return HeadOutcome::Fail(431);
+            }
+            return HeadOutcome::Complete(end);
+        }
+        if buf.len() > http::MAX_HEAD_BYTES {
+            shared.gauges.malformed_request();
+            return HeadOutcome::Fail(431);
+        }
+        if shared.shutdown.load(Ordering::Acquire) && buf.is_empty() {
+            // Idle keep-alive connection during drain: nothing in flight,
+            // close now so shutdown is not held hostage.
+            return HeadOutcome::Close;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            if buf.is_empty() {
+                // Idle keep-alive expiry, not an attack: close silently.
+                return HeadOutcome::Close;
+            }
+            shared.gauges.read_timeout();
+            return HeadOutcome::Fail(408);
+        }
+        match read_some(shared, stream, conn, read_no, deadline - now, buf) {
+            ReadOutcome::Data | ReadOutcome::Nothing => {}
+            ReadOutcome::Closed => return HeadOutcome::Close,
+        }
+    }
+}
+
+/// One bounded read: at most one [`POLL_SLICE`] of blocking, so callers
+/// can re-check deadlines and the shutdown flag between reads.
+fn read_some(
+    shared: &NetShared,
+    stream: &mut TcpStream,
+    conn: u64,
+    read_no: &mut u64,
+    remaining: Duration,
+    buf: &mut Vec<u8>,
+) -> ReadOutcome {
+    let slice = remaining.min(POLL_SLICE).max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(slice)).is_err() {
+        return ReadOutcome::Closed;
+    }
+    let this_read = *read_no;
+    *read_no += 1;
+    if let Some(chaos) = &shared.chaos {
+        if chaos.read_stall_hit(conn, this_read) {
+            // Injected network stall: burn one poll slice without data,
+            // exactly as a wedged client would.
+            thread::sleep(slice);
+            return ReadOutcome::Nothing;
+        }
+    }
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => ReadOutcome::Closed,
+        Ok(n) => {
+            shared.gauges.add_bytes_in(n as u64);
+            buf.extend_from_slice(&chunk[..n]);
+            ReadOutcome::Data
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            ReadOutcome::Nothing
+        }
+        Err(_) => ReadOutcome::Closed,
+    }
+}
+
+/// Reads exactly `len` body bytes (the head's `content-length`, already
+/// checked against the body bound) within the `read_timeout` budget.
+fn read_body(
+    shared: &NetShared,
+    stream: &mut TcpStream,
+    conn: u64,
+    buf: &mut Vec<u8>,
+    read_no: &mut u64,
+    len: usize,
+) -> Result<Vec<u8>, HeadOutcome> {
+    let deadline = Instant::now() + shared.config.read_timeout;
+    loop {
+        if buf.len() >= len {
+            let body: Vec<u8> = buf[..len].to_vec();
+            buf.drain(..len);
+            return Ok(body);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            shared.gauges.read_timeout();
+            return Err(HeadOutcome::Fail(408));
+        }
+        match read_some(shared, stream, conn, read_no, deadline - now, buf) {
+            ReadOutcome::Data | ReadOutcome::Nothing => {}
+            ReadOutcome::Closed => return Err(HeadOutcome::Close),
+        }
+    }
+}
+
+fn route(
+    shared: &Arc<NetShared>,
+    stream: &mut TcpStream,
+    conn: u64,
+    buf: &mut Vec<u8>,
+    read_no: &mut u64,
+    head: &http::Head,
+) -> RouteOutcome {
+    let target = head.target.as_str();
+    let is_infer = target == "/v1/infer" || target.starts_with("/v1/infer/");
+    match (head.method.as_str(), target) {
+        ("GET", "/healthz") => RouteOutcome::Respond(healthz(shared)),
+        ("GET", "/metrics") => RouteOutcome::Respond(metrics(shared)),
+        (_, "/healthz" | "/metrics") => {
+            RouteOutcome::Respond(Response::new(405).header("allow", "GET").text("GET only"))
+        }
+        ("POST", _) if is_infer => infer(shared, stream, conn, buf, read_no, head),
+        (_, _) if is_infer => {
+            RouteOutcome::Respond(Response::new(405).header("allow", "POST").text("POST only"))
+        }
+        _ => RouteOutcome::Respond(Response::new(404).text("no such route")),
+    }
+}
+
+/// `200 ok` while the instance can take traffic; `503` once the circuit
+/// breaker opens or a drain begins (load balancers stop routing here).
+fn healthz(shared: &NetShared) -> Response {
+    if shared.server.breaker_open() {
+        Response::new(503).text("breaker open")
+    } else if shared.server.draining() || shared.shutdown.load(Ordering::Acquire) {
+        Response::new(503).text("draining")
+    } else {
+        Response::new(200).text("ok")
+    }
+}
+
+/// Prometheus exposition for the default tenant. With telemetry enabled
+/// this is the full snapshot (ops, roofline, serve); without it, a
+/// serve-only snapshot so the `net_*` and admission counters are always
+/// scrapeable.
+fn metrics(shared: &NetShared) -> Response {
+    let snapshot = shared.server.registry().entries().first().map(|entry| {
+        match entry.current().metrics_snapshot() {
+            Some(snap) => snap,
+            None => MetricsSnapshot::serve_only(entry.name(), entry.gauges().snapshot()),
+        }
+    });
+    match snapshot {
+        Some(snap) => Response::new(200)
+            .header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+            .body(snap.to_prometheus().into_bytes()),
+        None => Response::new(500).text("no model registered"),
+    }
+}
+
+fn infer(
+    shared: &Arc<NetShared>,
+    stream: &mut TcpStream,
+    conn: u64,
+    buf: &mut Vec<u8>,
+    read_no: &mut u64,
+    head: &http::Head,
+) -> RouteOutcome {
+    let content_length = match head.content_length() {
+        Ok(Some(n)) => n,
+        Ok(None) => {
+            shared.gauges.malformed_request();
+            return RouteOutcome::RespondClose(Response::new(411).text("content-length required"));
+        }
+        Err(ParseError::UnsupportedTransferEncoding) => {
+            shared.gauges.malformed_request();
+            return RouteOutcome::RespondClose(
+                Response::new(501).text("only content-length framing is supported"),
+            );
+        }
+        Err(e) => {
+            shared.gauges.malformed_request();
+            return RouteOutcome::RespondClose(Response::new(400).text(&e.to_string()));
+        }
+    };
+    if content_length > shared.config.max_body_bytes {
+        // Refused from the header alone — not a single body byte is read.
+        shared.gauges.malformed_request();
+        return RouteOutcome::RespondClose(
+            Response::new(413)
+                .header("x-bitflow-max-body", shared.config.max_body_bytes)
+                .text("request body exceeds the configured bound"),
+        );
+    }
+    let body = match read_body(shared, stream, conn, buf, read_no, content_length) {
+        Ok(body) => body,
+        Err(HeadOutcome::Fail(status)) => {
+            return RouteOutcome::RespondClose(Response::new(status).text(http::reason(status)));
+        }
+        Err(_) => return RouteOutcome::Close,
+    };
+    let tensor = match bitflow_tensor::io::decode_tensor(&body) {
+        Ok(t) => t,
+        Err(e) => {
+            // Body fully consumed, so the connection can survive this.
+            shared.gauges.malformed_request();
+            // Same {"code","message"} shape as BitFlowError; DecodeError
+            // messages are fixed strings with nothing to escape.
+            let json = format!("{{\"code\":\"bad_tensor\",\"message\":\"{e}\"}}");
+            return RouteOutcome::Respond(
+                Response::new(400)
+                    .header("content-type", "application/json")
+                    .body(json.into_bytes()),
+            );
+        }
+    };
+    let deadline = head
+        .header("x-bitflow-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    let tenant = head
+        .target
+        .strip_prefix("/v1/infer/")
+        .filter(|name| !name.is_empty());
+    let (result, retry_hint, quota) = match tenant {
+        None => (
+            match deadline {
+                Some(budget) => shared.server.submit_with_deadline(tensor, budget),
+                None => shared.server.submit(tensor),
+            },
+            shared.server.retry_after_hint(),
+            shared
+                .server
+                .registry()
+                .entries()
+                .first()
+                .and_then(|entry| entry.quota()),
+        ),
+        Some(name) => {
+            let Some(client) = shared.server.client(name) else {
+                return RouteOutcome::Respond(Response::new(404).text("unknown model"));
+            };
+            let result = match deadline {
+                Some(budget) => client.submit_with_deadline(tensor, budget),
+                None => client.submit(tensor),
+            };
+            (result, client.retry_after_hint(), client.entry().quota())
+        }
+    };
+
+    RouteOutcome::Respond(match result {
+        Err(reason) => {
+            let mut resp = Response::new(reject_status(reason))
+                .header("content-type", "application/json")
+                .body(serde_json::to_vec(&BitFlowError::Rejected(reason)).unwrap_or_default());
+            if reject_wants_retry_after(reason) {
+                resp = resp.header("retry-after", retry_hint.as_secs().max(1));
+            }
+            if matches!(reason, RejectReason::QuotaExceeded) {
+                if let Some(q) = quota {
+                    resp = resp.header("x-bitflow-quota", q);
+                }
+            }
+            resp
+        }
+        Ok(handle) => {
+            let id = handle.id();
+            match handle.wait() {
+                Ok(logits) => {
+                    let mut body = Vec::with_capacity(logits.len() * 4);
+                    for v in &logits {
+                        body.extend_from_slice(&v.to_le_bytes());
+                    }
+                    Response::new(200)
+                        .header("content-type", "application/octet-stream")
+                        .header("x-bitflow-request-id", id)
+                        .body(body)
+                }
+                Err(err) => Response::new(error_status(&err))
+                    .header("content-type", "application/json")
+                    .header("x-bitflow-request-id", id)
+                    .body(serde_json::to_vec(&err).unwrap_or_default()),
+            }
+        }
+    })
+}
+
+/// Writes one whole rendered response under the `write_timeout` budget,
+/// handling partial writes; a failure (peer gone, timeout, injected
+/// truncation) returns `Err` and the caller closes the connection —
+/// never a panic, never a half-tracked byte count.
+fn write_response(
+    shared: &NetShared,
+    stream: &mut TcpStream,
+    conn: u64,
+    req_no: u64,
+    resp: &Response,
+    keep_alive: bool,
+) -> Result<(), ()> {
+    let bytes = resp.to_bytes(keep_alive);
+    let mut limit = bytes.len();
+    let mut truncate = false;
+    if let Some(chaos) = &shared.chaos {
+        if chaos.trunc_write_hit(conn, req_no) {
+            // Injected mid-response disconnect: half the bytes, then RST.
+            limit = bytes.len() / 2;
+            truncate = true;
+        }
+    }
+    let deadline = Instant::now() + shared.config.write_timeout;
+    let _ = stream.set_write_timeout(Some(POLL_SLICE));
+    let mut written = 0usize;
+    while written < limit {
+        if Instant::now() >= deadline {
+            shared.gauges.write_timeout();
+            return Err(());
+        }
+        match stream.write(&bytes[written..limit]) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                written += n;
+                shared.gauges.add_bytes_out(n as u64);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return Err(()),
+        }
+    }
+    if truncate {
+        let _ = stream.shutdown(Shutdown::Both);
+        return Err(());
+    }
+    let _ = stream.flush();
+    Ok(())
+}

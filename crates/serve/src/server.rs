@@ -53,6 +53,7 @@ use bitflow_telemetry::ServeSnapshot;
 use bitflow_tensor::Tensor;
 
 use crate::chaos;
+use crate::chaos::ChaosConfig;
 use crate::config::{ServerConfig, ShedPolicy};
 use crate::registry::{ModelEntry, ModelRegistry};
 
@@ -419,6 +420,46 @@ impl Server {
         lock(&self.shared.queue).items.len()
     }
 
+    /// The chaos configuration this server was started with, if any — a
+    /// network front-end shares it so its connection/read/write fault
+    /// streams ride the same seed as the op and pop streams.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosConfig> {
+        self.shared.config.chaos.as_ref()
+    }
+
+    /// Whether the circuit breaker is currently shedding admissions — the
+    /// health signal a front-end's `/healthz` endpoint reports.
+    #[must_use]
+    pub fn breaker_open(&self) -> bool {
+        self.shared.breaker_open()
+    }
+
+    /// Whether the server has begun draining for shutdown. New
+    /// submissions are rejected with [`RejectReason::Draining`].
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        lock(&self.shared.queue).draining
+    }
+
+    /// A coarse backoff hint for rejected submissions against the default
+    /// tenant: the time to serve out the current queue at the tenant's
+    /// observed batch cadence (EWMA), floored at one second so clients
+    /// always back off a meaningful amount.
+    #[must_use]
+    pub fn retry_after_hint(&self) -> Duration {
+        self.entry_retry_hint(&self.shared.default_entry)
+    }
+
+    fn entry_retry_hint(&self, entry: &ModelEntry) -> Duration {
+        let depth = lock(&self.shared.queue).items.len() as u64;
+        let max_batch = self.shared.config.max_batch.max(1) as u64;
+        let workers = self.shared.config.workers.max(1) as u64;
+        let batches = depth.div_ceil(max_batch);
+        let ns = batches.saturating_mul(entry.est_batch_ns().max(1)) / workers;
+        Duration::from_nanos(ns).max(Duration::from_secs(1))
+    }
+
     /// Stops admissions without stopping the pool: from here on `submit`
     /// returns [`RejectReason::Draining`] while already-queued requests
     /// are still served. Irreversible; [`Server::shutdown`] completes it.
@@ -501,6 +542,13 @@ impl ModelClient<'_> {
     #[must_use]
     pub fn metrics(&self) -> ServeSnapshot {
         self.entry.counters().snapshot()
+    }
+
+    /// A coarse backoff hint for rejected submissions against this
+    /// tenant, from the shared queue depth and the tenant's batch EWMA.
+    #[must_use]
+    pub fn retry_after_hint(&self) -> Duration {
+        self.server.entry_retry_hint(&self.entry)
     }
 
     /// Hot-swaps this tenant's model with zero downtime: in-flight and

@@ -230,6 +230,13 @@ pub struct ServeGauges {
     batch_size_max: AtomicU64,
     // One counter per BATCH_SIZE_EDGES bucket plus the overflow bucket.
     batch_size_hist: [AtomicU64; BATCH_SIZE_EDGES.len() + 1],
+    net_accepted_conns: AtomicU64,
+    net_rejected_conns: AtomicU64,
+    net_timeouts_read: AtomicU64,
+    net_timeouts_write: AtomicU64,
+    net_malformed_requests: AtomicU64,
+    net_bytes_in: AtomicU64,
+    net_bytes_out: AtomicU64,
 }
 
 impl ServeGauges {
@@ -324,6 +331,43 @@ impl ServeGauges {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// The network front-end accepted a TCP connection.
+    pub fn conn_accepted(&self) {
+        self.net_accepted_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The accept loop refused a TCP connection (connection cap).
+    pub fn conn_rejected(&self) {
+        self.net_rejected_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was dropped because a read deadline expired (slowloris
+    /// header drip or stalled body).
+    pub fn read_timeout(&self) {
+        self.net_timeouts_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was dropped because a response write stalled past its
+    /// deadline.
+    pub fn write_timeout(&self) {
+        self.net_timeouts_write.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused as malformed before reaching admission.
+    pub fn malformed_request(&self) {
+        self.net_malformed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` request bytes were read off the wire.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.net_bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` response bytes were written to the wire.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.net_bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
@@ -356,6 +400,13 @@ impl ServeGauges {
                     count: c.load(Ordering::Relaxed),
                 })
                 .collect(),
+            net_accepted_conns: self.net_accepted_conns.load(Ordering::Relaxed),
+            net_rejected_conns: self.net_rejected_conns.load(Ordering::Relaxed),
+            net_timeouts_read: self.net_timeouts_read.load(Ordering::Relaxed),
+            net_timeouts_write: self.net_timeouts_write.load(Ordering::Relaxed),
+            net_malformed_requests: self.net_malformed_requests.load(Ordering::Relaxed),
+            net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
+            net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
         }
     }
 
@@ -379,6 +430,13 @@ impl ServeGauges {
             &self.batches,
             &self.batch_items,
             &self.batch_size_max,
+            &self.net_accepted_conns,
+            &self.net_rejected_conns,
+            &self.net_timeouts_read,
+            &self.net_timeouts_write,
+            &self.net_malformed_requests,
+            &self.net_bytes_in,
+            &self.net_bytes_out,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -828,6 +886,33 @@ mod tests {
         assert_eq!(snap.rejected_quota, 0);
         assert_eq!(snap.batches, 0);
         assert!(snap.batch_size_hist.is_empty());
+    }
+
+    #[test]
+    fn serve_gauges_track_net_counters() {
+        let g = ServeGauges::default();
+        g.conn_accepted();
+        g.conn_accepted();
+        g.conn_rejected();
+        g.read_timeout();
+        g.write_timeout();
+        g.malformed_request();
+        g.add_bytes_in(1_024);
+        g.add_bytes_out(256);
+        g.add_bytes_out(256);
+        let snap = g.snapshot();
+        assert_eq!(snap.net_accepted_conns, 2);
+        assert_eq!(snap.net_rejected_conns, 1);
+        assert_eq!(snap.net_timeouts_read, 1);
+        assert_eq!(snap.net_timeouts_write, 1);
+        assert_eq!(snap.net_malformed_requests, 1);
+        assert_eq!(snap.net_bytes_in, 1_024);
+        assert_eq!(snap.net_bytes_out, 512);
+        g.reset();
+        let snap = g.snapshot();
+        assert_eq!(snap.net_accepted_conns, 0);
+        assert_eq!(snap.net_bytes_in, 0);
+        assert_eq!(snap.net_bytes_out, 0);
     }
 
     #[test]

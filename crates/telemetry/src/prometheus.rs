@@ -408,8 +408,55 @@ impl MetricsSnapshot {
             "bitflow_serve_batch_size_max",
             "Largest micro-batch served since the last reset.",
             "gauge",
-            vec![(mlab, sv.batch_size_max.to_string())],
+            vec![(mlab.clone(), sv.batch_size_max.to_string())],
         );
+
+        let net_counters: [(&str, &str, u64); 7] = [
+            (
+                "bitflow_net_accepted_conns_total",
+                "TCP connections accepted by the network front-end.",
+                sv.net_accepted_conns,
+            ),
+            (
+                "bitflow_net_rejected_conns_total",
+                "TCP connections refused at the accept loop (connection cap).",
+                sv.net_rejected_conns,
+            ),
+            (
+                "bitflow_net_timeouts_read_total",
+                "Connections dropped by an expired read deadline (slowloris included).",
+                sv.net_timeouts_read,
+            ),
+            (
+                "bitflow_net_timeouts_write_total",
+                "Connections dropped by a stalled response write.",
+                sv.net_timeouts_write,
+            ),
+            (
+                "bitflow_net_malformed_requests_total",
+                "Requests refused as malformed before reaching admission.",
+                sv.net_malformed_requests,
+            ),
+            (
+                "bitflow_net_bytes_in_total",
+                "Request bytes read off the wire.",
+                sv.net_bytes_in,
+            ),
+            (
+                "bitflow_net_bytes_out_total",
+                "Response bytes written to the wire.",
+                sv.net_bytes_out,
+            ),
+        ];
+        for (name, help, value) in net_counters {
+            family(
+                &mut s,
+                name,
+                help,
+                "counter",
+                vec![(mlab.clone(), value.to_string())],
+            );
+        }
 
         s
     }
@@ -494,6 +541,13 @@ mod tests {
                     SizeBucket { le: 1, count: 2 },
                     SizeBucket { le: 4, count: 4 },
                 ],
+                net_accepted_conns: 9,
+                net_rejected_conns: 2,
+                net_timeouts_read: 4,
+                net_timeouts_write: 1,
+                net_malformed_requests: 5,
+                net_bytes_in: 123_456,
+                net_bytes_out: 65_432,
             },
         }
     }
@@ -533,6 +587,19 @@ mod tests {
         assert!(
             text.contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"quota\"} 3")
         );
+    }
+
+    #[test]
+    fn net_families_render() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_net_accepted_conns_total counter"));
+        assert!(text.contains("bitflow_net_accepted_conns_total{model=\"small-cnn\"} 9"));
+        assert!(text.contains("bitflow_net_rejected_conns_total{model=\"small-cnn\"} 2"));
+        assert!(text.contains("bitflow_net_timeouts_read_total{model=\"small-cnn\"} 4"));
+        assert!(text.contains("bitflow_net_timeouts_write_total{model=\"small-cnn\"} 1"));
+        assert!(text.contains("bitflow_net_malformed_requests_total{model=\"small-cnn\"} 5"));
+        assert!(text.contains("bitflow_net_bytes_in_total{model=\"small-cnn\"} 123456"));
+        assert!(text.contains("bitflow_net_bytes_out_total{model=\"small-cnn\"} 65432"));
     }
 
     #[test]

@@ -13,9 +13,10 @@ use crate::metrics::{OpKind, TileStats};
 /// without roofline, machine, or perf-counter fields; v2 added them; v3
 /// added the serving-runtime counters ([`ServeSnapshot`]); v4 added the
 /// multi-model tenancy counters (quota rejections) and the served
-/// micro-batch-size histogram.
+/// micro-batch-size histogram; v5 added the network front-end counters
+/// (`net_*`: connections, timeouts, malformed requests, byte totals).
 /// Readers must refuse to overwrite files written by a *newer* schema.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Upper edges of the served-batch-size histogram buckets. Batches larger
 /// than the last edge land in the implicit overflow bucket
@@ -239,6 +240,23 @@ pub struct ServeSnapshot {
     /// Served-batch-size histogram over [`BATCH_SIZE_EDGES`] (sparse,
     /// non-cumulative; `le == u64::MAX` is the overflow bucket).
     pub batch_size_hist: Vec<SizeBucket>,
+    /// TCP connections accepted by the network front-end.
+    pub net_accepted_conns: u64,
+    /// TCP connections refused at the accept loop (connection cap).
+    pub net_rejected_conns: u64,
+    /// Connections dropped because a read deadline expired (includes the
+    /// slowloris header timeout).
+    pub net_timeouts_read: u64,
+    /// Connections dropped because a response write stalled past its
+    /// deadline.
+    pub net_timeouts_write: u64,
+    /// Requests refused as malformed before reaching admission (bad
+    /// request line, oversized headers or body, undecodable tensor).
+    pub net_malformed_requests: u64,
+    /// Request bytes read off the wire (headers + bodies).
+    pub net_bytes_in: u64,
+    /// Response bytes written to the wire (including partial writes).
+    pub net_bytes_out: u64,
 }
 
 /// Everything a model's telemetry knows, frozen at one instant.
@@ -263,6 +281,32 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// A snapshot carrying only serving-runtime counters, for exposing a
+    /// model served without operator telemetry: no ops, no perf counters,
+    /// and a zeroed machine section (building the real one would run the
+    /// roofline bandwidth probe, far too expensive for a metrics scrape).
+    pub fn serve_only(model: impl Into<String>, serve: ServeSnapshot) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            model: model.into(),
+            requests: 0,
+            machine: MachineSnapshot {
+                features: String::new(),
+                simd_width_bits: 0,
+                logical_cores: 0,
+                freq_ghz: 0.0,
+                freq_source: "unavailable".to_string(),
+                peak_gops: 0.0,
+                peak_gb_per_s: 0.0,
+                bw_source: "unavailable".to_string(),
+            },
+            perf: PerfSnapshot::unavailable("telemetry disabled"),
+            ops: Vec::new(),
+            batch: BatchSnapshot::default(),
+            serve,
+        }
+    }
+
     /// Total time attributed to operators, nanoseconds.
     pub fn total_op_ns(&self) -> u64 {
         self.ops.iter().map(|o| o.total_ns).sum()
@@ -400,6 +444,13 @@ mod tests {
                     SizeBucket { le: 1, count: 2 },
                     SizeBucket { le: 4, count: 2 },
                 ],
+                net_accepted_conns: 5,
+                net_rejected_conns: 1,
+                net_timeouts_read: 2,
+                net_timeouts_write: 1,
+                net_malformed_requests: 3,
+                net_bytes_in: 40_960,
+                net_bytes_out: 8_192,
             },
         }
     }

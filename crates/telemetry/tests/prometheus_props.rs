@@ -291,6 +291,13 @@ fn random_snapshot(seed: u64) -> MetricsSnapshot {
                 batch_items: rng.gen_range(0..100_000),
                 batch_size_max: rng.gen_range(0..64),
                 batch_size_hist,
+                net_accepted_conns: rng.gen_range(0..100_000),
+                net_rejected_conns: rng.gen_range(0..10_000),
+                net_timeouts_read: rng.gen_range(0..10_000),
+                net_timeouts_write: rng.gen_range(0..10_000),
+                net_malformed_requests: rng.gen_range(0..10_000),
+                net_bytes_in: rng.gen_range(0..u32::MAX as u64),
+                net_bytes_out: rng.gen_range(0..u32::MAX as u64),
             }
         },
     }
@@ -408,6 +415,36 @@ proptest! {
         prop_assert_eq!(
             series_value(&series, "bitflow_serve_batch_size_sum", None),
             Some(back.serve.batch_items as f64)
+        );
+
+        // Network front-end counters round-trip through both exporters.
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_accepted_conns_total", None),
+            Some(back.serve.net_accepted_conns as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_rejected_conns_total", None),
+            Some(back.serve.net_rejected_conns as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_timeouts_read_total", None),
+            Some(back.serve.net_timeouts_read as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_timeouts_write_total", None),
+            Some(back.serve.net_timeouts_write as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_malformed_requests_total", None),
+            Some(back.serve.net_malformed_requests as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_bytes_in_total", None),
+            Some(back.serve.net_bytes_in as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_bytes_out_total", None),
+            Some(back.serve.net_bytes_out as f64)
         );
 
         for op in &back.ops {

@@ -90,8 +90,17 @@ pub fn decode_tensor(mut data: &[u8]) -> Result<Tensor, DecodeError> {
     if header.dtype != DType::F32 {
         return Err(DecodeError::BadHeader);
     }
-    let n = header.shape.numel();
-    if data.remaining() < n * 4 {
+    // Checked arithmetic: a hostile header can declare dimensions whose
+    // product overflows, and the element count must never exceed what the
+    // payload actually carries.
+    let s = header.shape;
+    let n =
+        s.n.checked_mul(s.h)
+            .and_then(|v| v.checked_mul(s.w))
+            .and_then(|v| v.checked_mul(s.c))
+            .ok_or(DecodeError::BadHeader)?;
+    let payload_len = n.checked_mul(4).ok_or(DecodeError::BadHeader)?;
+    if data.remaining() < payload_len {
         return Err(DecodeError::Truncated);
     }
     let mut values = Vec::with_capacity(n);
@@ -131,6 +140,21 @@ mod tests {
         let bytes = encode_tensor(&t);
         let cut = &bytes[..bytes.len() - 10];
         assert!(matches!(decode_tensor(cut), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_overflowing_shape_without_panicking() {
+        // A hostile header declaring dimensions whose product overflows
+        // usize must come back as a typed error, not an arithmetic panic.
+        let header = format!(
+            "{{\"shape\":{{\"n\":{0},\"h\":{0},\"w\":{0},\"c\":{0}}},\"layout\":\"Nhwc\",\"dtype\":\"F32\"}}",
+            usize::MAX
+        );
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(header.len() as u32);
+        buf.put_slice(header.as_bytes());
+        assert!(matches!(decode_tensor(&buf), Err(DecodeError::BadHeader)));
     }
 
     #[test]

@@ -11,6 +11,14 @@
 #                             # goodput micro-batching comparison (quick,
 #                             # informational — appended to
 #                             # results/history/goodput.jsonl)
+#   scripts/check.sh --net    # additionally run the network front-end gate:
+#                             # strict clippy on bitflow-net (warnings,
+#                             # incl. unwrap/expect, denied), the hostile-
+#                             # client suite, the TCP chaos soak in quick
+#                             # mode, and the load-to-failure sweep (quick,
+#                             # twice: blesses a capacity baseline if
+#                             # missing, then gates against it — appended
+#                             # to results/history/load.jsonl)
 #   scripts/check.sh --perf   # additionally run the bench-regression gate
 #                             # (quick mode, twice: blesses a baseline if
 #                             # missing, then gates against it) and print
@@ -25,11 +33,13 @@ cd "$(dirname "$0")/.."
 fast=0
 perf=0
 serve=0
+net=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --perf) perf=1 ;;
         --serve) serve=1 ;;
+        --net) net=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -66,6 +76,18 @@ if [[ $serve -eq 1 ]]; then
     BITFLOW_QUICK=1 cargo test -q --test serve_soak
     echo "==> goodput micro-batching comparison (quick, informational)"
     cargo run --release -q -p bitflow-bench --bin goodput -- --quick
+fi
+
+if [[ $net -eq 1 ]]; then
+    echo "==> clippy -p bitflow-net (unwrap/expect denied on the front-end)"
+    cargo clippy -p bitflow-net --all-targets -- -D warnings
+    echo "==> net unit tests + hostile-client suite"
+    cargo test -q -p bitflow-net
+    echo "==> TCP chaos soak (quick mode)"
+    BITFLOW_QUICK=1 cargo test -q --test net_soak
+    echo "==> load-to-failure sweep (quick, twice: bless-if-needed then gate)"
+    cargo run --release -q -p bitflow-bench --bin loadgen -- --quick
+    cargo run --release -q -p bitflow-bench --bin loadgen -- --quick
 fi
 
 if [[ $perf -eq 1 ]]; then

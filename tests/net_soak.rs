@@ -1,0 +1,363 @@
+//! Chaos soak for the network front-end (`bitflow-net`).
+//!
+//! Real TCP clients drive a two-tenant server (one quota-metered) through
+//! the HTTP listener while the seeded chaos streams inject at BOTH
+//! layers: serving-runtime chaos (slow operators, worker panics, queue
+//! stalls, worker kills) and wire chaos (connection kills at accept, read
+//! stalls, truncated writes). One request per connection, so the
+//! connection-scoped chaos streams are fully deterministic in the
+//! connection id — which makes the client-side damage *predictable from
+//! the seed*: exactly the accepted connections whose kill/truncation
+//! stream fires are the ones that die without a full response.
+//!
+//! The contract:
+//!
+//! * **Bit-identical 200s** — every complete 200 body equals the tenant's
+//!   serial-oracle logits for that input, chaos or no chaos.
+//! * **Exact gauge↔tally conservation per tenant** — the serve-layer law
+//!   (`submitted == accepted + rejected_*`, every admitted request
+//!   resolved exactly once) holds per tenant; client-side tallies pin
+//!   `submitted` and `completed` exactly once the seed-predicted broken
+//!   connections are accounted for; and at the wire,
+//!   `accepted_conns == connections opened` with zero sheds.
+//! * **Each chaos type fired** (full mode): connection kills, truncated
+//!   writes, and worker panics all observed; the read-stall stream is
+//!   non-empty over the connection range actually used.
+//!
+//! Sizing mirrors `serve_soak`: `BITFLOW_QUICK=1` → 300 requests,
+//! default 1500, `BITFLOW_SOAK_REQUESTS=N` overrides; `BITFLOW_CHAOS`
+//! replays a seed verbatim.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bitflow::prelude::*;
+use bitflow_net::{NetConfig, NetServer};
+use bitflow_tensor::io::encode_tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+const DISTINCT_INPUTS: usize = 16;
+
+fn soak_requests() -> usize {
+    if let Ok(v) = std::env::var("BITFLOW_SOAK_REQUESTS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var_os("BITFLOW_QUICK").is_some_and(|v| v == "1") {
+        300
+    } else {
+        1500
+    }
+}
+
+fn compiled(seed: u64) -> Arc<CompiledModel> {
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    Arc::new(CompiledModel::compile(&spec, &weights))
+}
+
+/// Client-side view of one request's fate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Complete 200, oracle-checked.
+    Ok,
+    /// Complete rejection that implies the request reached `submit`
+    /// (429 queue-full/shedding/quota, 503 draining).
+    Rejected,
+    /// Complete 504: admitted, then the deadline cut it down.
+    Deadline,
+    /// Complete 500 carrying an injected chaos panic.
+    Failed,
+    /// No complete response: the connection died (injected kill or
+    /// truncated write). Whether the request was submitted is unknowable
+    /// from this side of the wire — the seed arithmetic accounts for it.
+    Broken,
+}
+
+/// Reads one full response; `None` on a dead/truncated connection.
+fn read_response(stream: &mut TcpStream) -> Option<(u16, Vec<u8>)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 = head.split("\r\n").next()?.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = head
+        .split("\r\n")
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())?;
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None, // truncated mid-body
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    Some((status, body))
+}
+
+#[test]
+fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
+    let n = soak_requests();
+    let model_a = compiled(42);
+    let model_b = compiled(7);
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs: Vec<Tensor> = (0..DISTINCT_INPUTS)
+        .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+        .collect();
+    let encoded: Vec<Vec<u8>> = inputs.iter().map(|i| encode_tensor(i).to_vec()).collect();
+
+    let mut ctx_a = model_a.new_context();
+    let mut ctx_b = model_b.new_context();
+    let oracle_a: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| model_a.infer(&mut ctx_a, i))
+        .collect();
+    let oracle_b: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|i| model_b.infer(&mut ctx_b, i))
+        .collect();
+
+    let chaos = ChaosConfig::from_env().unwrap_or_else(|| ChaosConfig::with_seed(0xB17F));
+    let mut registry = ModelRegistry::new();
+    registry.register("a", Arc::clone(&model_a), None);
+    registry.register("b", Arc::clone(&model_b), Some(8));
+    let server = Arc::new(Server::start_multi(
+        registry,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 32,
+            shed_policy: ShedPolicy::DeadlineAware,
+            max_batch: 4,
+            coalesce_window: Duration::ZERO,
+            breaker: BreakerConfig {
+                fault_threshold: 64,
+                cooldown: Duration::from_millis(10),
+            },
+            chaos: Some(chaos.clone()),
+            default_deadline: None,
+        },
+    ));
+    let gauges_b = server.client("b").expect("registered").entry().gauges();
+    let net = NetServer::bind(
+        Arc::clone(&server),
+        NetConfig {
+            // High cap: this soak wants wire chaos, not accept-loop
+            // shedding (the cap has its own test in `hostile.rs`) — zero
+            // sheds keeps `accepted_conns == connects` exact.
+            max_conns: 256,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = net.local_addr();
+
+    // 4 client threads, requests striped across them; one request per
+    // connection so connection-scoped chaos is a pure function of the
+    // connection id.
+    const CLIENTS: usize = 4;
+    let workers: Vec<std::thread::JoinHandle<Vec<(usize, Outcome)>>> = (0..CLIENTS)
+        .map(|t| {
+            let encoded = encoded.clone();
+            let oracle_a = oracle_a.clone();
+            let oracle_b = oracle_b.clone();
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for i in (t..n).step_by(CLIENTS) {
+                    let tenant = usize::from(i % 3 == 0); // 0 = a, 1 = b
+                    let path = if tenant == 0 { "/v1/infer/a" } else { "/v1/infer/b" };
+                    let deadline_header = match i % 10 {
+                        9 => "x-bitflow-deadline-ms: 0\r\n",
+                        7 | 8 => "x-bitflow-deadline-ms: 500\r\n",
+                        _ => "",
+                    };
+                    let body = &encoded[i % DISTINCT_INPUTS];
+                    let outcome = (|| {
+                        let Ok(mut stream) = TcpStream::connect(addr) else {
+                            return Outcome::Broken;
+                        };
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                        let req = format!(
+                            "POST {path} HTTP/1.1\r\n{deadline_header}content-length: {}\r\nconnection: close\r\n\r\n",
+                            body.len()
+                        );
+                        if stream.write_all(req.as_bytes()).is_err()
+                            || stream.write_all(body).is_err()
+                        {
+                            // The server may already have killed the
+                            // connection; drain whatever it did send.
+                            return match read_response(&mut stream) {
+                                Some((status, resp)) => classify(i, tenant, status, &resp, &oracle_a, &oracle_b),
+                                None => Outcome::Broken,
+                            };
+                        }
+                        match read_response(&mut stream) {
+                            Some((status, resp)) => classify(i, tenant, status, &resp, &oracle_a, &oracle_b),
+                            None => Outcome::Broken,
+                        }
+                    })();
+                    outcomes.push((tenant, outcome));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    fn classify(
+        i: usize,
+        tenant: usize,
+        status: u16,
+        body: &[u8],
+        oracle_a: &[Vec<f32>],
+        oracle_b: &[Vec<f32>],
+    ) -> Outcome {
+        match status {
+            200 => {
+                let logits: Vec<f32> = body
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                let oracle = if tenant == 0 { oracle_a } else { oracle_b };
+                assert_eq!(
+                    logits,
+                    oracle[i % DISTINCT_INPUTS],
+                    "request {i}: 200 body diverged from the tenant's serial oracle"
+                );
+                Outcome::Ok
+            }
+            429 | 503 => Outcome::Rejected,
+            504 => Outcome::Deadline,
+            500 => {
+                let text = String::from_utf8_lossy(body).to_string();
+                assert!(
+                    text.contains("chaos"),
+                    "request {i}: only injected panics may 500, got: {text}"
+                );
+                Outcome::Failed
+            }
+            other => panic!("request {i}: unexpected wire status {other}"),
+        }
+    }
+
+    let mut tallies = [[0u64; 5]; 2]; // [tenant][Ok, Rejected, Deadline, Failed, Broken]
+    for worker in workers {
+        for (tenant, outcome) in worker.join().expect("client thread") {
+            tallies[tenant][outcome as usize] += 1;
+        }
+    }
+
+    assert!(net.shutdown(), "drain must complete within the budget");
+    let snap_a = server.gauges().snapshot(); // "a" registered first: default entry
+    let snap_b = gauges_b.snapshot();
+
+    // --- Wire-level conservation -------------------------------------
+    // Every connection the clients opened was accepted exactly once (no
+    // sheds at this cap), even the ones chaos then killed.
+    assert_eq!(snap_a.net_rejected_conns, 0, "cap must never shed here");
+    assert_eq!(
+        snap_a.net_accepted_conns, n as u64,
+        "one connection per request, each accepted exactly once"
+    );
+    assert!(snap_a.net_bytes_in > 0 && snap_a.net_bytes_out > 0);
+
+    // --- Seed arithmetic: predict the broken connections --------------
+    // One request per connection and connection ids are assigned in
+    // accept order 0..n, so the kill and first-response-truncation
+    // streams tell us exactly how many connections died client-side.
+    let kills: u64 = (0..n as u64).filter(|&c| chaos.conn_kill_hit(c)).count() as u64;
+    let truncs: u64 = (0..n as u64)
+        .filter(|&c| !chaos.conn_kill_hit(c) && chaos.trunc_write_hit(c, 0))
+        .count() as u64;
+    let broken = tallies[0][Outcome::Broken as usize] + tallies[1][Outcome::Broken as usize];
+    assert_eq!(
+        broken,
+        kills + truncs,
+        "client-side broken connections must equal the seed-predicted kills + truncations"
+    );
+
+    // --- Per-tenant conservation --------------------------------------
+    for (tenant, snap) in [(0usize, &snap_a), (1usize, &snap_b)] {
+        let [ok, rejected, deadline, failed, broken] = tallies[tenant];
+        let rejected_gauge = snap.rejected_queue_full
+            + snap.rejected_shedding
+            + snap.rejected_draining
+            + snap.rejected_quota;
+
+        // The serve-layer law, exact, per tenant.
+        assert_eq!(
+            snap.submitted,
+            snap.accepted + rejected_gauge,
+            "tenant {tenant}: submitted splits into accepted + rejected"
+        );
+        assert_eq!(
+            snap.accepted,
+            snap.completed
+                + snap.failed
+                + snap.shed_deadline
+                + snap.deadline_missed
+                + snap.cancelled,
+            "tenant {tenant}: every admitted request resolved exactly once"
+        );
+        assert_eq!(snap.worker_panics, snap.failed, "tenant {tenant}: panics");
+
+        // Gauge↔tally: every complete response is pinned exactly; broken
+        // connections bound the slack (a killed connection never
+        // submitted; a truncated one resolved before the wire died).
+        assert!(
+            snap.completed >= ok && snap.completed <= ok + broken,
+            "tenant {tenant}: completed {} outside [{}, {}]",
+            snap.completed,
+            ok,
+            ok + broken
+        );
+        assert!(
+            rejected_gauge >= rejected && rejected_gauge <= rejected + broken,
+            "tenant {tenant}: rejections out of range"
+        );
+        assert!(
+            snap.shed_deadline + snap.deadline_missed >= deadline
+                && snap.shed_deadline + snap.deadline_missed <= deadline + broken,
+            "tenant {tenant}: deadline outcomes out of range"
+        );
+        let known = ok + rejected + deadline + failed;
+        assert!(
+            snap.submitted >= known && snap.submitted <= known + broken,
+            "tenant {tenant}: submitted {} outside [{known}, {}]",
+            snap.submitted,
+            known + broken
+        );
+        assert!(snap.completed > 0, "tenant {tenant} starved");
+    }
+    assert_eq!(snap_a.queue_depth, 0, "drain leaves the queue empty");
+
+    // --- Each chaos type must actually fire (full mode) ---------------
+    if n >= 1000 {
+        assert!(kills > 0, "the connection-kill stream never fired");
+        assert!(truncs > 0, "the truncated-write stream never fired");
+        assert!(
+            snap_a.worker_panics + snap_b.worker_panics > 0,
+            "worker-panic chaos never fired"
+        );
+        let stalls = (0..n as u64)
+            .flat_map(|c| (0..4u64).map(move |r| (c, r)))
+            .filter(|&(c, r)| chaos.read_stall_hit(c, r))
+            .count();
+        assert!(
+            stalls > 0,
+            "the read-stall stream is empty over the soak range"
+        );
+    }
+}
