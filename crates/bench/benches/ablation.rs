@@ -12,7 +12,8 @@
 
 use bitflow_bench::workloads::{prepare, table_iv};
 use bitflow_ops::binary::{
-    binarize_pack_padded, binary_conv_im2col, pressed_conv, pressed_conv_sign_into,
+    binarize_pack_padded, binary_conv_im2col, pressed_conv, pressed_conv_sign_into, BnFold,
+    SignThresholds,
 };
 use bitflow_ops::SimdLevel;
 use bitflow_simd::xor_popcount;
@@ -85,20 +86,19 @@ fn bench_fused_conv_sign(c: &mut Criterion) {
     let k = bank.shape().k;
     let thresholds = vec![0.0f32; k];
     let flip = vec![false; k];
+    let f = bank.shape();
+    let st = SignThresholds::from_fold(
+        &BnFold {
+            thresholds: thresholds.clone(),
+            flip: flip.clone(),
+        },
+        f.kh * f.kw * f.c,
+    );
     let g = w.params.conv_out(w.input_shape(), k);
     group.bench_function("conv4.1/fused-conv-sign-pack", |b| {
         let mut out = BitTensor::zeros(g.out_h + 2, g.out_w + 2, k);
         b.iter(|| {
-            pressed_conv_sign_into(
-                SimdLevel::Avx512,
-                &p.bit_input,
-                bank,
-                1,
-                &thresholds,
-                &flip,
-                &mut out,
-                1,
-            );
+            pressed_conv_sign_into(SimdLevel::Avx512, &p.bit_input, bank, 1, &st, &mut out, 1);
             black_box(&out);
         });
     });

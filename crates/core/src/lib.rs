@@ -65,11 +65,13 @@ pub mod prelude {
     pub use bitflow_graph::models::{mlp, small_cnn, tiered_cnn, vgg16, vgg19};
     pub use bitflow_graph::spec::{LayerSpec, NetworkSpec};
     pub use bitflow_graph::weights::{BnParams, LayerWeights, NetworkWeights};
-    pub use bitflow_graph::{CompiledModel, FloatNetwork, InferenceContext, Network};
+    pub use bitflow_graph::{
+        CompiledModel, ExecPlan, FloatNetwork, InferenceContext, Network, PlanNode, PlanOptions,
+    };
     pub use bitflow_net::{NetConfig, NetServer};
     pub use bitflow_ops::binary::{
         binary_conv_im2col, binary_fc, binary_max_pool, pressed_conv, pressed_conv_parallel,
-        BinaryFcWeights,
+        BinaryFcWeights, ConvEpilogue, PopCmp, SignThresholds,
     };
     pub use bitflow_ops::{ConvParams, SimdLevel};
     pub use bitflow_serve::{

@@ -27,13 +27,15 @@
 
 use crate::cancel::CancelToken;
 use crate::error::{BitFlowError, InputGeometry, SlotKind, SlotTypeError};
+use crate::plan::{ExecPlan, PlanOptions};
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use crate::weights::{LayerWeights, NetworkWeights};
 use bitflow_gemm::pack::PackedMatrix;
 use bitflow_gemm::sgemm::transpose;
 use bitflow_ops::binary::{
-    binarize_pack_into, binarize_threshold_into, binary_max_pool_into, pressed_conv_parallel_into,
-    pressed_conv_sign_scratch_into, BinaryFcWeights,
+    binarize_pack_into, binarize_threshold_into, binary_max_pool_into, pack_signed_dots_into,
+    pressed_conv_into, pressed_conv_parallel_into, pressed_conv_sign_parallel_into,
+    pressed_conv_sign_scratch_into, BinaryFcWeights, SignThresholds,
 };
 use bitflow_ops::float::{conv_im2col_parallel, fc_parallel, max_pool_parallel, relu};
 use bitflow_simd::kernels::SimdLevel;
@@ -246,16 +248,37 @@ enum FcIn {
 enum RtOp {
     /// Float input map → pressed (padded) input buffer.
     BinarizeInput { out: usize, pad: usize },
-    /// PressedConv + folded BN + sign → pressed (padded) output.
+    /// Fused PressedConv + integer-threshold sign epilogue → pressed
+    /// (padded) output. The `scratch` slot is a `Vec` of `k` floats (one
+    /// conv window of dots) — the h·w·k float count map never exists.
     ConvSign {
         name: String,
         bank: BitFilterBank,
-        thresholds: Vec<f32>,
-        flip: Vec<bool>,
+        st: SignThresholds,
         stride: usize,
         level: SimdLevel,
         input: usize,
         scratch: usize,
+        out: usize,
+        out_pad: usize,
+    },
+    /// Unfused conv: PressedConv → float count map (`BITFLOW_FUSE=0` or a
+    /// float-tapped chain). A [`RtOp::BnSign`] consumes the map.
+    ConvFloat {
+        name: String,
+        bank: BitFilterBank,
+        stride: usize,
+        level: SimdLevel,
+        input: usize,
+        out: usize,
+    },
+    /// Standalone folded-BN threshold + sign + pack over a float count map
+    /// (the unfused second pass).
+    BnSign {
+        name: String,
+        thresholds: Vec<f32>,
+        flip: Vec<bool>,
+        input: usize,
         out: usize,
         out_pad: usize,
     },
@@ -273,12 +296,11 @@ enum RtOp {
     /// Repack a pressed map into a flat packed vector (flatten with a
     /// non-word-aligned channel count — the rare general path).
     Reflatten { input: usize, out: usize },
-    /// Binary FC + folded BN + sign → packed vector.
+    /// Binary FC + folded BN + integer-threshold sign → packed vector.
     FcSign {
         name: String,
         weights: BinaryFcWeights,
-        thresholds: Vec<f32>,
-        flip: Vec<bool>,
+        st: SignThresholds,
         level: SimdLevel,
         input: FcIn,
         scratch: usize,
@@ -300,6 +322,8 @@ impl RtOp {
             RtOp::BinarizeInput { .. } => "binarize-input",
             RtOp::Reflatten { .. } => "flatten",
             RtOp::ConvSign { name, .. }
+            | RtOp::ConvFloat { name, .. }
+            | RtOp::BnSign { name, .. }
             | RtOp::Pool { name, .. }
             | RtOp::FcSign { name, .. }
             | RtOp::FcOut { name, .. } => name,
@@ -314,6 +338,7 @@ impl RtOp {
 /// [`InferenceContext`].
 pub struct CompiledModel {
     spec: NetworkSpec,
+    plan: ExecPlan,
     ops: Vec<RtOp>,
     slot_specs: Vec<SlotSpec>,
     logits_slot: usize,
@@ -363,8 +388,22 @@ impl CompiledModel {
     /// [`NetworkWeights::validate_against`] first, so the build below
     /// works on geometry-checked data only.
     pub fn try_compile(spec: &NetworkSpec, weights: &NetworkWeights) -> Result<Self, BitFlowError> {
+        Self::try_compile_with(spec, weights, &PlanOptions::from_env())
+    }
+
+    /// [`CompiledModel::try_compile`] with explicit [`PlanOptions`] instead
+    /// of the environment's — the deterministic entry point for A/B and
+    /// differential harnesses (`BITFLOW_FUSE` is process-global; options
+    /// are not).
+    pub fn try_compile_with(
+        spec: &NetworkSpec,
+        weights: &NetworkWeights,
+        opts: &PlanOptions,
+    ) -> Result<Self, BitFlowError> {
         let shapes = spec.validate()?;
         weights.validate_against(spec, &shapes)?;
+        let plan = ExecPlan::build(spec, opts);
+        let fused: std::collections::BTreeSet<&str> = plan.fused_convs().into_iter().collect();
         let scheduler = VectorScheduler::new();
         let mut ops = Vec::new();
         let mut slot_specs = Vec::new();
@@ -406,30 +445,67 @@ impl CompiledModel {
                         LayerIo::Map { h, w, .. } => (h, w),
                         _ => unreachable!(),
                     };
-                    let scratch = slot_specs.len();
-                    slot_specs.push(SlotSpec::Map {
-                        h: oh,
-                        w: ow,
-                        c: *k,
-                    });
-                    let out = slot_specs.len();
-                    slot_specs.push(SlotSpec::Bit {
-                        h: oh + 2 * out_pad,
-                        w: ow + 2 * out_pad,
-                        c: *k,
-                    });
-                    ops.push(RtOp::ConvSign {
-                        name: name.clone(),
-                        bank,
-                        thresholds: fold.thresholds,
-                        flip: fold.flip,
-                        stride: params.stride,
-                        level: scheduler.try_select(in_c)?.level,
-                        input: cur.bit_slot(),
-                        scratch,
-                        out,
-                        out_pad,
-                    });
+                    let level = scheduler.try_select(in_c)?.level;
+                    let input = cur.bit_slot();
+                    let out = if fused.contains(name.as_str()) {
+                        // Fused Conv→BN→Sign: the scratch is one window of
+                        // dots (k floats); the sign epilogue compares the
+                        // integer dot against the folded threshold and
+                        // writes the output already pressed.
+                        let st = SignThresholds::from_fold(&fold, params.kh * params.kw * in_c);
+                        let scratch = slot_specs.len();
+                        slot_specs.push(SlotSpec::Vec { len: *k });
+                        let out = slot_specs.len();
+                        slot_specs.push(SlotSpec::Bit {
+                            h: oh + 2 * out_pad,
+                            w: ow + 2 * out_pad,
+                            c: *k,
+                        });
+                        ops.push(RtOp::ConvSign {
+                            name: name.clone(),
+                            bank,
+                            st,
+                            stride: params.stride,
+                            level,
+                            input,
+                            scratch,
+                            out,
+                            out_pad,
+                        });
+                        out
+                    } else {
+                        // Unfused reference dataflow: conv → float count
+                        // map, then a separate BN+sign pass re-reads it.
+                        let counts = slot_specs.len();
+                        slot_specs.push(SlotSpec::Map {
+                            h: oh,
+                            w: ow,
+                            c: *k,
+                        });
+                        let out = slot_specs.len();
+                        slot_specs.push(SlotSpec::Bit {
+                            h: oh + 2 * out_pad,
+                            w: ow + 2 * out_pad,
+                            c: *k,
+                        });
+                        ops.push(RtOp::ConvFloat {
+                            name: name.clone(),
+                            bank,
+                            stride: params.stride,
+                            level,
+                            input,
+                            out: counts,
+                        });
+                        ops.push(RtOp::BnSign {
+                            name: format!("{name}:bnsign"),
+                            thresholds: fold.thresholds,
+                            flip: fold.flip,
+                            input: counts,
+                            out,
+                            out_pad,
+                        });
+                        out
+                    };
                     cur = CurSlot::Bit(out);
                 }
                 (LayerSpec::Pool { name, params }, LayerWeights::Pool) => {
@@ -498,7 +574,10 @@ impl CompiledModel {
                         });
                         cur = CurSlot::Packed(usize::MAX); // terminal
                     } else {
-                        let fold = bn.fold();
+                        // The FC dots are integer-valued (n − 2·popcount),
+                        // so the same popcount-domain epilogue applies with
+                        // window width n.
+                        let st = SignThresholds::from_fold(&bn.fold(), *n);
                         let scratch = slot_specs.len();
                         slot_specs.push(SlotSpec::Vec { len: *k });
                         let out = slot_specs.len();
@@ -506,8 +585,7 @@ impl CompiledModel {
                         ops.push(RtOp::FcSign {
                             name: name.clone(),
                             weights: weights_packed,
-                            thresholds: fold.thresholds,
-                            flip: fold.flip,
+                            st,
                             level,
                             input: fc_in,
                             scratch,
@@ -524,6 +602,7 @@ impl CompiledModel {
         let logits_slot = slot_specs.len() - 1;
         Ok(Self {
             spec: spec.clone(),
+            plan,
             ops,
             slot_specs,
             logits_slot,
@@ -545,6 +624,17 @@ impl CompiledModel {
             Ok(model) => model,
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The execution plan this engine compiled to — introspection for
+    /// tests and tools asserting exactly which Conv→BN→Sign chains fused.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Names of convs whose sign epilogue fused, in execution order.
+    pub fn fused_conv_names(&self) -> Vec<&str> {
+        self.plan.fused_convs()
     }
 
     /// Allocates a fresh inference session: every activation/scratch buffer
@@ -617,8 +707,9 @@ impl CompiledModel {
     /// many effective xor+popcount bit-operations one call performs, how
     /// many bytes it moves, and (for GEMM-backed ops) the bgemm tile shape.
     /// Pure geometry — computed once here so the serving hot path records
-    /// nothing but latency.
-    fn op_descriptors(&self) -> Vec<OpDescriptor> {
+    /// nothing but latency. Public so roofline/regression gates can compare
+    /// fused vs. unfused bytes-moved without enabling telemetry.
+    pub fn op_descriptors(&self) -> Vec<OpDescriptor> {
         self.ops
             .iter()
             .map(|op| {
@@ -662,6 +753,39 @@ impl CompiledModel {
                             },
                         )
                     }
+                    RtOp::ConvFloat {
+                        bank, input, out, ..
+                    } => {
+                        let f = bank.shape();
+                        let cw = bank.c_words();
+                        let (oh, ow) = match self.slot_specs[*out] {
+                            SlotSpec::Map { h, w, .. } => (h, w),
+                            _ => (0, 0),
+                        };
+                        let window_bits = (f.kh * f.kw * cw * 64) as u64;
+                        (
+                            OpKind::Conv,
+                            OpCost {
+                                bit_ops: 2 * (oh * ow * f.k) as u64 * window_bits,
+                                bytes_read: (slot_bytes(&self.slot_specs[*input])
+                                    + f.k * f.kh * f.kw * cw * 8)
+                                    as u64,
+                                // The float count map the fused epilogue
+                                // never materializes.
+                                bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                                tile: None,
+                            },
+                        )
+                    }
+                    RtOp::BnSign { input, out, .. } => (
+                        OpKind::Binarize,
+                        OpCost {
+                            bit_ops: 0,
+                            bytes_read: slot_bytes(&self.slot_specs[*input]) as u64,
+                            bytes_written: slot_bytes(&self.slot_specs[*out]) as u64,
+                            tile: None,
+                        },
+                    ),
                     RtOp::Pool { input, out, .. } => (
                         OpKind::Pool,
                         OpCost {
@@ -1061,8 +1185,7 @@ impl CompiledModel {
             }
             RtOp::ConvSign {
                 bank,
-                thresholds,
-                flip,
+                st,
                 stride,
                 level,
                 input: in_slot,
@@ -1072,46 +1195,71 @@ impl CompiledModel {
                 ..
             } => {
                 if parallel {
-                    // Two-pass: parallel conv into float counts, then
-                    // threshold-binarize into the padded output.
-                    let (inp, scr) = two_slots(slots, *in_slot, *scratch);
-                    pressed_conv_parallel_into(
+                    // Fused conv + integer sign epilogue, padded output
+                    // rows over the installed rayon pool (each worker
+                    // carries its own window of dots).
+                    let (inp, dst) = two_slots(slots, *in_slot, *out);
+                    pressed_conv_sign_parallel_into(
                         *level,
                         inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
                         bank,
                         *stride,
-                        scr.map_mut().map_err(slot_type(op_name, SlotKind::Map))?,
-                    );
-                    let (scr, dst) = two_slots(slots, *scratch, *out);
-                    binarize_threshold_into(
-                        scr.map().map_err(slot_type(op_name, SlotKind::Map))?,
-                        thresholds,
-                        flip,
+                        st,
                         dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
                         *out_pad,
                     );
                 } else {
-                    // Fused single pass (conv + BN-threshold + sign + pack),
-                    // borrowing the first k floats of the layer's scratch
-                    // map as the per-window dot buffer so the request
+                    // Fused single pass (conv + integer threshold + sign +
+                    // pack), borrowing the layer's k-float scratch vector
+                    // as the per-window dot buffer so the request
                     // allocates nothing.
                     let (inp, scr, dst) = three_slots(slots, *in_slot, *scratch, *out);
-                    let dots = scr
-                        .map_mut()
-                        .map_err(slot_type(op_name, SlotKind::Map))?
-                        .data_mut();
+                    let dots = scr.vec_mut().map_err(slot_type(op_name, SlotKind::Vec))?;
                     pressed_conv_sign_scratch_into(
                         *level,
                         inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?,
                         bank,
                         *stride,
-                        thresholds,
-                        flip,
+                        st,
                         dots,
                         dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
                         *out_pad,
                     );
                 }
+            }
+            RtOp::ConvFloat {
+                bank,
+                stride,
+                level,
+                input: in_slot,
+                out,
+                ..
+            } => {
+                let (inp, dst) = two_slots(slots, *in_slot, *out);
+                let input = inp.bit().map_err(slot_type(op_name, SlotKind::Bit))?;
+                let counts = dst.map_mut().map_err(slot_type(op_name, SlotKind::Map))?;
+                if parallel {
+                    pressed_conv_parallel_into(*level, input, bank, *stride, counts);
+                } else {
+                    pressed_conv_into(*level, input, bank, *stride, counts);
+                }
+            }
+            RtOp::BnSign {
+                thresholds,
+                flip,
+                input: in_slot,
+                out,
+                out_pad,
+                ..
+            } => {
+                let (src, dst) = two_slots(slots, *in_slot, *out);
+                binarize_threshold_into(
+                    src.map().map_err(slot_type(op_name, SlotKind::Map))?,
+                    thresholds,
+                    flip,
+                    dst.bit_mut().map_err(slot_type(op_name, SlotKind::Bit))?,
+                    *out_pad,
+                );
             }
             RtOp::Pool {
                 kh,
@@ -1147,8 +1295,7 @@ impl CompiledModel {
             }
             RtOp::FcSign {
                 weights,
-                thresholds,
-                flip,
+                st,
                 level,
                 input: fc_in,
                 scratch,
@@ -1160,10 +1307,9 @@ impl CompiledModel {
                 let packed = dst
                     .packed_mut()
                     .map_err(slot_type(op_name, SlotKind::Packed))?;
-                pack_signed_thresholds(
+                pack_signed_dots_into(
                     scr.vec().map_err(slot_type(op_name, SlotKind::Vec))?,
-                    thresholds,
-                    flip,
+                    st,
                     packed.row_mut(0),
                 );
             }
@@ -1414,17 +1560,6 @@ fn reflatten(src: &BitTensor, dst: &mut PackedMatrix) {
                 }
                 bit += 1;
             }
-        }
-    }
-}
-
-/// Threshold-sign + pack a float vector (the FC analogue of the conv path).
-fn pack_signed_thresholds(xs: &[f32], thresholds: &[f32], flip: &[bool], out: &mut [u64]) {
-    out.fill(0);
-    for (i, &x) in xs.iter().enumerate() {
-        let bit = (x >= thresholds[i]) ^ flip[i];
-        if bit {
-            out[i / 64] |= 1 << (i % 64);
         }
     }
 }

@@ -14,6 +14,226 @@
 
 use crate::spec::{LayerIo, LayerSpec, NetworkSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Compile-time planning options, shared by [`MemoryPlan`] and
+/// [`crate::engine::CompiledModel`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Fuse Conv→BN→Sign chains into a single integer-threshold node
+    /// (default). When false every conv materializes its float count map
+    /// and a separate BN+sign pass re-reads it — the paper's unfused
+    /// reference dataflow, kept as an A/B and debugging path.
+    pub fuse: bool,
+    /// Conv layers whose float output is observed by something other than
+    /// the following BN+sign (e.g. a profiling tap). Fusion would make the
+    /// float map unobservable, so these chains are never fused.
+    pub float_taps: BTreeSet<String>,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            fuse: true,
+            float_taps: BTreeSet::new(),
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Options honoring the `BITFLOW_FUSE` environment variable
+    /// (`0`/`false`/`off`/`no` disable fusion; anything else, or unset,
+    /// enables it).
+    pub fn from_env() -> Self {
+        Self {
+            fuse: fuse_enabled_from(std::env::var("BITFLOW_FUSE").ok().as_deref()),
+            ..Self::default()
+        }
+    }
+
+    /// The unfused reference plan (equivalent to `BITFLOW_FUSE=0`).
+    pub fn unfused() -> Self {
+        Self {
+            fuse: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Interprets a `BITFLOW_FUSE` value: unset means fused; only explicit
+/// `0`/`false`/`off`/`no` (case-insensitive) disable it.
+pub fn fuse_enabled_from(v: Option<&str>) -> bool {
+    match v {
+        None => true,
+        Some(s) => !matches!(
+            s.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+    }
+}
+
+/// One node of the compiled execution plan — the introspectable shape of
+/// what [`crate::engine::CompiledModel`] will run, before slot assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanNode {
+    /// Binarize + press the float input tensor.
+    BinarizeInput,
+    /// Binary convolution. `fused_sign == true` means the BN+sign epilogue
+    /// runs inside the conv on the integer dot products and the output is
+    /// written already pressed; `false` means the conv writes a float count
+    /// map consumed by a separate [`PlanNode::BnSign`].
+    Conv {
+        /// Layer name from the spec.
+        name: String,
+        /// Whether the sign epilogue is fused into the conv.
+        fused_sign: bool,
+    },
+    /// Standalone BN-threshold + sign + pack pass over a float count map
+    /// (only present in unfused plans or behind float taps).
+    BnSign {
+        /// Name of the conv layer whose counts this binarizes.
+        name: String,
+    },
+    /// Binary max-pool.
+    Pool {
+        /// Layer name from the spec.
+        name: String,
+    },
+    /// Hidden fully-connected layer: binary GEMV + BN+sign back to bits.
+    FcSign {
+        /// Layer name from the spec.
+        name: String,
+    },
+    /// Final fully-connected layer emitting float logits (the softmax
+    /// tail). Never fused: its float output *is* the network's result.
+    FcOut {
+        /// Layer name from the spec.
+        name: String,
+    },
+}
+
+impl PlanNode {
+    /// The spec layer this node belongs to, if any.
+    pub fn layer_name(&self) -> Option<&str> {
+        match self {
+            PlanNode::BinarizeInput => None,
+            PlanNode::Conv { name, .. }
+            | PlanNode::BnSign { name }
+            | PlanNode::Pool { name }
+            | PlanNode::FcSign { name }
+            | PlanNode::FcOut { name } => Some(name),
+        }
+    }
+}
+
+/// The execution plan: the op chain after the fusion pass, exposed for
+/// plan introspection (tests assert exactly which chains fused).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecPlan {
+    nodes: Vec<PlanNode>,
+}
+
+impl ExecPlan {
+    /// Builds the plan for `spec`: expands every conv into the unfused
+    /// Conv+BnSign pair, then (when `opts.fuse`) collapses each legal
+    /// Conv→BN→Sign chain into a fused conv node.
+    ///
+    /// Fusion legality: the chain's float count map must have exactly one
+    /// consumer — the BN+sign that immediately follows it. Convs named in
+    /// `opts.float_taps` keep their float map observable and stay unfused;
+    /// the final FC (softmax tail) is never a candidate because its float
+    /// output is the network's result.
+    pub fn build(spec: &NetworkSpec, opts: &PlanOptions) -> Self {
+        let mut nodes = vec![PlanNode::BinarizeInput];
+        let last = spec.layers.len().saturating_sub(1);
+        for (i, layer) in spec.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Conv { name, .. } => {
+                    nodes.push(PlanNode::Conv {
+                        name: name.clone(),
+                        fused_sign: false,
+                    });
+                    nodes.push(PlanNode::BnSign { name: name.clone() });
+                }
+                LayerSpec::Pool { name, .. } => {
+                    nodes.push(PlanNode::Pool { name: name.clone() });
+                }
+                LayerSpec::Fc { name, .. } => {
+                    if i == last {
+                        nodes.push(PlanNode::FcOut { name: name.clone() });
+                    } else {
+                        nodes.push(PlanNode::FcSign { name: name.clone() });
+                    }
+                }
+            }
+        }
+        let mut plan = Self { nodes };
+        if opts.fuse {
+            plan.fuse(&opts.float_taps);
+        }
+        plan
+    }
+
+    /// The fusion pass: rewrites each `Conv{fused_sign: false}` directly
+    /// followed by its own `BnSign` into `Conv{fused_sign: true}`, unless
+    /// the conv's float output has another consumer (`float_taps`).
+    fn fuse(&mut self, float_taps: &BTreeSet<String>) {
+        let mut fused = Vec::with_capacity(self.nodes.len());
+        let nodes = std::mem::take(&mut self.nodes);
+        let mut iter = nodes.into_iter().peekable();
+        while let Some(node) = iter.next() {
+            match node {
+                PlanNode::Conv {
+                    name,
+                    fused_sign: false,
+                } if !float_taps.contains(&name)
+                    && matches!(iter.peek(), Some(PlanNode::BnSign { name: bn }) if *bn == name) =>
+                {
+                    iter.next(); // consume the BnSign — it runs inside the conv now
+                    fused.push(PlanNode::Conv {
+                        name,
+                        fused_sign: true,
+                    });
+                }
+                other => fused.push(other),
+            }
+        }
+        self.nodes = fused;
+    }
+
+    /// The node chain, in execution order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Names of convs whose sign epilogue fused, in execution order.
+    pub fn fused_convs(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                PlanNode::Conv {
+                    name,
+                    fused_sign: true,
+                } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of convs still running the two-pass float dataflow.
+    pub fn unfused_convs(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                PlanNode::Conv {
+                    name,
+                    fused_sign: false,
+                } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
 
 /// One planned buffer.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,9 +268,17 @@ pub struct MemoryPlan {
 
 impl MemoryPlan {
     /// Plans the binary engine's buffers for `spec` (mirrors
-    /// [`crate::engine::Network::compile`]'s allocations).
+    /// [`crate::engine::Network::compile`]'s allocations) under the
+    /// environment's planning options (`BITFLOW_FUSE`).
     pub fn for_binary(spec: &NetworkSpec) -> Self {
+        Self::for_binary_with(spec, &PlanOptions::from_env())
+    }
+
+    /// Plans the binary engine's buffers for `spec` under explicit options.
+    pub fn for_binary_with(spec: &NetworkSpec, opts: &PlanOptions) -> Self {
         let shapes = spec.infer_shapes();
+        let plan = ExecPlan::build(spec, opts);
+        let fused: BTreeSet<&str> = plan.fused_convs().into_iter().collect();
         let mut buffers = Vec::new();
         // Input pressed buffer (padded for layer 0).
         let pad0 = spec.layers.first().map_or(0, LayerSpec::input_pad);
@@ -64,12 +292,19 @@ impl MemoryPlan {
             let out_pad = spec.layers.get(i + 1).map_or(0, LayerSpec::input_pad);
             match (layer, shapes[i]) {
                 (LayerSpec::Conv { name, k, .. }, LayerIo::Map { h, w, .. }) => {
-                    // Scratch float counts + pressed signed output.
+                    // Scratch floats + pressed signed output. A fused conv
+                    // only needs one window of dots (k floats) — the whole
+                    // h·w·k count map disappears from the plan.
+                    let scratch_elems = if fused.contains(name.as_str()) {
+                        *k
+                    } else {
+                        h * w * k
+                    };
                     buffers.push(PlannedBuffer {
                         producer: name.clone(),
                         kind: BufferKind::FloatMap,
-                        logical_elems: h * w * k,
-                        bytes: h * w * k * 4,
+                        logical_elems: scratch_elems,
+                        bytes: scratch_elems * 4,
                     });
                     buffers.push(PlannedBuffer {
                         producer: name.clone(),
@@ -167,13 +402,18 @@ mod tests {
 
     #[test]
     fn vgg16_activation_memory_reasonable() {
-        let plan = MemoryPlan::for_binary(&vgg16());
+        let plan = MemoryPlan::for_binary_with(&vgg16(), &PlanOptions::unfused());
         let mb = plan.total_bytes() as f64 / (1024.0 * 1024.0);
-        // Dominated by the conv scratch float maps (largest: 112·112·128
-        // floats ≈ 6.1 MB) plus pressed maps ≈ a few hundred KB each.
+        // Unfused: dominated by the conv scratch float maps (largest:
+        // 112·112·128 floats ≈ 6.1 MB) plus pressed maps ≈ a few hundred
+        // KB each.
         assert!(mb < 64.0, "plan too large: {mb} MB");
         assert!(plan.total_bytes() > 0);
         assert!(plan.float_equivalent_bytes() > plan.total_bytes() / 4);
+        // Fused: the h·w·k count maps collapse to one window of dots per
+        // conv — the plan must shrink substantially.
+        let fused = MemoryPlan::for_binary_with(&vgg16(), &PlanOptions::default());
+        assert!(fused.total_bytes() * 2 < plan.total_bytes());
     }
 
     #[test]
@@ -181,5 +421,52 @@ mod tests {
         let plan = MemoryPlan::for_binary(&small_cnn());
         let names: Vec<&str> = plan.buffers.iter().map(|b| b.producer.as_str()).collect();
         assert_eq!(names, vec!["input", "conv1", "conv1", "pool1", "fc1"]);
+    }
+
+    #[test]
+    fn fuse_env_parsing() {
+        assert!(fuse_enabled_from(None));
+        assert!(fuse_enabled_from(Some("1")));
+        assert!(fuse_enabled_from(Some("yes")));
+        assert!(fuse_enabled_from(Some("")));
+        assert!(!fuse_enabled_from(Some("0")));
+        assert!(!fuse_enabled_from(Some("false")));
+        assert!(!fuse_enabled_from(Some(" OFF ")));
+        assert!(!fuse_enabled_from(Some("no")));
+    }
+
+    #[test]
+    fn exec_plan_fuses_linear_chain() {
+        let spec = small_cnn();
+        let fused = ExecPlan::build(&spec, &PlanOptions::default());
+        assert_eq!(fused.fused_convs(), vec!["conv1"]);
+        assert!(fused.unfused_convs().is_empty());
+        assert!(!fused
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, PlanNode::BnSign { .. })));
+
+        let unfused = ExecPlan::build(&spec, &PlanOptions::unfused());
+        assert!(unfused.fused_convs().is_empty());
+        assert_eq!(unfused.unfused_convs(), vec!["conv1"]);
+        assert!(unfused
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, PlanNode::BnSign { name } if name == "conv1")));
+    }
+
+    #[test]
+    fn float_tap_blocks_fusion_of_that_conv_only() {
+        let spec = vgg16();
+        let mut opts = PlanOptions::default();
+        opts.float_taps.insert("conv2.1".into());
+        let plan = ExecPlan::build(&spec, &opts);
+        assert_eq!(plan.unfused_convs(), vec!["conv2.1"]);
+        assert_eq!(plan.fused_convs().len(), 12);
+        // The tapped conv keeps its standalone BnSign consumer.
+        assert!(plan
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, PlanNode::BnSign { name } if name == "conv2.1")));
     }
 }

@@ -473,4 +473,79 @@ mod tests {
             "ε must actually reach the fold"
         );
     }
+
+    #[test]
+    fn negative_gamma_flips_comparison_direction() {
+        use bitflow_ops::binary::{PopCmp, SignThresholds};
+        // γ = −1, σ² = 1 − ε ⇒ s = −1 exactly ⇒ t = mean − β/s = mean + β.
+        // With β = 0 the threshold is exactly the (integer) mean, making
+        // the tie reachable by an integer dot product.
+        let bn = BnParams {
+            gamma: vec![-1.0],
+            beta: vec![0.0],
+            mean: vec![3.0],
+            var: vec![1.0 - DEFAULT_BN_EPS],
+            eps: DEFAULT_BN_EPS,
+        };
+        let fold = bn.fold();
+        assert_eq!(fold.thresholds, vec![3.0]);
+        assert_eq!(fold.flip, vec![true]);
+        // Fold semantics: +1 iff x <= t, equality included — BN(3) = 0 and
+        // sign(0) = +1.
+        let n = 9usize; // window of 9 bits: dots in {−9,−7,…,7,9} ∪ parity
+        let st = SignThresholds::from_fold(&fold, n);
+        assert_eq!(st.direction(0), PopCmp::Ge, "negative γ compares downward");
+        assert!(st.bit_from_dot(0, 3), "tie x == t is +1");
+        assert!(st.bit_from_dot(0, 1), "below t is +1 when flipped");
+        assert!(!st.bit_from_dot(0, 5), "above t is −1 when flipped");
+    }
+
+    #[test]
+    fn out_of_range_thresholds_saturate_to_constant_channels() {
+        use bitflow_ops::binary::SignThresholds;
+        let n = 27usize;
+        // β so large the threshold leaves the reachable dot range [−n, n]
+        // in both directions, for both signs of γ.
+        let bn = BnParams {
+            gamma: vec![1.0, 1.0, -1.0, -1.0],
+            beta: vec![1e6, -1e6, 1e6, -1e6],
+            mean: vec![0.0; 4],
+            var: vec![1.0 - DEFAULT_BN_EPS; 4],
+            eps: DEFAULT_BN_EPS,
+        };
+        let st = SignThresholds::from_fold(&bn.fold(), n);
+        // BN(x) = s·x + β − s·mean: once |β| dwarfs the reachable dot
+        // range the activation is sign(β) for every input, whatever γ's
+        // sign — the integer bound must saturate to a constant channel.
+        assert!(st.always_pos(0) && !st.always_neg(0), "γ>0, β≫0: always +1");
+        assert!(st.always_neg(1) && !st.always_pos(1), "γ>0, β≪0: never +1");
+        assert!(st.always_pos(2) && !st.always_neg(2), "γ<0, β≫0: always +1");
+        assert!(st.always_neg(3) && !st.always_pos(3), "γ<0, β≪0: never +1");
+        for dot in [-(n as i64), -1, 0, 1, n as i64] {
+            assert!(st.bit_from_dot(0, dot));
+            assert!(!st.bit_from_dot(1, dot));
+            assert!(st.bit_from_dot(2, dot));
+            assert!(!st.bit_from_dot(3, dot));
+        }
+    }
+
+    #[test]
+    fn zero_gamma_is_constant_sign_of_beta() {
+        use bitflow_ops::binary::SignThresholds;
+        let bn = BnParams {
+            gamma: vec![0.0, 0.0, 0.0],
+            beta: vec![2.5, -2.5, 0.0],
+            mean: vec![7.0; 3],
+            var: vec![1.0; 3],
+            eps: DEFAULT_BN_EPS,
+        };
+        let fold = bn.fold();
+        // Zero scale degenerates to sign(β); sign(0) = +1.
+        let st = SignThresholds::from_fold(&fold, 9);
+        for dot in [-9i64, -3, 0, 3, 9] {
+            assert!(st.bit_from_dot(0, dot), "β>0 is always +1");
+            assert!(!st.bit_from_dot(1, dot), "β<0 is always −1");
+            assert!(st.bit_from_dot(2, dot), "β=0 is +1 (sign(0) = +1)");
+        }
+    }
 }

@@ -44,9 +44,10 @@ pub fn binarize_pack_into(t: &Tensor, out: &mut BitTensor, pad: usize) {
     }
 }
 
-/// Per-channel threshold binarization: bit c = `(x_c >= thresholds[c]) ^ flip[c]`,
-/// packed into the interior of a padded pressed tensor. This is `sign∘BN`
-/// after [`fold_bn_into_thresholds`].
+/// Per-channel threshold binarization: bit c = `x_c >= thresholds[c]`, or
+/// `x_c <= thresholds[c]` for flipped (negative-scale) channels, packed
+/// into the interior of a padded pressed tensor. This is `sign∘BN` after
+/// [`fold_bn_into_thresholds`].
 pub fn binarize_threshold_padded(
     t: &Tensor,
     thresholds: &[f32],
@@ -87,7 +88,11 @@ pub fn binarize_threshold_into(
                 let hi = (lo + 64).min(s.c);
                 let mut v = 0u64;
                 for c in lo..hi {
-                    let bit = (src[c] >= thresholds[c]) ^ flip[c];
+                    let bit = if flip[c] {
+                        src[c] <= thresholds[c]
+                    } else {
+                        src[c] >= thresholds[c]
+                    };
                     v |= (bit as u64) << (c - lo);
                 }
                 *word = v;
@@ -101,9 +106,11 @@ pub fn binarize_threshold_into(
 #[derive(Clone, Debug, PartialEq)]
 pub struct BnFold {
     /// Per-channel thresholds `t_c` such that `sign(BN(x)) = +1 ⇔
-    /// (x >= t_c) ^ flip_c`.
+    /// x >= t_c` (or `x <= t_c` for flipped channels).
     pub thresholds: Vec<f32>,
-    /// Channels whose BN scale is negative, inverting the comparison.
+    /// Channels whose BN scale is negative, inverting the comparison
+    /// direction: the activation is +1 iff `x <= t_c`, equality included
+    /// (sign(0) = +1 on both sides of the fold).
     pub flip: Vec<bool>,
 }
 
@@ -133,13 +140,11 @@ pub fn fold_bn_into_thresholds(
             thresholds.push(mean[i] - beta[i] / s);
             flip.push(false);
         } else if s < 0.0 {
-            // s·x + b >= 0  ⇔  x <= −b/s = mean − beta/s ⇔ !(x > t)
-            // We encode `x <= t` as `!(x >= t')` with t' infinitesimally
-            // above t; for the discrete integer dot products BNN layers
-            // produce, `x <= t ⇔ !(x >= t + 1)`, but to stay exact for
-            // arbitrary floats we use `(x >= t) ^ flip` with the convention
-            // that equality goes to the flipped side. Training uses strict
-            // margins so the measure-zero tie case does not arise.
+            // s·x + b >= 0  ⇔  x <= −b/s + mean = mean − beta/s. The
+            // consumer compares `x <= t` for flipped channels, so equality
+            // lands on the +1 side exactly like the unflipped case — the
+            // tie matters for the integer dot products BNN layers produce,
+            // where `x == t` is reachable whenever t is an integer.
             thresholds.push(mean[i] - beta[i] / s);
             flip.push(true);
         } else {
@@ -185,13 +190,22 @@ mod tests {
 
     #[test]
     fn threshold_binarize_semantics() {
-        let t = Tensor::from_vec(vec![0.5, -0.5, 3.0, 1.0], Shape::hwc(1, 1, 4), Layout::Nhwc);
-        let out =
-            binarize_threshold_padded(&t, &[0.0, -1.0, 5.0, 1.0], &[false, true, false, false], 0);
+        let t = Tensor::from_vec(
+            vec![0.5, -0.5, 3.0, 1.0, -1.0],
+            Shape::hwc(1, 1, 5),
+            Layout::Nhwc,
+        );
+        let out = binarize_threshold_padded(
+            &t,
+            &[0.0, -1.0, 5.0, 1.0, -1.0],
+            &[false, true, false, false, true],
+            0,
+        );
         assert_eq!(out.get(0, 0, 0), 1); // 0.5 >= 0
-        assert_eq!(out.get(0, 0, 1), -1); // -0.5 >= -1 flipped
+        assert_eq!(out.get(0, 0, 1), -1); // -0.5 > -1, flipped: not <=
         assert_eq!(out.get(0, 0, 2), -1); // 3 < 5
-        assert_eq!(out.get(0, 0, 3), 1); // 1 >= 1
+        assert_eq!(out.get(0, 0, 3), 1); // 1 >= 1: tie is +1
+        assert_eq!(out.get(0, 0, 4), 1); // -1 <= -1 flipped: tie is +1 too
     }
 
     #[test]

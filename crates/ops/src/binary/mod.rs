@@ -9,6 +9,9 @@
 //! * [`fc`] — binary fully-connected over `bitflow-gemm`'s bgemm.
 //! * [`pool`] — binary max-pool: OR over pressed words (§III-C).
 //! * [`binarize`] — fused sign+pack operators and batch-norm folding.
+//! * [`epilogue`] — integer-threshold conv epilogues: the folded BN+sign
+//!   moved into the popcount domain so fused convs never materialize a
+//!   float map.
 //!
 //! ## Padding semantics
 //!
@@ -21,6 +24,7 @@
 //! reference input with −1.0 explicitly.
 
 pub mod binarize;
+pub mod epilogue;
 pub mod fc;
 pub mod im2col_conv;
 pub mod pool;
@@ -30,10 +34,11 @@ pub use binarize::{
     binarize_pack, binarize_pack_into, binarize_pack_padded, binarize_threshold_into,
     binarize_threshold_padded, fold_bn_into_thresholds, BnFold,
 };
+pub use epilogue::{pack_signed_dots_into, ConvEpilogue, PopCmp, SignThresholds};
 pub use fc::{binary_fc, binary_fc_parallel, BinaryFcWeights};
 pub use im2col_conv::binary_conv_im2col;
 pub use pool::{binary_max_pool, binary_max_pool_into, binary_max_pool_parallel};
 pub use pressed_conv::{
     pressed_conv, pressed_conv_into, pressed_conv_parallel, pressed_conv_parallel_into,
-    pressed_conv_sign_into, pressed_conv_sign_scratch_into,
+    pressed_conv_sign_into, pressed_conv_sign_parallel_into, pressed_conv_sign_scratch_into,
 };

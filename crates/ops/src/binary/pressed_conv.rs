@@ -14,6 +14,7 @@
 //! pressed channel words inside [`bitflow_simd::xor_popcount`]; multi-core
 //! parallelism runs over the fused H×W output-pixel range.
 
+use crate::binary::epilogue::SignThresholds;
 use bitflow_simd::conv::{conv_window as simd_conv_window, WindowGeom};
 use bitflow_simd::kernels::SimdLevel;
 use bitflow_tensor::{BitFilterBank, BitTensor, Layout, Shape, Tensor};
@@ -152,54 +153,47 @@ pub fn pressed_conv_parallel_into(
         });
 }
 
-/// Fused PressedConv + per-channel threshold binarization, writing packed
+/// Fused PressedConv + integer-threshold sign epilogue, writing packed
 /// bits straight into the **interior** of a pre-zeroed padded output
 /// [`BitTensor`] — the producer side of zero-cost padding (paper Fig. 5):
-/// the next layer reads `out` directly, margins already "padded".
+/// the next layer reads `out` directly, margins already "padded", and no
+/// float intermediate map is ever materialized.
 ///
-/// For output feature k: bit = `dot_k >= thresholds[k]`, with
-/// `flip[k]` inverting the comparison for negative batch-norm scales
-/// (see [`crate::binary::binarize::fold_bn_into_thresholds`]).
-#[allow(clippy::too_many_arguments)]
+/// For output feature k the sign bit is decided on the integer dot product
+/// via [`SignThresholds::bit_from_dot`] — an exact popcount-domain compare
+/// derived from the folded batch-norm (negative scales flip the comparison
+/// direction, see [`crate::binary::epilogue`]).
 pub fn pressed_conv_sign_into(
     level: SimdLevel,
     input: &BitTensor,
     filters: &BitFilterBank,
     stride: usize,
-    thresholds: &[f32],
-    flip: &[bool],
+    st: &SignThresholds,
     out: &mut BitTensor,
     out_pad: usize,
 ) {
     let mut dots = vec![0.0f32; filters.shape().k];
-    pressed_conv_sign_scratch_into(
-        level, input, filters, stride, thresholds, flip, &mut dots, out, out_pad,
-    );
+    pressed_conv_sign_scratch_into(level, input, filters, stride, st, &mut dots, out, out_pad);
 }
 
 /// [`pressed_conv_sign_into`] with a caller-provided per-window scratch
 /// buffer (at least `k` floats) — the truly allocation-free engine path:
-/// the engine lends the first `k` floats of the layer's float scratch slot
-/// instead of allocating a fresh dot vector per request.
+/// the engine lends the layer's float scratch vector instead of allocating
+/// a fresh dot buffer per request.
 #[allow(clippy::too_many_arguments)]
 pub fn pressed_conv_sign_scratch_into(
     level: SimdLevel,
     input: &BitTensor,
     filters: &BitFilterBank,
     stride: usize,
-    thresholds: &[f32],
-    flip: &[bool],
+    st: &SignThresholds,
     dots: &mut [f32],
     out: &mut BitTensor,
     out_pad: usize,
 ) {
     let (out_h, out_w) = geometry(input, filters, stride);
     let k = filters.shape().k;
-    assert_eq!(thresholds.len(), k, "one threshold per output feature");
-    assert_eq!(flip.len(), k, "one flip flag per output feature");
-    assert_eq!(out.c(), k, "output channel count");
-    assert_eq!(out.h(), out_h + 2 * out_pad, "output height incl. padding");
-    assert_eq!(out.w(), out_w + 2 * out_pad, "output width incl. padding");
+    check_sign_geometry(filters, st, out, out_h, out_w, out_pad);
     assert!(dots.len() >= k, "scratch must hold one dot per feature");
     let dots = &mut dots[..k];
     let c_words = out.c_words();
@@ -207,24 +201,90 @@ pub fn pressed_conv_sign_scratch_into(
         for ox in 0..out_w {
             conv_window(level, input, filters, oy * stride, ox * stride, dots);
             let base = out.pixel_words_index(oy + out_pad, ox + out_pad);
-            let words = &mut out.words_mut()[base..base + c_words];
-            for (wi, word) in words.iter_mut().enumerate() {
-                let mut w = 0u64;
-                let lo = wi * 64;
-                let hi = (lo + 64).min(k);
-                for kk in lo..hi {
-                    let bit = (dots[kk] >= thresholds[kk]) ^ flip[kk];
-                    w |= (bit as u64) << (kk - lo);
-                }
-                *word = w;
-            }
+            sign_pack_pixel(dots, st, &mut out.words_mut()[base..base + c_words]);
         }
+    }
+}
+
+/// Multi-threaded fused PressedConv + sign epilogue: padded output rows are
+/// distributed over the installed rayon pool, each worker carrying its own
+/// per-window dot scratch. Bit-identical to
+/// [`pressed_conv_sign_scratch_into`] — per-pixel work is independent and
+/// every worker writes disjoint whole rows.
+pub fn pressed_conv_sign_parallel_into(
+    level: SimdLevel,
+    input: &BitTensor,
+    filters: &BitFilterBank,
+    stride: usize,
+    st: &SignThresholds,
+    out: &mut BitTensor,
+    out_pad: usize,
+) {
+    let (out_h, out_w) = geometry(input, filters, stride);
+    let k = filters.shape().k;
+    check_sign_geometry(filters, st, out, out_h, out_w, out_pad);
+    let c_words = out.c_words();
+    let row_words = (out_w + 2 * out_pad) * c_words;
+    out.words_mut()
+        .par_chunks_mut(row_words)
+        .enumerate()
+        .for_each(|(row, words)| {
+            // Margin rows stay all-zero (logical −1 padding).
+            if row < out_pad || row >= out_pad + out_h {
+                return;
+            }
+            let oy = row - out_pad;
+            let mut dots = vec![0.0f32; k];
+            for ox in 0..out_w {
+                conv_window(level, input, filters, oy * stride, ox * stride, &mut dots);
+                let base = (out_pad + ox) * c_words;
+                sign_pack_pixel(&dots, st, &mut words[base..base + c_words]);
+            }
+        });
+}
+
+/// Shared geometry checks of the fused sign variants.
+fn check_sign_geometry(
+    filters: &BitFilterBank,
+    st: &SignThresholds,
+    out: &BitTensor,
+    out_h: usize,
+    out_w: usize,
+    out_pad: usize,
+) {
+    let f = filters.shape();
+    assert_eq!(st.len(), f.k, "one threshold per output feature");
+    assert_eq!(
+        st.window_bits(),
+        f.kh * f.kw * f.c,
+        "threshold window width must match the filter window"
+    );
+    assert_eq!(out.c(), f.k, "output channel count");
+    assert_eq!(out.h(), out_h + 2 * out_pad, "output height incl. padding");
+    assert_eq!(out.w(), out_w + 2 * out_pad, "output width incl. padding");
+}
+
+/// Packs one pixel's K dot products into `c_words` output words using the
+/// integer sign epilogue.
+#[inline]
+fn sign_pack_pixel(dots: &[f32], st: &SignThresholds, words: &mut [u64]) {
+    let k = dots.len();
+    for (wi, word) in words.iter_mut().enumerate() {
+        let mut w = 0u64;
+        let lo = wi * 64;
+        let hi = (lo + 64).min(k);
+        for (i, &dot) in dots[lo..hi].iter().enumerate() {
+            let bit = st.bit_from_dot(lo + i, dot as i64);
+            w |= (bit as u64) << i;
+        }
+        *word = w;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binary::binarize::BnFold;
     use crate::float::conv::conv_direct;
     use crate::params::ConvParams;
     use bitflow_tensor::FilterShape;
@@ -371,23 +431,24 @@ mod tests {
         let bank = BitFilterBank::from_floats(&weights, fshape);
         let thresholds: Vec<f32> = (0..k).map(|i| (i as f32) - 35.0).collect();
         let flip: Vec<bool> = (0..k).map(|i| i % 7 == 0).collect();
+        let fold = BnFold {
+            thresholds: thresholds.clone(),
+            flip: flip.clone(),
+        };
+        let st = SignThresholds::from_fold(&fold, 3 * 3 * 64);
         let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
         let mut out = BitTensor::zeros(6 + 2, 6 + 2, k);
-        pressed_conv_sign_into(
-            SimdLevel::Avx512,
-            &pressed,
-            &bank,
-            1,
-            &thresholds,
-            &flip,
-            &mut out,
-            1,
-        );
+        pressed_conv_sign_into(SimdLevel::Avx512, &pressed, &bank, 1, &st, &mut out, 1);
         assert!(out.tail_is_zero());
         for h in 0..6 {
             for w in 0..6 {
                 for kk in 0..k {
-                    let bit = (counts.at(0, h, w, kk) >= thresholds[kk]) ^ flip[kk];
+                    let x = counts.at(0, h, w, kk);
+                    let bit = if flip[kk] {
+                        x <= thresholds[kk]
+                    } else {
+                        x >= thresholds[kk]
+                    };
                     let want = if bit { 1 } else { -1 };
                     assert_eq!(out.get(h + 1, w + 1, kk), want, "({h},{w},{kk})");
                 }
@@ -398,6 +459,29 @@ mod tests {
             assert!(out.pixel_words(0, w).iter().all(|&x| x == 0));
             assert!(out.pixel_words(7, w).iter().all(|&x| x == 0));
         }
+    }
+
+    #[test]
+    fn parallel_sign_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let shape = Shape::hwc(7, 5, 64);
+        let k = 70usize;
+        let fshape = FilterShape::new(k, 3, 3, 64);
+        let raw = Tensor::from_vec(rand_pm1(&mut rng, shape.numel()), shape, Layout::Nhwc);
+        let weights = rand_pm1(&mut rng, fshape.numel());
+        let pressed = BitTensor::from_tensor_padded(&raw, 1);
+        let bank = BitFilterBank::from_floats(&weights, fshape);
+        let fold = BnFold {
+            thresholds: (0..k).map(|i| (i as f32) - 35.0).collect(),
+            flip: (0..k).map(|i| i % 7 == 0).collect(),
+        };
+        let st = SignThresholds::from_fold(&fold, 3 * 3 * 64);
+        let mut serial = BitTensor::zeros(7 + 2, 5 + 2, k);
+        pressed_conv_sign_into(SimdLevel::Avx512, &pressed, &bank, 1, &st, &mut serial, 1);
+        let mut par = BitTensor::zeros(7 + 2, 5 + 2, k);
+        pressed_conv_sign_parallel_into(SimdLevel::Avx512, &pressed, &bank, 1, &st, &mut par, 1);
+        assert_eq!(serial.words(), par.words());
+        assert!(par.tail_is_zero());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use bitflow_ops::binary::{
     binarize_threshold_padded, binary_conv_im2col, binary_max_pool, pressed_conv,
-    pressed_conv_sign_into,
+    pressed_conv_sign_into, BnFold, SignThresholds,
 };
 use bitflow_ops::float::{conv_direct, conv_im2col, max_pool};
 use bitflow_ops::{ConvParams, SimdLevel};
@@ -171,10 +171,9 @@ proptest! {
         let counts = pressed_conv(SimdLevel::Avx512, &pressed, &bank, 1);
         let want = binarize_threshold_padded(&counts, &thresholds, &flip, out_pad);
 
+        let st = SignThresholds::from_fold(&BnFold { thresholds, flip }, 3 * 3 * c);
         let mut got = BitTensor::zeros(h + 2 * out_pad, w + 2 * out_pad, k);
-        pressed_conv_sign_into(
-            SimdLevel::Avx512, &pressed, &bank, 1, &thresholds, &flip, &mut got, out_pad,
-        );
+        pressed_conv_sign_into(SimdLevel::Avx512, &pressed, &bank, 1, &st, &mut got, out_pad);
         prop_assert_eq!(got.words(), want.words());
         prop_assert!(got.tail_is_zero());
     }

@@ -61,6 +61,10 @@ fi
 echo "==> cargo test -q (tier-1: root suite incl. differential/golden/no-alloc harnesses)"
 cargo test -q
 
+echo "==> fusion gate: fused-vs-unfused differential + BITFLOW_FUSE=0 golden replay"
+cargo test -q --test fusion_differential
+BITFLOW_FUSE=0 cargo test -q --test golden_snapshot --test fusion_differential
+
 echo "==> BITFLOW_BENCH_QUICK=1 cargo test -q --workspace (all crates, bench in quick mode)"
 BITFLOW_BENCH_QUICK=1 cargo test -q --workspace
 

@@ -17,7 +17,7 @@
 use bitflow_graph::models::{small_cnn, vgg16};
 use bitflow_graph::spec::NetworkSpec;
 use bitflow_graph::weights::NetworkWeights;
-use bitflow_graph::CompiledModel;
+use bitflow_graph::{CompiledModel, PlanOptions};
 use bitflow_tensor::{Layout, Tensor};
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::PathBuf;
@@ -44,9 +44,15 @@ fn golden_path(name: &str) -> PathBuf {
 
 /// Runs the example recipe: seeded weights, then the image from the same rng.
 fn run_recipe(spec: &NetworkSpec, seed: u64) -> Vec<f32> {
+    run_recipe_with(spec, seed, &PlanOptions::from_env())
+}
+
+/// Same recipe under an explicit plan — lets the suite pin both the fused
+/// (default) and unfused (`BITFLOW_FUSE=0`) dataflows to golden digests.
+fn run_recipe_with(spec: &NetworkSpec, seed: u64, opts: &PlanOptions) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
     let weights = NetworkWeights::random(spec, &mut rng);
-    let model = CompiledModel::compile(spec, &weights);
+    let model = CompiledModel::try_compile_with(spec, &weights, opts).expect("golden compile");
     let image = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
     let mut ctx = model.new_context();
     model.try_infer(&mut ctx, &image).expect("golden inference")
@@ -86,6 +92,21 @@ fn vgg16_logits_reproduce_exactly() {
     let logits = run_recipe(&spec, 7);
     assert_eq!(logits.len(), 1000);
     check_golden("vgg16", &logits);
+}
+
+/// The unfused (`BITFLOW_FUSE=0`) plan has its own golden rows — and because
+/// the fused integer epilogue is bit-identical to the float threshold pass,
+/// they pin the *same* digests as the fused recipes above. A divergence in
+/// either direction (fused drifts, or fusion stops being exact) trips one of
+/// the two rows.
+#[test]
+fn unfused_plan_reproduces_same_goldens() {
+    let quick = run_recipe_with(&small_cnn(), 42, &PlanOptions::unfused());
+    check_golden("quickstart_small_cnn_unfused", &quick);
+    check_golden("quickstart_small_cnn", &quick);
+    let vgg = run_recipe_with(&vgg16(), 7, &PlanOptions::unfused());
+    check_golden("vgg16_unfused", &vgg);
+    check_golden("vgg16", &vgg);
 }
 
 #[test]

@@ -57,7 +57,16 @@ fn compiled(seed: u64) -> Arc<CompiledModel> {
     let spec = small_cnn();
     let mut rng = StdRng::seed_from_u64(seed);
     let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
-    Arc::new(CompiledModel::compile(&spec, &weights))
+    let model = CompiledModel::compile(&spec, &weights);
+    // The soak's oracle replays the served logits against this same plan;
+    // under the default env that plan must be the fused one.
+    if bitflow_graph::fuse_enabled_from(std::env::var("BITFLOW_FUSE").ok().as_deref()) {
+        assert!(
+            !model.fused_conv_names().is_empty(),
+            "net soak expected a fused plan"
+        );
+    }
+    Arc::new(model)
 }
 
 /// Client-side view of one request's fate.

@@ -60,7 +60,16 @@ fn compiled_small_cnn(seed: u64) -> (Arc<CompiledModel>, Vec<Tensor>) {
     let inputs: Vec<Tensor> = (0..DISTINCT_INPUTS)
         .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
         .collect();
-    (Arc::new(CompiledModel::compile(&spec, &weights)), inputs)
+    let model = CompiledModel::compile(&spec, &weights);
+    // The soak exercises the production plan: under the default env the
+    // serving path must run the fused Conv→BN→Sign epilogue.
+    if bitflow_graph::fuse_enabled_from(std::env::var("BITFLOW_FUSE").ok().as_deref()) {
+        assert!(
+            !model.fused_conv_names().is_empty(),
+            "serving soak expected a fused plan"
+        );
+    }
+    (Arc::new(model), inputs)
 }
 
 /// Waits for a handle with a watchdog: a request that does not resolve

@@ -10,11 +10,12 @@
 //! FC, and the end-to-end `try_infer` / `try_infer_batch` serving calls.
 
 use bitflow_graph::models::small_cnn;
-use bitflow_graph::weights::NetworkWeights;
-use bitflow_graph::CompiledModel;
+use bitflow_graph::weights::{BnParams, NetworkWeights};
+use bitflow_graph::{CompiledModel, PlanOptions};
 use bitflow_ops::binary::{
     binary_fc, binary_fc_parallel, binary_max_pool, binary_max_pool_parallel, pressed_conv,
-    pressed_conv_parallel, BinaryFcWeights,
+    pressed_conv_parallel, pressed_conv_sign_into, pressed_conv_sign_parallel_into,
+    BinaryFcWeights, SignThresholds,
 };
 use bitflow_simd::kernels::SimdLevel;
 use bitflow_simd::VectorScheduler;
@@ -64,6 +65,38 @@ fn pressed_conv_invariant_across_pools() {
             got.max_abs_diff(&serial),
             0.0,
             "pressed_conv diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fused_conv_sign_invariant_across_pools() {
+    // The fused Conv→BN→Sign kernel writes pressed words directly; its
+    // parallel variant splits on output rows, so the packed bits must be
+    // identical regardless of pool width.
+    let mut rng = StdRng::seed_from_u64(16);
+    let shape = Shape::hwc(9, 9, 128);
+    let fshape = FilterShape::new(70, 3, 3, 128);
+    let input = Tensor::from_vec(pm1_vec(&mut rng, shape.numel()), shape, Layout::Nhwc);
+    let weights = pm1_vec(&mut rng, fshape.numel());
+    let pressed = BitTensor::from_tensor_padded(&input, 1);
+    let bank = BitFilterBank::from_floats(&weights, fshape);
+    let level = host_level(128);
+    let bn = BnParams::random(70, &mut rng);
+    let st = SignThresholds::from_fold(&bn.fold(), 3 * 3 * 128);
+
+    let mut serial = BitTensor::zeros(11, 11, 70);
+    pressed_conv_sign_into(level, &pressed, &bank, 1, &st, &mut serial, 1);
+    for threads in POOLS {
+        let got = in_pool(threads, || {
+            let mut out = BitTensor::zeros(11, 11, 70);
+            pressed_conv_sign_parallel_into(level, &pressed, &bank, 1, &st, &mut out, 1);
+            out
+        });
+        assert_eq!(
+            got.words(),
+            serial.words(),
+            "fused conv+sign diverges at {threads} threads"
         );
     }
 }
@@ -124,6 +157,36 @@ fn engine_infer_invariant_across_pools() {
             model.try_infer(&mut ctx, &input).expect("parallel infer")
         });
         assert_eq!(got, serial, "try_infer diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn unfused_engine_infer_invariant_across_pools() {
+    // The `BITFLOW_FUSE=0` dataflow (parallel float conv, then a separate
+    // threshold binarize) must be just as thread-invariant as the fused
+    // default — and agree with it bit-for-bit.
+    let spec = small_cnn();
+    let mut rng = StdRng::seed_from_u64(17);
+    let weights = NetworkWeights::random_with_bn(&spec, &mut rng);
+    let fused = CompiledModel::try_compile_with(&spec, &weights, &PlanOptions::default())
+        .expect("fused compile");
+    let unfused = CompiledModel::try_compile_with(&spec, &weights, &PlanOptions::unfused())
+        .expect("unfused compile");
+    let input = Tensor::random(spec.input, Layout::Nhwc, &mut rng);
+
+    let mut ctx = fused.new_context();
+    let serial = fused.try_infer(&mut ctx, &input).expect("fused serial");
+
+    for threads in POOLS {
+        let got = in_pool(threads, || {
+            let mut ctx = unfused.new_context();
+            ctx.parallel = true;
+            unfused.try_infer(&mut ctx, &input).expect("unfused infer")
+        });
+        assert_eq!(
+            got, serial,
+            "unfused parallel plan diverges at {threads} threads"
+        );
     }
 }
 
