@@ -100,6 +100,7 @@ fn run_config(
             },
             chaos: None,
             default_deadline: None,
+            recorder: None,
         },
     );
 

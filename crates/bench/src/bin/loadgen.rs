@@ -375,6 +375,7 @@ fn main() {
             },
             chaos: None,
             default_deadline: None,
+            recorder: None,
         },
     ));
     let net = NetServer::bind(Arc::clone(&server), NetConfig::default()).expect("bind loopback");

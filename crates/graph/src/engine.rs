@@ -42,10 +42,10 @@ use bitflow_simd::kernels::SimdLevel;
 use bitflow_simd::scheduler::VectorScheduler;
 use bitflow_telemetry::{
     MetricsSnapshot, ModelTelemetry, OpCost, OpDescriptor, OpKind, OpSpan, RequestTrace, SpanSink,
-    TileStats,
+    TileStats, TraceBuilder,
 };
 use bitflow_tensor::{BitFilterBank, BitTensor, FilterShape, Layout, Shape, Tensor};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -71,6 +71,11 @@ thread_local! {
     /// Request tag of the inference run on this thread ([`UNTAGGED`] when
     /// none), maintained by [`InferTagGuard`] and handed to fault hooks.
     static CURRENT_TAG: Cell<u64> = const { Cell::new(UNTAGGED) };
+    /// Request-scoped [`TraceBuilder`] active on this thread (none when
+    /// tracing is off), maintained by [`TraceScopeGuard`]. Like the tag,
+    /// it travels with each [`BatchItem`] so operator spans land in the
+    /// right request even on rayon workers.
+    static CURRENT_TRACE: RefCell<Option<Arc<TraceBuilder>>> = const { RefCell::new(None) };
 }
 
 /// RAII guard that tags every operator executed on this thread with a
@@ -91,6 +96,34 @@ pub fn enter_infer_tag(tag: u64) -> InferTagGuard {
 impl Drop for InferTagGuard {
     fn drop(&mut self) {
         CURRENT_TAG.with(|c| c.set(self.prev));
+    }
+}
+
+/// RAII guard that scopes a request's [`TraceBuilder`] to the current
+/// thread (restoring the previous one on drop, so nested scopes compose).
+/// While a scope is active, every operator the engine runs on this thread
+/// pushes an [`OpSpan`] into the builder.
+pub struct TraceScopeGuard {
+    prev: Option<Arc<TraceBuilder>>,
+}
+
+/// Makes `trace` the current thread's request trace for the guard's
+/// lifetime.
+pub fn enter_trace_scope(trace: Arc<TraceBuilder>) -> TraceScopeGuard {
+    let prev = CURRENT_TRACE.with(|c| c.replace(Some(trace)));
+    TraceScopeGuard { prev }
+}
+
+/// The request trace scoped to this thread, if any. Cost when tracing is
+/// off: one thread-local borrow and an `Option` clone of `None`.
+#[must_use]
+pub fn current_trace() -> Option<Arc<TraceBuilder>> {
+    CURRENT_TRACE.with(|c| c.borrow().clone())
+}
+
+impl Drop for TraceScopeGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| *c.borrow_mut() = self.prev.take());
     }
 }
 
@@ -193,6 +226,10 @@ pub struct BatchItem<'a> {
     /// Request tag reported to the installed [`FaultHook`] (use
     /// [`UNTAGGED`] for none).
     pub tag: u64,
+    /// Request trace to collect this item's operator spans into (`None`
+    /// when tracing is off). Entered via [`enter_trace_scope`] on whatever
+    /// rayon worker runs the item.
+    pub trace: Option<Arc<TraceBuilder>>,
 }
 
 /// Attaches layer context to a slot-kind mismatch, making it a
@@ -869,12 +906,28 @@ impl CompiledModel {
     ) -> Result<Vec<f32>, BitFlowError> {
         self.check_request(ctx, input)?;
         match self.telemetry.get() {
-            None => {
-                for i in 0..self.ops.len() {
-                    cancel.check()?;
-                    self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+            None => match current_trace() {
+                None => {
+                    for i in 0..self.ops.len() {
+                        cancel.check()?;
+                        self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+                    }
                 }
-            }
+                Some(tb) => {
+                    for i in 0..self.ops.len() {
+                        cancel.check()?;
+                        let start_ns = tb.now_ns();
+                        let t0 = Instant::now();
+                        self.run_op(&mut ctx.slots, ctx.parallel, i, input)?;
+                        tb.push_op(OpSpan {
+                            op_index: i as u64,
+                            name: self.ops[i].name().to_string(),
+                            start_ns,
+                            duration_ns: t0.elapsed().as_nanos() as u64,
+                        });
+                    }
+                }
+            },
             Some(t) => self.run_ops_recorded(t, ctx, input, cancel)?,
         }
         Ok(ctx.slots[self.logits_slot]
@@ -900,7 +953,9 @@ impl CompiledModel {
         cancel: &CancelToken,
     ) -> Result<(), BitFlowError> {
         let request_id = t.next_request_id();
-        let tracing = t.tracing_enabled();
+        let trace = current_trace();
+        let sink_tracing = t.tracing_enabled();
+        let tracing = sink_tracing || trace.is_some();
         let mut spans = Vec::new();
         let t_request = Instant::now();
         t.perf_request_scope(|| -> Result<(), BitFlowError> {
@@ -914,18 +969,27 @@ impl CompiledModel {
                     spans.push(OpSpan {
                         op_index: i as u64,
                         name: self.ops[i].name().to_string(),
+                        start_ns: t0.saturating_duration_since(t_request).as_nanos() as u64,
                         duration_ns: ns,
                     });
                 }
             }
             Ok(())
         })?;
-        if tracing {
-            t.record_request(&RequestTrace {
-                request_id,
-                total_ns: t_request.elapsed().as_nanos() as u64,
-                spans,
-            });
+        let total_ns = t_request.elapsed().as_nanos() as u64;
+        if let Some(tb) = &trace {
+            // Re-base the op spans from this request's start onto the
+            // trace's own origin (the connection accept / enqueue time).
+            let base = tb.offset_ns(t_request);
+            for s in &spans {
+                tb.push_op(OpSpan {
+                    start_ns: base.saturating_add(s.start_ns),
+                    ..s.clone()
+                });
+            }
+        }
+        if sink_tracing {
+            t.record_request(&RequestTrace::new(request_id, total_ns, spans));
         }
         Ok(())
     }
@@ -1075,10 +1139,14 @@ impl CompiledModel {
                 for (j, o) in outs.iter_mut().enumerate() {
                     let item = &items[ci * chunk + j];
                     let result = self.catch_fault(|| {
-                        // Guard inside the catch: a panicking hook unwinds
-                        // through the guard's Drop, restoring the tag
-                        // before the next item runs on this worker.
+                        // Guards inside the catch: a panicking hook unwinds
+                        // through the guards' Drops, restoring the tag and
+                        // trace before the next item runs on this worker.
                         let _tag = enter_infer_tag(item.tag);
+                        let _trace = item
+                            .trace
+                            .as_ref()
+                            .map(|tb| enter_trace_scope(Arc::clone(tb)));
                         self.try_infer_cancellable(&mut ctx, item.input, item.cancel)
                     });
                     if matches!(result, Err(BitFlowError::Internal(_))) {
@@ -1982,6 +2050,68 @@ mod tests {
     }
 
     #[test]
+    fn trace_scope_collects_op_spans_without_telemetry() {
+        let (spec, weights, input) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        let tb = Arc::new(bitflow_telemetry::TraceBuilder::new("req-a"));
+        {
+            let _scope = enter_trace_scope(Arc::clone(&tb));
+            let mut ctx = model.new_context();
+            model.infer(&mut ctx, &input);
+        }
+        assert!(current_trace().is_none(), "guard restores the empty scope");
+        let trace = tb.finish();
+        assert_eq!(trace.spans.len(), spec.layers.len() + 2);
+        assert_eq!(trace.spans[0].name, "binarize-input");
+        for w in trace.spans.windows(2) {
+            assert!(
+                w[0].start_ns <= w[1].start_ns,
+                "op spans run in sequence on one thread"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_items_carry_their_traces_onto_workers() {
+        let (spec, weights, _) = setup();
+        let model = CompiledModel::compile(&spec, &weights);
+        // Telemetry on: op spans flow through `run_ops_recorded`, which
+        // must re-base them onto each trace's own origin.
+        model.enable_telemetry();
+        let mut rng = StdRng::seed_from_u64(23);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::random(spec.input, Layout::Nhwc, &mut rng))
+            .collect();
+        let builders: Vec<Arc<bitflow_telemetry::TraceBuilder>> = (0..4)
+            .map(|i| Arc::new(bitflow_telemetry::TraceBuilder::new(format!("req-{i}"))))
+            .collect();
+        let none = CancelToken::none();
+        let items: Vec<BatchItem<'_>> = inputs
+            .iter()
+            .zip(&builders)
+            .enumerate()
+            .map(|(i, (input, tb))| BatchItem {
+                input,
+                cancel: &none,
+                tag: i as u64,
+                trace: Some(Arc::clone(tb)),
+            })
+            .collect();
+        let results = model.try_infer_batch_cancellable(&items);
+        assert!(results.iter().all(Result::is_ok));
+        for (i, tb) in builders.iter().enumerate() {
+            let trace = tb.finish();
+            assert_eq!(trace.id, format!("req-{i}"));
+            assert_eq!(
+                trace.spans.len(),
+                spec.layers.len() + 2,
+                "item {i} must collect exactly its own op spans"
+            );
+        }
+        assert!(current_trace().is_none());
+    }
+
+    #[test]
     fn enable_telemetry_is_idempotent() {
         let (spec, weights, _) = setup();
         let model = CompiledModel::compile(&spec, &weights);
@@ -2016,6 +2146,7 @@ mod tests {
                 input,
                 cancel,
                 tag: i as u64,
+                trace: None,
             })
             .collect();
         let results = model.try_infer_batch_cancellable(&items);
@@ -2057,6 +2188,7 @@ mod tests {
                 input,
                 cancel: &none,
                 tag: 100 + i as u64,
+                trace: None,
             })
             .collect();
         let results = model.try_infer_batch_cancellable(&items);

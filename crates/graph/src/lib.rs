@@ -46,8 +46,8 @@ pub mod weights;
 
 pub use cancel::CancelToken;
 pub use engine::{
-    enter_infer_tag, BatchItem, CompiledModel, FaultHook, FloatNetwork, InferTagGuard,
-    InferenceContext, Network, UNTAGGED,
+    current_trace, enter_infer_tag, enter_trace_scope, BatchItem, CompiledModel, FaultHook,
+    FloatNetwork, InferTagGuard, InferenceContext, Network, TraceScopeGuard, UNTAGGED,
 };
 pub use error::{
     BitFlowError, InputGeometry, RejectReason, SlotKind, SlotTypeError, SpecError, WeightMismatch,

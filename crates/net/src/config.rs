@@ -29,6 +29,17 @@ pub struct NetConfig {
     /// How long a graceful shutdown waits for open connections to finish
     /// their in-flight request before giving up on them.
     pub drain_timeout: Duration,
+    /// Expose the live debug routes (`GET /debug/trace`,
+    /// `GET /debug/requests/{id}`). Off by default: until enabled the
+    /// routes 404 exactly like any unknown path, so production instances
+    /// leak nothing. The routes additionally require the serving runtime
+    /// to carry a flight recorder (`BITFLOW_TRACE=1`), else they `503`.
+    pub debug_endpoints: bool,
+    /// Emit a `server-timing` header on `POST /v1/infer` responses with
+    /// the request's queue/exec/total durations from its trace. Off by
+    /// default; enabling it opens a per-request trace even without a
+    /// flight recorder.
+    pub server_timing: bool,
 }
 
 impl Default for NetConfig {
@@ -41,6 +52,8 @@ impl Default for NetConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(5),
+            debug_endpoints: false,
+            server_timing: false,
         }
     }
 }
@@ -55,6 +68,10 @@ impl NetConfig {
     /// * `BITFLOW_NET_READ_TIMEOUT_MS` — body-read deadline.
     /// * `BITFLOW_NET_WRITE_TIMEOUT_MS` — response-write deadline.
     /// * `BITFLOW_NET_DRAIN_TIMEOUT_MS` — graceful-shutdown drain budget.
+    /// * `BITFLOW_NET_DEBUG` — truthy (`1`/`true`/`on`/`yes`) exposes the
+    ///   `/debug/trace` and `/debug/requests/{id}` routes.
+    /// * `BITFLOW_NET_SERVER_TIMING` — truthy adds a `server-timing`
+    ///   header to inference responses.
     ///
     /// Malformed values are ignored (the default stands): configuration
     /// must never take the listener down.
@@ -85,12 +102,28 @@ impl NetConfig {
         if let Some(v) = env_u64("BITFLOW_NET_DRAIN_TIMEOUT_MS") {
             cfg.drain_timeout = Duration::from_millis(v);
         }
+        if env_flag("BITFLOW_NET_DEBUG") {
+            cfg.debug_endpoints = true;
+        }
+        if env_flag("BITFLOW_NET_SERVER_TIMING") {
+            cfg.server_timing = true;
+        }
         cfg
     }
 }
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Truthy env parse matching the recorder's `BITFLOW_TRACE` convention.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| {
+        matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        )
+    })
 }
 
 #[cfg(test)]
@@ -110,5 +143,7 @@ mod tests {
             cfg.addr.ends_with(":0"),
             "default must not squat a fixed port"
         );
+        assert!(!cfg.debug_endpoints, "debug routes must be opt-in");
+        assert!(!cfg.server_timing, "server-timing must be opt-in");
     }
 }

@@ -224,12 +224,27 @@ impl Response {
     /// always emitted so clients can frame the body and pipeline safely.
     #[must_use]
     pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        self.render(keep_alive, None)
+    }
+
+    /// [`Response::to_bytes`] plus an `x-bitflow-request-id` echo header.
+    /// The front-end routes every response through this, so clients can
+    /// correlate even errors with the id they sent (or were assigned).
+    #[must_use]
+    pub fn to_bytes_tagged(&self, keep_alive: bool, request_id: &str) -> Vec<u8> {
+        self.render(keep_alive, Some(request_id))
+    }
+
+    fn render(&self, keep_alive: bool, request_id: Option<&str>) -> Vec<u8> {
         let mut out = Vec::with_capacity(128 + self.body.len());
         out.extend_from_slice(
             format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
         );
         for (name, value) in &self.headers {
             out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if let Some(id) = request_id {
+            out.extend_from_slice(format!("x-bitflow-request-id: {id}\r\n").as_bytes());
         }
         out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
         out.extend_from_slice(
@@ -334,5 +349,18 @@ mod tests {
         assert!(String::from_utf8(closed)
             .unwrap()
             .contains("connection: close"));
+    }
+
+    #[test]
+    fn tagged_wire_form_echoes_the_request_id() {
+        let bytes = Response::new(200).text("ok").to_bytes_tagged(true, "c7-r0");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("x-bitflow-request-id: c7-r0\r\n"), "{text}");
+        assert!(
+            !String::from_utf8(Response::new(200).to_bytes(true))
+                .unwrap()
+                .contains("x-bitflow-request-id"),
+            "untagged render must not invent an id"
+        );
     }
 }

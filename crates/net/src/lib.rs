@@ -10,9 +10,20 @@
 //! * `POST /v1/infer` and `POST /v1/infer/{tenant}` — body is a BitFlow
 //!   tensor container ([`bitflow_tensor::io::encode_tensor`]); a `200`
 //!   carries the raw little-endian `f32` logits
-//!   (`content-type: application/octet-stream`) plus an
-//!   `x-bitflow-request-id` header. An optional `x-bitflow-deadline-ms`
-//!   request header sets the per-request latency budget.
+//!   (`content-type: application/octet-stream`). An optional
+//!   `x-bitflow-deadline-ms` request header sets the per-request latency
+//!   budget.
+//! * **Request ids** — every response (including errors and pre-parse
+//!   refusals) carries an `x-bitflow-request-id` header. A
+//!   client-supplied `x-bitflow-request-id` is honored when it is 1..=64
+//!   bytes of `[A-Za-z0-9._-]`; otherwise a `c{conn}-r{req}` id is
+//!   generated. The same id names the request's trace in the flight
+//!   recorder, so a client can quote it to `/debug/requests/{id}`.
+//! * **`server-timing`** ([`NetConfig::server_timing`]) — inference
+//!   responses carry `queue`/`exec`/`app` durations (milliseconds) from
+//!   the request's trace; the write stage cannot ride in its own
+//!   response and is observable as the `bitflow_stage_write_ns`
+//!   histogram instead.
 //! * Typed failures map onto wire statuses in one exhaustive match
 //!   ([`status::reject_status`] / [`status::error_status`]): queue-full
 //!   and breaker shedding are `429` with a `Retry-After` derived from the
@@ -23,6 +34,13 @@
 //! * `GET /metrics` — Prometheus text exposition of the default tenant.
 //! * `GET /healthz` — `200 ok` while the circuit breaker is closed and
 //!   the server is not draining; `503` otherwise.
+//! * `GET /debug/trace` and `GET /debug/requests/{id}`
+//!   ([`NetConfig::debug_endpoints`], default off — the routes `404`
+//!   like any unknown path until enabled) — live extraction from the
+//!   flight recorder: the full retained dump as a JSON trace list (or a
+//!   Perfetto-loadable Chrome trace document with `?format=chrome`), and
+//!   one trace looked up by request id. `503` when the serving runtime
+//!   carries no recorder (`BITFLOW_TRACE` unset).
 //!
 //! ## Hostile-client hardening
 //!

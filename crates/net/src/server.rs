@@ -28,7 +28,9 @@ use std::time::{Duration, Instant};
 
 use bitflow_graph::{BitFlowError, RejectReason};
 use bitflow_serve::{ChaosConfig, Server};
-use bitflow_telemetry::{MetricsSnapshot, ServeGauges};
+use bitflow_telemetry::{
+    to_chrome_trace, FlightRecorder, MetricsSnapshot, ServeGauges, Stage, TraceBuilder,
+};
 
 use crate::config::NetConfig;
 use crate::http::{self, ParseError, Response};
@@ -56,6 +58,19 @@ struct NetShared {
     open_conns: AtomicUsize,
     conn_ids: AtomicU64,
     gauges: Arc<ServeGauges>,
+    /// The serving runtime's flight recorder, if tracing is enabled.
+    /// Finished traces for every request on this listener are offered
+    /// here; the debug routes read it back.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl NetShared {
+    /// Whether a per-request trace should be opened at all: either a
+    /// recorder wants finished traces, or `server-timing` needs the
+    /// stage durations.
+    fn tracing(&self) -> bool {
+        self.recorder.is_some() || self.config.server_timing
+    }
 }
 
 /// Decrements the open-connection count when a handler thread exits —
@@ -81,6 +96,7 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let gauges = server.gauges();
         let chaos = server.chaos().cloned();
+        let recorder = server.recorder();
         let shared = Arc::new(NetShared {
             config,
             server,
@@ -89,6 +105,7 @@ impl NetServer {
             open_conns: AtomicUsize::new(0),
             conn_ids: AtomicU64::new(0),
             gauges,
+            recorder,
         });
         let loop_shared = Arc::clone(&shared);
         let accept = thread::Builder::new()
@@ -238,17 +255,48 @@ enum RouteOutcome {
     Close,
 }
 
+/// A client-supplied `x-bitflow-request-id` is honored when it is 1..=64
+/// bytes of `[A-Za-z0-9._-]`; anything else (or no header) is replaced
+/// with a generated `c{conn}-r{req}` id. The charset/length bound keeps
+/// hostile ids out of response headers and the flight recorder.
+fn wire_request_id(head: &http::Head, conn: u64, req_no: u64) -> String {
+    head.header("x-bitflow-request-id")
+        .map(str::trim)
+        .filter(|v| {
+            (1..=64).contains(&v.len())
+                && v.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        })
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("c{conn}-r{req_no}"))
+}
+
+/// Records a trace for a request refused before (or while) parsing its
+/// head, so HTTP-layer failures are visible in the flight recorder too.
+fn offer_refused(shared: &NetShared, wire_id: String, from: Instant, status: u16) {
+    if let Some(rec) = &shared.recorder {
+        let tb = TraceBuilder::with_origin(wire_id, from);
+        tb.stage(Stage::Parse, from, Instant::now());
+        tb.set_outcome(&format!("http:{status}"));
+        rec.offer(tb.finish());
+    }
+}
+
 fn handle_conn(shared: &Arc<NetShared>, mut stream: TcpStream, conn: u64) {
+    let accepted_at = Instant::now();
     let mut buf: Vec<u8> = Vec::new();
     let mut read_no: u64 = 0;
     let mut req_no: u64 = 0;
     loop {
+        let head_start = Instant::now();
         let head_end = match read_head(shared, &mut stream, conn, &mut buf, &mut read_no) {
             HeadOutcome::Complete(end) => end,
             HeadOutcome::Close => return,
             HeadOutcome::Fail(status) => {
+                let wire_id = format!("c{conn}-r{req_no}");
                 let resp = Response::new(status).text(http::reason(status));
-                let _ = write_response(shared, &mut stream, conn, req_no, &resp, false);
+                let _ = write_response(shared, &mut stream, conn, req_no, &wire_id, &resp, false);
+                offer_refused(shared, wire_id, head_start, status);
                 return;
             }
         };
@@ -258,21 +306,69 @@ fn handle_conn(shared: &Arc<NetShared>, mut stream: TcpStream, conn: u64) {
             Ok(head) => head,
             Err(e) => {
                 shared.gauges.malformed_request();
+                let wire_id = format!("c{conn}-r{req_no}");
                 let resp = Response::new(400).text(&e.to_string());
-                let _ = write_response(shared, &mut stream, conn, req_no, &resp, false);
+                let _ = write_response(shared, &mut stream, conn, req_no, &wire_id, &resp, false);
+                offer_refused(shared, wire_id, head_start, 400);
                 return;
             }
         };
+        let wire_id = wire_request_id(&head, conn, req_no);
+        let parsed_at = Instant::now();
+        // The trace timeline starts when the request could first have
+        // been attributed to this connection: the accept for the first
+        // request, the start of head-reading for keep-alive successors
+        // (idle time between requests belongs to no request).
+        let trace = shared.tracing().then(|| {
+            let origin = if req_no == 0 { accepted_at } else { head_start };
+            let tb = Arc::new(TraceBuilder::with_origin(wire_id.clone(), origin));
+            if req_no == 0 {
+                tb.stage(Stage::Accept, accepted_at, head_start);
+            }
+            tb.stage(Stage::Parse, head_start, parsed_at);
+            tb
+        });
         // Draining: finish this request, but advertise (and enforce) that
         // the connection closes after it.
         let keep_alive = head.keep_alive() && !shared.shutdown.load(Ordering::Acquire);
-        let (resp, keep_alive) =
-            match route(shared, &mut stream, conn, &mut buf, &mut read_no, &head) {
-                RouteOutcome::Respond(resp) => (resp, keep_alive),
-                RouteOutcome::RespondClose(resp) => (resp, false),
-                RouteOutcome::Close => return,
-            };
-        if write_response(shared, &mut stream, conn, req_no, &resp, keep_alive).is_err() {
+        let (resp, keep_alive) = match route(
+            shared,
+            &mut stream,
+            conn,
+            &mut buf,
+            &mut read_no,
+            &head,
+            trace.as_ref(),
+        ) {
+            RouteOutcome::Respond(resp) => (resp, keep_alive),
+            RouteOutcome::RespondClose(resp) => (resp, false),
+            RouteOutcome::Close => return,
+        };
+        let write_start = Instant::now();
+        let wrote = write_response(
+            shared,
+            &mut stream,
+            conn,
+            req_no,
+            &wire_id,
+            &resp,
+            keep_alive,
+        );
+        if let Some(tb) = &trace {
+            tb.stage(Stage::Write, write_start, Instant::now());
+            // The serving runtime's verdicts (rejected:*, cancelled,
+            // error:panic, ...) take precedence; only label what no
+            // deeper layer already explained.
+            if wrote.is_err() {
+                tb.set_outcome_if_empty("error:write");
+            } else if resp.status() >= 400 {
+                tb.set_outcome_if_empty(&format!("http:{}", resp.status()));
+            }
+            if let Some(rec) = &shared.recorder {
+                rec.offer(tb.finish());
+            }
+        }
+        if wrote.is_err() {
             return;
         }
         req_no += 1;
@@ -406,20 +502,59 @@ fn route(
     buf: &mut Vec<u8>,
     read_no: &mut u64,
     head: &http::Head,
+    trace: Option<&Arc<TraceBuilder>>,
 ) -> RouteOutcome {
     let target = head.target.as_str();
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
     let is_infer = target == "/v1/infer" || target.starts_with("/v1/infer/");
+    let is_debug = path == "/debug/trace" || path.starts_with("/debug/requests/");
     match (head.method.as_str(), target) {
         ("GET", "/healthz") => RouteOutcome::Respond(healthz(shared)),
         ("GET", "/metrics") => RouteOutcome::Respond(metrics(shared)),
         (_, "/healthz" | "/metrics") => {
             RouteOutcome::Respond(Response::new(405).header("allow", "GET").text("GET only"))
         }
-        ("POST", _) if is_infer => infer(shared, stream, conn, buf, read_no, head),
+        ("POST", _) if is_infer => infer(shared, stream, conn, buf, read_no, head, trace),
         (_, _) if is_infer => {
             RouteOutcome::Respond(Response::new(405).header("allow", "POST").text("POST only"))
         }
+        (method, _) if is_debug => RouteOutcome::Respond(debug_route(shared, method, path, query)),
         _ => RouteOutcome::Respond(Response::new(404).text("no such route")),
+    }
+}
+
+/// Live trace extraction. Config-gated: unless
+/// [`NetConfig::debug_endpoints`] is set the routes answer `404` exactly
+/// like any unknown path (their existence is not leaked), and they `503`
+/// when the process carries no flight recorder to read.
+fn debug_route(shared: &NetShared, method: &str, path: &str, query: &str) -> Response {
+    if !shared.config.debug_endpoints {
+        return Response::new(404).text("no such route");
+    }
+    if method != "GET" {
+        return Response::new(405).header("allow", "GET").text("GET only");
+    }
+    let Some(rec) = &shared.recorder else {
+        return Response::new(503).text("tracing is not enabled (set BITFLOW_TRACE=1)");
+    };
+    if let Some(id) = path.strip_prefix("/debug/requests/") {
+        return match rec.find(id) {
+            Some(trace) => Response::new(200)
+                .header("content-type", "application/json")
+                .body(serde_json::to_vec(&trace).unwrap_or_default()),
+            None => Response::new(404).text("no retained trace with that id"),
+        };
+    }
+    let traces = rec.dump();
+    if query.split('&').any(|kv| kv == "format=chrome") {
+        // Perfetto / chrome://tracing loadable.
+        Response::new(200)
+            .header("content-type", "application/json")
+            .body(to_chrome_trace(&traces).into_bytes())
+    } else {
+        Response::new(200)
+            .header("content-type", "application/json")
+            .body(serde_json::to_vec(&traces).unwrap_or_default())
     }
 }
 
@@ -461,6 +596,7 @@ fn infer(
     buf: &mut Vec<u8>,
     read_no: &mut u64,
     head: &http::Head,
+    trace: Option<&Arc<TraceBuilder>>,
 ) -> RouteOutcome {
     let content_length = match head.content_length() {
         Ok(Some(n)) => n,
@@ -488,6 +624,7 @@ fn infer(
                 .text("request body exceeds the configured bound"),
         );
     }
+    let body_start = Instant::now();
     let body = match read_body(shared, stream, conn, buf, read_no, content_length) {
         Ok(body) => body,
         Err(HeadOutcome::Fail(status)) => {
@@ -495,6 +632,10 @@ fn infer(
         }
         Err(_) => return RouteOutcome::Close,
     };
+    let decode_start = Instant::now();
+    if let Some(tb) = trace {
+        tb.stage(Stage::ReadBody, body_start, decode_start);
+    }
     let tensor = match bitflow_tensor::io::decode_tensor(&body) {
         Ok(t) => t,
         Err(e) => {
@@ -510,6 +651,9 @@ fn infer(
             );
         }
     };
+    if let Some(tb) = trace {
+        tb.stage(Stage::Decode, decode_start, Instant::now());
+    }
     let deadline = head
         .header("x-bitflow-deadline-ms")
         .and_then(|v| v.trim().parse::<u64>().ok())
@@ -519,11 +663,20 @@ fn infer(
         .target
         .strip_prefix("/v1/infer/")
         .filter(|name| !name.is_empty());
+    // With a trace, submission routes through the traced entry points —
+    // the serving runtime records admit/queue/batch/exec stages and the
+    // engine its operator spans into the same builder. Deadline policy is
+    // identical either way.
     let (result, retry_hint, quota) = match tenant {
         None => (
-            match deadline {
-                Some(budget) => shared.server.submit_with_deadline(tensor, budget),
-                None => shared.server.submit(tensor),
+            match trace {
+                Some(tb) => shared
+                    .server
+                    .submit_traced(tensor, deadline, Arc::clone(tb)),
+                None => match deadline {
+                    Some(budget) => shared.server.submit_with_deadline(tensor, budget),
+                    None => shared.server.submit(tensor),
+                },
             },
             shared.server.retry_after_hint(),
             shared
@@ -537,15 +690,18 @@ fn infer(
             let Some(client) = shared.server.client(name) else {
                 return RouteOutcome::Respond(Response::new(404).text("unknown model"));
             };
-            let result = match deadline {
-                Some(budget) => client.submit_with_deadline(tensor, budget),
-                None => client.submit(tensor),
+            let result = match trace {
+                Some(tb) => client.submit_traced(tensor, deadline, Arc::clone(tb)),
+                None => match deadline {
+                    Some(budget) => client.submit_with_deadline(tensor, budget),
+                    None => client.submit(tensor),
+                },
             };
             (result, client.retry_after_hint(), client.entry().quota())
         }
     };
 
-    RouteOutcome::Respond(match result {
+    let mut resp = match result {
         Err(reason) => {
             let mut resp = Response::new(reject_status(reason))
                 .header("content-type", "application/json")
@@ -560,41 +716,76 @@ fn infer(
             }
             resp
         }
-        Ok(handle) => {
-            let id = handle.id();
-            match handle.wait() {
-                Ok(logits) => {
-                    let mut body = Vec::with_capacity(logits.len() * 4);
-                    for v in &logits {
-                        body.extend_from_slice(&v.to_le_bytes());
-                    }
-                    Response::new(200)
-                        .header("content-type", "application/octet-stream")
-                        .header("x-bitflow-request-id", id)
-                        .body(body)
+        Ok(handle) => match handle.wait() {
+            Ok(logits) => {
+                let mut body = Vec::with_capacity(logits.len() * 4);
+                for v in &logits {
+                    body.extend_from_slice(&v.to_le_bytes());
                 }
-                Err(err) => Response::new(error_status(&err))
-                    .header("content-type", "application/json")
-                    .header("x-bitflow-request-id", id)
-                    .body(serde_json::to_vec(&err).unwrap_or_default()),
+                Response::new(200)
+                    .header("content-type", "application/octet-stream")
+                    .body(body)
             }
+            Err(err) => Response::new(error_status(&err))
+                .header("content-type", "application/json")
+                .body(serde_json::to_vec(&err).unwrap_or_default()),
+        },
+    };
+    if shared.config.server_timing {
+        if let Some(tb) = trace {
+            // The write stage has not happened yet, so it cannot ride in
+            // its own response; `bitflow_stage_write_ns` covers it.
+            let ms = |ns: u64| ns as f64 / 1_000_000.0;
+            let queue = tb.stage_total_ns(Stage::QueueWait).unwrap_or(0);
+            let exec = tb.stage_total_ns(Stage::Exec).unwrap_or(0);
+            resp = resp.header(
+                "server-timing",
+                format!(
+                    "queue;dur={:.3}, exec;dur={:.3}, app;dur={:.3}",
+                    ms(queue),
+                    ms(exec),
+                    ms(tb.now_ns())
+                ),
+            );
         }
-    })
+    }
+    RouteOutcome::Respond(resp)
 }
 
 /// Writes one whole rendered response under the `write_timeout` budget,
 /// handling partial writes; a failure (peer gone, timeout, injected
 /// truncation) returns `Err` and the caller closes the connection —
-/// never a panic, never a half-tracked byte count.
+/// never a panic, never a half-tracked byte count. Every response echoes
+/// the request's wire id, and every write lands in the
+/// `bitflow_stage_write_ns` histogram whether or not the request is
+/// traced.
 fn write_response(
     shared: &NetShared,
     stream: &mut TcpStream,
     conn: u64,
     req_no: u64,
+    wire_id: &str,
     resp: &Response,
     keep_alive: bool,
 ) -> Result<(), ()> {
-    let bytes = resp.to_bytes(keep_alive);
+    let t0 = Instant::now();
+    let out = write_response_inner(shared, stream, conn, req_no, wire_id, resp, keep_alive);
+    shared
+        .gauges
+        .record_write_ns(t0.elapsed().as_nanos() as u64);
+    out
+}
+
+fn write_response_inner(
+    shared: &NetShared,
+    stream: &mut TcpStream,
+    conn: u64,
+    req_no: u64,
+    wire_id: &str,
+    resp: &Response,
+    keep_alive: bool,
+) -> Result<(), ()> {
+    let bytes = resp.to_bytes_tagged(keep_alive, wire_id);
     let mut limit = bytes.len();
     let mut truncate = false;
     if let Some(chaos) = &shared.chaos {

@@ -1,7 +1,11 @@
 //! Serving-runtime configuration: pool size, queue bound, default
-//! deadline, shedding policy, micro-batching, circuit breaker, chaos.
+//! deadline, shedding policy, micro-batching, circuit breaker, chaos,
+//! request tracing.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use bitflow_telemetry::FlightRecorder;
 
 use crate::chaos::ChaosConfig;
 
@@ -69,6 +73,13 @@ pub struct ServerConfig {
     pub breaker: BreakerConfig,
     /// Fault injection; `None` serves faithfully.
     pub chaos: Option<ChaosConfig>,
+    /// Request-lifecycle tracing sink. `None` (the default) disables
+    /// tracing entirely: no [`bitflow_telemetry::TraceBuilder`] is ever
+    /// built and the submit path stays allocation-free. With a recorder,
+    /// every request is traced (admit/queue/batch/exec stages plus the
+    /// engine's operator spans) and finished traces are offered to the
+    /// recorder's tail-sampling policy.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +93,7 @@ impl Default for ServerConfig {
             coalesce_window: Duration::ZERO,
             breaker: BreakerConfig::default(),
             chaos: None,
+            recorder: None,
         }
     }
 }
@@ -99,6 +111,9 @@ impl ServerConfig {
     ///   microseconds; `0` (default) never waits.
     /// * `BITFLOW_CHAOS` — fault injection
     ///   (`seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm]]]]`).
+    /// * `BITFLOW_TRACE` (with `BITFLOW_TRACE_SAMPLE` /
+    ///   `BITFLOW_TRACE_BYTES`) — request tracing into a bounded flight
+    ///   recorder (see [`FlightRecorder::from_env`]).
     ///
     /// Malformed values are ignored (the default stands): configuration
     /// must never take the server down.
@@ -121,6 +136,7 @@ impl ServerConfig {
             cfg.coalesce_window = Duration::from_micros(v);
         }
         cfg.chaos = ChaosConfig::from_env();
+        cfg.recorder = FlightRecorder::from_env();
         cfg
     }
 }

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 
 use bitflow_graph::engine::InferenceContext;
 use bitflow_graph::{BatchItem, BitFlowError, CancelToken, CompiledModel, RejectReason};
-use bitflow_telemetry::ServeSnapshot;
+use bitflow_telemetry::{FlightRecorder, ServeSnapshot, Stage, TraceBuilder};
 use bitflow_tensor::Tensor;
 
 use crate::chaos;
@@ -143,6 +143,16 @@ impl ResponseHandle {
     }
 }
 
+/// A request's lifecycle trace as it travels the queue. `owned` traces
+/// were opened by the server itself — finished and offered to the flight
+/// recorder when the request resolves. A front-end-opened trace
+/// (`owned == false`) is finished by the front end after the response
+/// bytes leave the process, so the write stage lands in the same trace.
+struct TraceRef {
+    tb: Arc<TraceBuilder>,
+    owned: bool,
+}
+
 /// One queued request. The model `Arc` is captured at admission: a hot
 /// swap concurrent with this request does not change the weights it runs
 /// against.
@@ -153,6 +163,13 @@ struct Request {
     input: Tensor,
     token: CancelToken,
     slot: Arc<ResponseSlot>,
+    /// When the request entered the admission queue.
+    enqueued_at: Instant,
+    /// When a worker dequeued it (= `enqueued_at` until actually popped,
+    /// so the queue-wait arithmetic is total even for evicted requests).
+    popped_at: Instant,
+    /// Lifecycle trace travelling with the request (`None`: tracing off).
+    trace: Option<TraceRef>,
 }
 
 struct QueueState {
@@ -292,7 +309,7 @@ impl Server {
     /// (if any).
     pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, RejectReason> {
         let token = self.default_token();
-        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token)
+        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token, None)
     }
 
     /// Submits to the default model with an explicit latency budget
@@ -306,6 +323,7 @@ impl Server {
             &Arc::clone(&self.shared.default_entry),
             input,
             CancelToken::with_budget(budget),
+            None,
         )
     }
 
@@ -318,7 +336,50 @@ impl Server {
         input: Tensor,
         token: CancelToken,
     ) -> Result<ResponseHandle, RejectReason> {
-        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token)
+        self.submit_inner(&Arc::clone(&self.shared.default_entry), input, token, None)
+    }
+
+    /// [`Server::submit_with_token`] with a caller-opened request trace:
+    /// the server records its admit / queue-wait / batch-formation / exec
+    /// stages (and the engine its operator spans) into `trace`, but does
+    /// **not** finish it — the caller finishes and offers it to the
+    /// recorder after the response leaves the process, so post-serve
+    /// stages land in the same trace.
+    pub fn submit_with_token_traced(
+        &self,
+        input: Tensor,
+        token: CancelToken,
+        trace: Arc<TraceBuilder>,
+    ) -> Result<ResponseHandle, RejectReason> {
+        self.submit_inner(
+            &Arc::clone(&self.shared.default_entry),
+            input,
+            token,
+            Some(trace),
+        )
+    }
+
+    /// [`Server::submit_with_token_traced`] with deadline semantics
+    /// matching the untraced entry points: `Some(budget)` behaves like
+    /// [`Server::submit_with_deadline`], `None` applies the configured
+    /// default deadline like [`Server::submit`]. This is what the network
+    /// front-end uses so enabling tracing never changes deadline policy.
+    pub fn submit_traced(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+        trace: Arc<TraceBuilder>,
+    ) -> Result<ResponseHandle, RejectReason> {
+        let token = match deadline {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => self.default_token(),
+        };
+        self.submit_inner(
+            &Arc::clone(&self.shared.default_entry),
+            input,
+            token,
+            Some(trace),
+        )
     }
 
     fn default_token(&self) -> CancelToken {
@@ -333,19 +394,54 @@ impl Server {
         entry: &Arc<ModelEntry>,
         input: Tensor,
         token: CancelToken,
+        trace: Option<Arc<TraceBuilder>>,
     ) -> Result<ResponseHandle, RejectReason> {
         let sh = &self.shared;
+        let t_submit = Instant::now();
+        // A front-end trace is adopted as-is; otherwise the server opens
+        // one itself when (and only when) a recorder is configured, so the
+        // untraced submit path allocates nothing extra.
+        let trace = match trace {
+            Some(tb) => Some(TraceRef { tb, owned: false }),
+            None => sh.config.recorder.as_ref().map(|_| TraceRef {
+                tb: Arc::new(TraceBuilder::with_origin(String::new(), t_submit)),
+                owned: true,
+            }),
+        };
+        if let Some(t) = &trace {
+            t.tb.set_tenant(entry.name());
+        }
         entry.counters().submitted();
         if sh.breaker_open() {
-            return Err(reject(entry, RejectReason::Shedding));
+            return Err(reject_traced(
+                sh,
+                entry,
+                &trace,
+                t_submit,
+                RejectReason::Shedding,
+            ));
         }
         let mut q = lock(&sh.queue);
         if q.draining {
-            return Err(reject(entry, RejectReason::Draining));
+            return Err(reject_traced(
+                sh,
+                entry,
+                &trace,
+                t_submit,
+                RejectReason::Draining,
+            ));
         }
         if q.items.len() >= sh.config.queue_capacity {
             match sh.config.shed_policy {
-                ShedPolicy::RejectNewest => return Err(reject(entry, RejectReason::QueueFull)),
+                ShedPolicy::RejectNewest => {
+                    return Err(reject_traced(
+                        sh,
+                        entry,
+                        &trace,
+                        t_submit,
+                        RejectReason::QueueFull,
+                    ))
+                }
                 ShedPolicy::DeadlineAware => {
                     let dead = q
                         .items
@@ -354,9 +450,17 @@ impl Server {
                     match dead.and_then(|i| q.items.remove(i)) {
                         Some(victim) => {
                             victim.entry.counters().dequeued();
-                            resolve_dead(&victim);
+                            resolve_dead(sh, &victim);
                         }
-                        None => return Err(reject(entry, RejectReason::QueueFull)),
+                        None => {
+                            return Err(reject_traced(
+                                sh,
+                                entry,
+                                &trace,
+                                t_submit,
+                                RejectReason::QueueFull,
+                            ))
+                        }
                     }
                 }
             }
@@ -364,10 +468,21 @@ impl Server {
         // Quota last, after every other reject: a charge is then always
         // matched by a queued request, and no reject path needs a release.
         if !entry.try_admit() {
-            return Err(reject(entry, RejectReason::QuotaExceeded));
+            return Err(reject_traced(
+                sh,
+                entry,
+                &trace,
+                t_submit,
+                RejectReason::QuotaExceeded,
+            ));
         }
         let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(ResponseSlot::default());
+        let now = Instant::now();
+        if let Some(t) = &trace {
+            t.tb.set_request_id(id);
+            t.tb.stage(Stage::Admit, t_submit, now);
+        }
         q.items.push_back(Request {
             id,
             entry: Arc::clone(entry),
@@ -375,6 +490,9 @@ impl Server {
             input,
             token: token.clone(),
             slot: Arc::clone(&slot),
+            enqueued_at: now,
+            popped_at: now,
+            trace,
         });
         entry.counters().enqueued();
         drop(q);
@@ -412,6 +530,14 @@ impl Server {
     #[must_use]
     pub fn gauges(&self) -> Arc<bitflow_telemetry::ServeGauges> {
         self.shared.default_entry.gauges()
+    }
+
+    /// The flight recorder receiving finished request traces, if tracing
+    /// is enabled — a network front-end shares it for its `/debug`
+    /// endpoints and for offering its own connection-opened traces.
+    #[must_use]
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.config.recorder.clone()
     }
 
     /// Requests currently waiting in the admission queue (all tenants).
@@ -510,7 +636,7 @@ impl ModelClient<'_> {
     /// Submits to this tenant with the server's default deadline (if any).
     pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, RejectReason> {
         let token = self.server.default_token();
-        self.server.submit_inner(&self.entry, input, token)
+        self.server.submit_inner(&self.entry, input, token, None)
     }
 
     /// Submits to this tenant with an explicit latency budget.
@@ -520,7 +646,7 @@ impl ModelClient<'_> {
         budget: Duration,
     ) -> Result<ResponseHandle, RejectReason> {
         self.server
-            .submit_inner(&self.entry, input, CancelToken::with_budget(budget))
+            .submit_inner(&self.entry, input, CancelToken::with_budget(budget), None)
     }
 
     /// Submits to this tenant with a caller-built token.
@@ -529,7 +655,35 @@ impl ModelClient<'_> {
         input: Tensor,
         token: CancelToken,
     ) -> Result<ResponseHandle, RejectReason> {
-        self.server.submit_inner(&self.entry, input, token)
+        self.server.submit_inner(&self.entry, input, token, None)
+    }
+
+    /// Submits to this tenant with a caller-opened request trace (see
+    /// [`Server::submit_with_token_traced`]).
+    pub fn submit_with_token_traced(
+        &self,
+        input: Tensor,
+        token: CancelToken,
+        trace: Arc<TraceBuilder>,
+    ) -> Result<ResponseHandle, RejectReason> {
+        self.server
+            .submit_inner(&self.entry, input, token, Some(trace))
+    }
+
+    /// Traced submission with the same deadline semantics as the untraced
+    /// entry points (see [`Server::submit_traced`]).
+    pub fn submit_traced(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+        trace: Arc<TraceBuilder>,
+    ) -> Result<ResponseHandle, RejectReason> {
+        let token = match deadline {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => self.server.default_token(),
+        };
+        self.server
+            .submit_inner(&self.entry, input, token, Some(trace))
     }
 
     /// The registry entry this client submits to.
@@ -572,17 +726,59 @@ fn reject(entry: &ModelEntry, reason: RejectReason) -> RejectReason {
     reason
 }
 
+/// [`reject`] plus trace bookkeeping: stamps the admit stage and a
+/// `rejected:*` outcome, and (for server-owned traces) finishes the trace
+/// into the recorder — so every shed admission is visible in the flight
+/// recorder, per its always-retain-errors policy.
+fn reject_traced(
+    shared: &Shared,
+    entry: &ModelEntry,
+    trace: &Option<TraceRef>,
+    t_submit: Instant,
+    reason: RejectReason,
+) -> RejectReason {
+    if let Some(t) = trace {
+        t.tb.stage(Stage::Admit, t_submit, Instant::now());
+        t.tb.set_outcome(&format!("rejected:{}", reason.label()));
+        finish_owned(shared, t);
+    }
+    reject(entry, reason)
+}
+
+/// Finishes a server-owned trace into the recorder; a front-end-owned
+/// trace is left open for the front end to finish after the write stage.
+fn finish_owned(shared: &Shared, t: &TraceRef) {
+    if t.owned {
+        if let Some(rec) = &shared.config.recorder {
+            rec.offer(t.tb.finish());
+        }
+    }
+}
+
 /// Resolves a request that died in the queue (evicted by deadline-aware
 /// shedding, or popped already-dead): caller cancellation wins over
 /// deadline expiry, mirroring [`CancelToken::check`]. Releases the
 /// request's quota charge.
-fn resolve_dead(req: &Request) {
+fn resolve_dead(shared: &Shared, req: &Request) {
+    let now = Instant::now();
+    req.entry
+        .counters()
+        .record_queue_wait_ns(now.saturating_duration_since(req.enqueued_at).as_nanos() as u64);
     if req.token.is_cancelled() {
         req.entry.counters().cancelled();
         req.slot.resolve(Err(BitFlowError::Cancelled));
     } else {
         req.entry.counters().shed_deadline();
         req.slot.resolve(Err(BitFlowError::DeadlineExceeded));
+    }
+    if let Some(t) = &req.trace {
+        t.tb.stage(Stage::QueueWait, req.enqueued_at, now);
+        t.tb.set_outcome(if req.token.is_cancelled() {
+            "cancelled"
+        } else {
+            "shed:deadline"
+        });
+        finish_owned(shared, t);
     }
     req.entry.release();
 }
@@ -650,7 +846,8 @@ fn take_compatible(q: &mut QueueState, batch: &mut Vec<Request>, max_batch: usiz
             && deadline_fits(&q.items[i].token, est);
         if fits {
             match q.items.remove(i) {
-                Some(req) => {
+                Some(mut req) => {
+                    req.popped_at = Instant::now();
                     req.entry.counters().dequeued();
                     batch.push(req);
                 }
@@ -668,7 +865,8 @@ fn take_compatible(q: &mut QueueState, batch: &mut Vec<Request>, max_batch: usiz
 fn pop_batch(shared: &Shared) -> Option<Vec<Request>> {
     let mut q = lock(&shared.queue);
     let head = loop {
-        if let Some(req) = q.items.pop_front() {
+        if let Some(mut req) = q.items.pop_front() {
+            req.popped_at = Instant::now();
             req.entry.counters().dequeued();
             break req;
         }
@@ -775,7 +973,7 @@ fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
     let mut live: Vec<Request> = Vec::with_capacity(batch.len());
     for req in batch {
         if req.token.is_cancelled() || req.token.deadline_passed() {
-            resolve_dead(&req);
+            resolve_dead(shared, &req);
         } else {
             live.push(req);
         }
@@ -784,6 +982,26 @@ fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
     let entry = Arc::clone(&head.entry);
     entry.counters().batch_served(live.len() as u64);
     let started = Instant::now();
+    // Stage accounting: queue wait (enqueue → dequeue) and batch-formation
+    // wait (dequeue → execution start) — always into the entry's
+    // histograms, and into each request's trace when tracing is on.
+    let window_us = shared.config.coalesce_window.as_micros() as u64;
+    let est_batch_ns = entry.est_batch_ns();
+    for req in &live {
+        req.entry.counters().record_queue_wait_ns(
+            req.popped_at
+                .saturating_duration_since(req.enqueued_at)
+                .as_nanos() as u64,
+        );
+        req.entry.counters().record_batch_wait_ns(
+            started.saturating_duration_since(req.popped_at).as_nanos() as u64,
+        );
+        if let Some(t) = &req.trace {
+            t.tb.stage(Stage::QueueWait, req.enqueued_at, req.popped_at);
+            t.tb.stage(Stage::BatchWait, req.popped_at, started);
+            t.tb.set_batch(live.len() as u64, window_us, est_batch_ns);
+        }
+    }
     if live.len() == 1 || !batch_parallelism_available() {
         // Singletons, and whole batches on a single-hardware-thread host:
         // serve back-to-back on this worker's cached context. The
@@ -794,10 +1012,22 @@ fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
         // (`take_compatible` groups by model), so the cache stays warm.
         for req in &live {
             let ctx = cache.ctx_for(&req.model);
+            let t0 = Instant::now();
             let result = req.model.catch_fault(|| {
                 let _tag = bitflow_graph::enter_infer_tag(req.id);
+                let _trace = req
+                    .trace
+                    .as_ref()
+                    .map(|t| bitflow_graph::enter_trace_scope(Arc::clone(&t.tb)));
                 req.model.try_infer_cancellable(ctx, &req.input, &req.token)
             });
+            let t1 = Instant::now();
+            req.entry
+                .counters()
+                .record_exec_ns(t1.saturating_duration_since(t0).as_nanos() as u64);
+            if let Some(t) = &req.trace {
+                t.tb.stage(Stage::Exec, t0, t1);
+            }
             if matches!(result, Err(BitFlowError::Internal(_))) {
                 // A panic was isolated inside inference; the cached
                 // context's scratch state is suspect.
@@ -812,13 +1042,24 @@ fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
                 input: &r.input,
                 cancel: &r.token,
                 tag: r.id,
+                trace: r.trace.as_ref().map(|t| Arc::clone(&t.tb)),
             })
             .collect();
         // Batch inference runs each chunk on its own fresh context, so a
         // panic in one item never poisons another's result — and the
         // worker's cached context is untouched.
+        let t0 = Instant::now();
         let results = head.model.try_infer_batch_cancellable(&items);
+        let t1 = Instant::now();
+        // Items run concurrently inside the engine call, so per-request
+        // exec is the whole batch's span; the operator spans inside the
+        // trace carry the item-exact timings.
+        let exec_ns = t1.saturating_duration_since(t0).as_nanos() as u64;
         for (req, result) in live.iter().zip(results) {
+            req.entry.counters().record_exec_ns(exec_ns);
+            if let Some(t) = &req.trace {
+                t.tb.stage(Stage::Exec, t0, t1);
+            }
             account(shared, req, result);
         }
     }
@@ -843,6 +1084,17 @@ fn account(shared: &Shared, req: &Request, result: Result<Vec<f32>, BitFlowError
             shared.breaker_fault();
         }
         Err(_) => req.entry.counters().failed(),
+    }
+    if let Some(t) = &req.trace {
+        if let Err(e) = &result {
+            t.tb.set_outcome(match e {
+                BitFlowError::Cancelled => "cancelled",
+                BitFlowError::DeadlineExceeded => "deadline",
+                BitFlowError::Internal(_) => "error:panic",
+                _ => "error",
+            });
+        }
+        finish_owned(shared, t);
     }
     req.slot.resolve(result);
     req.entry.release();
@@ -1309,6 +1561,82 @@ mod tests {
         assert_eq!(client_a.entry().in_flight(), 0, "quota fully released");
         assert_eq!(client_b.entry().in_flight(), 0, "quota fully released");
         drop(server);
+    }
+
+    #[test]
+    fn recorder_captures_lifecycle_stages_and_retains_errors() {
+        use bitflow_telemetry::{FlightRecorder, RecorderConfig};
+        let (model, inputs) = model_and_inputs(4);
+        let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                recorder: Some(Arc::clone(&recorder)),
+                ..ServerConfig::default()
+            },
+        );
+        assert!(server.recorder().is_some());
+        let handles: Vec<ResponseHandle> = inputs
+            .iter()
+            .take(3)
+            .map(|i| server.submit(i.clone()).expect("admitted"))
+            .collect();
+        let ids: Vec<u64> = handles.iter().map(ResponseHandle::id).collect();
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+        // A cancelled request must be retained unconditionally. The token
+        // is cancelled before submission, so the worker deterministically
+        // finds it dead on arrival.
+        let token = CancelToken::new();
+        token.cancel();
+        let doomed = server
+            .submit_with_token(inputs[3].clone(), token)
+            .expect("admitted");
+        let doomed_id = doomed.id();
+        assert!(matches!(doomed.wait(), Err(BitFlowError::Cancelled)));
+        let _ = server.shutdown();
+        let traces = recorder.dump();
+        let cancelled = traces
+            .iter()
+            .find(|t| t.request_id == doomed_id && !t.is_ok())
+            .expect("cancelled request retained by the always-keep-errors policy");
+        assert!(
+            cancelled.outcome == "cancelled" || cancelled.outcome == "shed:deadline",
+            "unexpected outcome {:?}",
+            cancelled.outcome
+        );
+        // Ok traces compete for the slow-N slots; with 4 offers and the
+        // default window they are all still candidates, so every request
+        // is visible with its full stage set.
+        for id in ids {
+            let t = traces
+                .iter()
+                .find(|t| t.request_id == id)
+                .expect("ok trace visible");
+            assert_eq!(t.tenant, crate::registry::DEFAULT_MODEL);
+            assert!(t.batch_size >= 1);
+            for stage in [
+                Stage::Admit,
+                Stage::QueueWait,
+                Stage::BatchWait,
+                Stage::Exec,
+            ] {
+                assert!(
+                    t.stages.iter().any(|s| s.stage == stage),
+                    "request {id} missing stage {stage:?} in {:?}",
+                    t.stages
+                );
+            }
+            assert!(!t.spans.is_empty(), "operator spans nested in the trace");
+            let sum: u64 = t.stages.iter().map(|s| s.duration_ns).sum();
+            assert!(
+                sum <= t.total_ns + t.total_ns / 20 + 500_000,
+                "stages (sum {sum}ns) must fit the request wall-clock ({}ns)",
+                t.total_ns
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Chrome trace-event exporter (Perfetto-loadable).
+//!
+//! Renders a set of [`RequestTrace`]s in the Trace Event Format's JSON
+//! object form (`{"traceEvents": [...]}`) using complete (`"ph": "X"`)
+//! events, which both `chrome://tracing` and <https://ui.perfetto.dev>
+//! load directly.
+//!
+//! Layout contract (what the round-trip proptest pins):
+//!
+//! * one process (`pid` 1); every trace `i` in the input slice owns three
+//!   thread lanes — `3i+1` (the whole-request span), `3i+2` (lifecycle
+//!   stages), `3i+3` (operator spans) — so the pid/tid mapping is a pure
+//!   function of the trace's position, stable across exports;
+//! * traces are laid out sequentially on the timeline (each trace's
+//!   origin starts 1 µs after the previous trace ends), so `ts` is
+//!   monotonic within every lane;
+//! * within a lane, events never overlap: spans are clamped against their
+//!   predecessor's end and against the request total, which also makes
+//!   the nesting (`request ⊇ stages ⊇ …`) literal on screen;
+//! * timestamps are microseconds (the format's unit) with nanosecond
+//!   fractions.
+
+use crate::span::RequestTrace;
+use serde::Value;
+
+/// An object value from `(key, value)` pairs, insertion-ordered.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn vstr(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// Microseconds (the trace-event unit) from nanoseconds, keeping the
+/// sub-microsecond fraction.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+/// Clamps a `(start_ns, duration_ns)` span to start at or after
+/// `prev_end` and end at or before `limit`, returning the clamped
+/// `(start, end)`.
+fn clamp_span(start_ns: u64, duration_ns: u64, prev_end: u64, limit: u64) -> (u64, u64) {
+    let start = start_ns.max(prev_end).min(limit);
+    let end = start_ns
+        .saturating_add(duration_ns)
+        .max(start)
+        .min(limit.max(start));
+    (start, end)
+}
+
+/// Renders `traces` as one Chrome trace-event JSON document.
+#[must_use]
+pub fn to_chrome_trace(traces: &[RequestTrace]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(obj(vec![
+        ("ph", vstr("M")),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(0)),
+        ("name", vstr("process_name")),
+        ("args", obj(vec![("name", vstr("bitflow"))])),
+    ]));
+    let mut origin_ns: u64 = 0;
+    for (i, t) in traces.iter().enumerate() {
+        let tid_req = (3 * i + 1) as u64;
+        let tid_stage = (3 * i + 2) as u64;
+        let tid_ops = (3 * i + 3) as u64;
+        let label = if t.id.is_empty() {
+            format!("request #{}", t.request_id)
+        } else {
+            t.id.clone()
+        };
+        for (tid, what) in [
+            (tid_req, "request"),
+            (tid_stage, "stages"),
+            (tid_ops, "ops"),
+        ] {
+            events.push(obj(vec![
+                ("ph", vstr("M")),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(tid)),
+                ("name", vstr("thread_name")),
+                (
+                    "args",
+                    obj(vec![(
+                        "name",
+                        vstr(format!("trace {i} · {label} · {what}")),
+                    )]),
+                ),
+            ]));
+        }
+        events.push(obj(vec![
+            ("ph", vstr("X")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(tid_req)),
+            ("name", vstr(label.clone())),
+            ("cat", vstr("request")),
+            ("ts", us(origin_ns)),
+            ("dur", us(t.total_ns)),
+            (
+                "args",
+                obj(vec![
+                    ("request_id", Value::UInt(t.request_id)),
+                    ("tenant", vstr(t.tenant.clone())),
+                    ("outcome", vstr(t.outcome.clone())),
+                    ("batch_size", Value::UInt(t.batch_size)),
+                    ("coalesce_window_us", Value::UInt(t.coalesce_window_us)),
+                    ("est_batch_ns", Value::UInt(t.est_batch_ns)),
+                ]),
+            ),
+        ]));
+        let mut stages = t.stages.clone();
+        stages.sort_by_key(|s| s.start_ns);
+        let mut prev_end = 0u64;
+        for s in &stages {
+            let (start, end) = clamp_span(s.start_ns, s.duration_ns, prev_end, t.total_ns);
+            prev_end = end;
+            events.push(obj(vec![
+                ("ph", vstr("X")),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(tid_stage)),
+                ("name", vstr(s.stage.as_str())),
+                ("cat", vstr("stage")),
+                ("ts", us(origin_ns + start)),
+                ("dur", us(end - start)),
+            ]));
+        }
+        let mut ops = t.spans.clone();
+        ops.sort_by_key(|s| (s.start_ns, s.op_index));
+        let mut prev_end = 0u64;
+        for s in &ops {
+            let (start, end) = clamp_span(s.start_ns, s.duration_ns, prev_end, t.total_ns);
+            prev_end = end;
+            events.push(obj(vec![
+                ("ph", vstr("X")),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(tid_ops)),
+                ("name", vstr(s.name.clone())),
+                ("cat", vstr("op")),
+                ("ts", us(origin_ns + start)),
+                ("dur", us(end - start)),
+                ("args", obj(vec![("op_index", Value::UInt(s.op_index))])),
+            ]));
+        }
+        // Next trace starts 1 µs after this one ends.
+        origin_ns = origin_ns.saturating_add(t.total_ns).saturating_add(1_000);
+    }
+    let doc = obj(vec![("traceEvents", Value::Array(events))]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{OpSpan, Stage, StageSpan};
+    use serde::Deserialize;
+
+    fn events(doc: &str) -> Vec<Value> {
+        let v: Value = serde_json::from_str(doc).expect("valid JSON");
+        match v.field("traceEvents").expect("traceEvents") {
+            Value::Array(items) => items.clone(),
+            other => panic!("expected array, found {}", other.kind()),
+        }
+    }
+
+    fn get_str(e: &Value, key: &str) -> String {
+        String::from_value(e.field(key).expect("field")).unwrap_or_default()
+    }
+
+    fn get_f64(e: &Value, key: &str) -> f64 {
+        f64::from_value(e.field(key).expect("field")).expect("number")
+    }
+
+    fn get_u64(e: &Value, key: &str) -> u64 {
+        u64::from_value(e.field(key).expect("field")).expect("integer")
+    }
+
+    fn sample() -> RequestTrace {
+        let mut t = RequestTrace::new(
+            3,
+            10_000,
+            vec![OpSpan {
+                op_index: 0,
+                name: "conv\"1\nx".to_string(),
+                start_ns: 4_000,
+                duration_ns: 2_000,
+            }],
+        );
+        t.id = "req-\"quoted\"".to_string();
+        t.tenant = "a".to_string();
+        t.outcome = "ok".to_string();
+        t.stages = vec![
+            StageSpan {
+                stage: Stage::Exec,
+                start_ns: 3_500,
+                duration_ns: 3_000,
+            },
+            StageSpan {
+                stage: Stage::Parse,
+                start_ns: 0,
+                duration_ns: 1_000,
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn export_is_valid_json_and_deterministic() {
+        let traces = vec![sample(), RequestTrace::new(4, 5_000, Vec::new())];
+        let a = to_chrome_trace(&traces);
+        let b = to_chrome_trace(&traces);
+        assert_eq!(a, b, "export must be a pure function of its input");
+        let evs = events(&a);
+        assert!(evs
+            .iter()
+            .all(|e| matches!(get_str(e, "ph").as_str(), "X" | "M")));
+        // Trace 0 owns lanes 1..=3, trace 1 owns 4..=6.
+        let max_tid = evs.iter().map(|e| get_u64(e, "tid")).max().unwrap_or(0);
+        assert_eq!(max_tid, 6);
+    }
+
+    #[test]
+    fn overlapping_stages_are_clamped_per_lane() {
+        let mut t = RequestTrace::new(1, 1_000, Vec::new());
+        t.stages = vec![
+            StageSpan {
+                stage: Stage::Parse,
+                start_ns: 0,
+                duration_ns: 600,
+            },
+            StageSpan {
+                stage: Stage::Exec,
+                start_ns: 500,       // overlaps parse by 100 ns
+                duration_ns: 10_000, // and overruns the request total
+            },
+        ];
+        let xs: Vec<(f64, f64)> = events(&to_chrome_trace(&[t]))
+            .iter()
+            .filter(|e| get_str(e, "ph") == "X" && get_str(e, "cat") == "stage")
+            .map(|e| (get_f64(e, "ts"), get_f64(e, "dur")))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        assert!(xs[0].0 + xs[0].1 <= xs[1].0 + 1e-3, "{xs:?}");
+        assert!(xs[1].0 + xs[1].1 <= 1.0 + 1e-3, "clamped to total: {xs:?}");
+    }
+
+    #[test]
+    fn empty_input_is_still_loadable() {
+        assert!(events(&to_chrome_trace(&[])).len() <= 1);
+    }
+}

@@ -16,6 +16,10 @@
 //!   [`JsonLinesSink`] streams one JSON object per request.
 //! * [`MetricsSnapshot`] — a plain-data, `serde`-serializable copy of every
 //!   counter, written by the bench bins to `results/telemetry.json`.
+//! * [`TraceBuilder`] / [`FlightRecorder`] — request-scoped lifecycle
+//!   tracing across net → serve → engine, with tail-based sampling (every
+//!   error plus the slowest N per window) under a hard byte budget, and
+//!   [`to_chrome_trace`] to export retained traces for Perfetto.
 //!
 //! ## Overhead contract
 //!
@@ -27,20 +31,27 @@
 //! allocate, but only when the installed sink asks for them
 //! ([`SpanSink::enabled`]).
 
+mod chrome;
 mod hist;
 mod metrics;
 mod prometheus;
+mod recorder;
 pub mod roofline;
 mod snapshot;
 mod span;
 
+pub use chrome::to_chrome_trace;
 pub use hist::{bucket_upper_edge, percentile_of, LatencyHistogram};
 pub use metrics::{
-    BatchGauges, ModelTelemetry, OpCost, OpDescriptor, OpKind, ServeGauges, TileStats,
+    BatchGauges, ModelTelemetry, OpCost, OpDescriptor, OpKind, ServeGauges, StageTimer, TileStats,
 };
+pub use recorder::{FlightRecorder, RecorderConfig, RecorderStats};
 pub use roofline::{BwSource, Roofline};
 pub use snapshot::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
-    ServeSnapshot, SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
-pub use span::{JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink};
+pub use span::{
+    JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink, Stage, StageSpan,
+    TraceBuilder,
+};

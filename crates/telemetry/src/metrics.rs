@@ -22,7 +22,7 @@ use std::sync::Arc;
 use crate::hist::{bucket_upper_edge, LatencyHistogram};
 use crate::snapshot::{
     BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, ServeSnapshot,
-    SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 use crate::span::{NoopSink, RequestTrace, SpanSink};
 
@@ -202,6 +202,57 @@ impl BatchGauges {
     }
 }
 
+/// One always-on request-lifecycle stage timer: a lock-free latency
+/// histogram plus a running nanosecond sum, so the Prometheus exposition
+/// can render a real histogram family (`_bucket`/`_sum`/`_count`).
+/// Recording is two relaxed `fetch_add`s — cheap enough to leave on even
+/// when tracing is off.
+#[derive(Default)]
+pub struct StageTimer {
+    hist: LatencyHistogram,
+    total_ns: AtomicU64,
+}
+
+impl StageTimer {
+    /// Records one stage duration.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.hist.record(ns);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StageSnapshot {
+        let buckets = self.hist.snapshot_buckets();
+        StageSnapshot {
+            count: self.hist.count(),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(idx, &count)| HistBucket {
+                    le_ns: bucket_upper_edge(idx),
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.hist.reset();
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for StageTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageTimer")
+            .field("count", &self.hist.count())
+            .field("total_ns", &self.total_ns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// Serving-runtime counters updated by `bitflow-serve`: admission,
 /// shedding, deadlines, worker health. All relaxed atomics — the serving
 /// hot path records into these lock-free, and the server shares one handle
@@ -237,6 +288,10 @@ pub struct ServeGauges {
     net_malformed_requests: AtomicU64,
     net_bytes_in: AtomicU64,
     net_bytes_out: AtomicU64,
+    stage_queue_wait: StageTimer,
+    stage_batch_wait: StageTimer,
+    stage_exec: StageTimer,
+    stage_write: StageTimer,
 }
 
 impl ServeGauges {
@@ -368,6 +423,32 @@ impl ServeGauges {
         self.net_bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// A request spent `ns` in the admission queue before a worker popped
+    /// it.
+    #[inline]
+    pub fn record_queue_wait_ns(&self, ns: u64) {
+        self.stage_queue_wait.record(ns);
+    }
+
+    /// A request spent `ns` between being popped and its micro-batch
+    /// starting execution (coalescing window plus dispatch).
+    #[inline]
+    pub fn record_batch_wait_ns(&self, ns: u64) {
+        self.stage_batch_wait.record(ns);
+    }
+
+    /// A request spent `ns` executing inside the engine.
+    #[inline]
+    pub fn record_exec_ns(&self, ns: u64) {
+        self.stage_exec.record(ns);
+    }
+
+    /// A response spent `ns` being written to the wire.
+    #[inline]
+    pub fn record_write_ns(&self, ns: u64) {
+        self.stage_write.record(ns);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
@@ -407,6 +488,10 @@ impl ServeGauges {
             net_malformed_requests: self.net_malformed_requests.load(Ordering::Relaxed),
             net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
             net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
+            stage_queue_wait: self.stage_queue_wait.snapshot(),
+            stage_batch_wait: self.stage_batch_wait.snapshot(),
+            stage_exec: self.stage_exec.snapshot(),
+            stage_write: self.stage_write.snapshot(),
         }
     }
 
@@ -442,6 +527,14 @@ impl ServeGauges {
         }
         for c in &self.batch_size_hist {
             c.store(0, Ordering::Relaxed);
+        }
+        for t in [
+            &self.stage_queue_wait,
+            &self.stage_batch_wait,
+            &self.stage_exec,
+            &self.stage_write,
+        ] {
+            t.reset();
         }
         // queue_depth is a live gauge, not a counter: leave it alone.
     }
@@ -913,6 +1006,30 @@ mod tests {
         assert_eq!(snap.net_accepted_conns, 0);
         assert_eq!(snap.net_bytes_in, 0);
         assert_eq!(snap.net_bytes_out, 0);
+    }
+
+    #[test]
+    fn serve_gauges_track_stage_timings() {
+        let g = ServeGauges::default();
+        g.record_queue_wait_ns(1_000);
+        g.record_queue_wait_ns(3_000);
+        g.record_batch_wait_ns(500);
+        g.record_exec_ns(10_000);
+        g.record_write_ns(200);
+        let snap = g.snapshot();
+        assert_eq!(snap.stage_queue_wait.count, 2);
+        assert_eq!(snap.stage_queue_wait.total_ns, 4_000);
+        assert_eq!(snap.stage_batch_wait.count, 1);
+        assert_eq!(snap.stage_exec.total_ns, 10_000);
+        assert_eq!(snap.stage_write.count, 1);
+        // Bucket counts reconcile with the stage count.
+        let bucketed: u64 = snap.stage_queue_wait.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucketed, 2);
+        g.reset();
+        let snap = g.snapshot();
+        assert_eq!(snap.stage_queue_wait.count, 0);
+        assert_eq!(snap.stage_exec.total_ns, 0);
+        assert!(snap.stage_write.buckets.is_empty());
     }
 
     #[test]

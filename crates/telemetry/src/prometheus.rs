@@ -411,6 +411,43 @@ impl MetricsSnapshot {
             vec![(mlab.clone(), sv.batch_size_max.to_string())],
         );
 
+        // Request-lifecycle stage histograms: cumulative buckets from the
+        // sparse snapshots, +Inf at the stage count, _sum over stage time.
+        let stage_hists: [(&str, &str, &crate::snapshot::StageSnapshot); 4] = [
+            (
+                "bitflow_stage_queue_wait_ns",
+                "Admission-queue wait per request, nanoseconds.",
+                &sv.stage_queue_wait,
+            ),
+            (
+                "bitflow_stage_batch_wait_ns",
+                "Batch-formation wait per request (coalescing + dispatch), nanoseconds.",
+                &sv.stage_batch_wait,
+            ),
+            (
+                "bitflow_stage_exec_ns",
+                "Engine execution time per request, nanoseconds.",
+                &sv.stage_exec,
+            ),
+            (
+                "bitflow_stage_write_ns",
+                "Response write time per request, nanoseconds.",
+                &sv.stage_write,
+            ),
+        ];
+        for (name, help, stage) in stage_hists {
+            let mut rows = Vec::new();
+            let mut cum = 0u64;
+            for b in &stage.buckets {
+                cum += b.count;
+                rows.push((format!("{mlab},le=\"{}\"", b.le_ns), cum.to_string()));
+            }
+            rows.push((format!("{mlab},le=\"+Inf\""), stage.count.to_string()));
+            family(&mut s, name, help, "histogram", rows);
+            let _ = writeln!(s, "{name}_sum{{{mlab}}} {}", stage.total_ns);
+            let _ = writeln!(s, "{name}_count{{{mlab}}} {}", stage.count);
+        }
+
         let net_counters: [(&str, &str, u64); 7] = [
             (
                 "bitflow_net_accepted_conns_total",
@@ -466,7 +503,7 @@ impl MetricsSnapshot {
 mod tests {
     use crate::snapshot::{
         BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot,
-        PerfSnapshot, ServeSnapshot, SizeBucket, SCHEMA_VERSION,
+        PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, SCHEMA_VERSION,
     };
     use crate::OpKind;
 
@@ -548,6 +585,37 @@ mod tests {
                 net_malformed_requests: 5,
                 net_bytes_in: 123_456,
                 net_bytes_out: 65_432,
+                stage_queue_wait: StageSnapshot {
+                    count: 12,
+                    total_ns: 48_000,
+                    buckets: vec![
+                        HistBucket {
+                            le_ns: 2_047,
+                            count: 7,
+                        },
+                        HistBucket {
+                            le_ns: 8_191,
+                            count: 5,
+                        },
+                    ],
+                },
+                stage_batch_wait: StageSnapshot {
+                    count: 12,
+                    total_ns: 6_000,
+                    buckets: vec![HistBucket {
+                        le_ns: 1_023,
+                        count: 12,
+                    }],
+                },
+                stage_exec: StageSnapshot {
+                    count: 12,
+                    total_ns: 96_000,
+                    buckets: vec![HistBucket {
+                        le_ns: 16_383,
+                        count: 12,
+                    }],
+                },
+                stage_write: StageSnapshot::default(),
             },
         }
     }
@@ -612,6 +680,23 @@ mod tests {
         assert!(text.contains("bitflow_serve_batch_size_sum{model=\"small-cnn\"} 14"));
         assert!(text.contains("bitflow_serve_batch_size_count{model=\"small-cnn\"} 6"));
         assert!(text.contains("bitflow_serve_batch_size_max{model=\"small-cnn\"} 4"));
+    }
+
+    #[test]
+    fn stage_histograms_render_cumulative_with_inf_terminator() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_stage_queue_wait_ns histogram"));
+        assert!(text.contains("bitflow_stage_queue_wait_ns{model=\"small-cnn\",le=\"2047\"} 7"));
+        assert!(text.contains("bitflow_stage_queue_wait_ns{model=\"small-cnn\",le=\"8191\"} 12"));
+        assert!(text.contains("bitflow_stage_queue_wait_ns{model=\"small-cnn\",le=\"+Inf\"} 12"));
+        assert!(text.contains("bitflow_stage_queue_wait_ns_sum{model=\"small-cnn\"} 48000"));
+        assert!(text.contains("bitflow_stage_queue_wait_ns_count{model=\"small-cnn\"} 12"));
+        assert!(text.contains("# TYPE bitflow_stage_batch_wait_ns histogram"));
+        assert!(text.contains("# TYPE bitflow_stage_exec_ns histogram"));
+        assert!(text.contains("bitflow_stage_exec_ns_sum{model=\"small-cnn\"} 96000"));
+        // An idle stage still renders an empty histogram with +Inf = 0.
+        assert!(text.contains("bitflow_stage_write_ns{model=\"small-cnn\",le=\"+Inf\"} 0"));
+        assert!(text.contains("bitflow_stage_write_ns_count{model=\"small-cnn\"} 0"));
     }
 
     #[test]

@@ -14,9 +14,11 @@ use crate::metrics::{OpKind, TileStats};
 /// added the serving-runtime counters ([`ServeSnapshot`]); v4 added the
 /// multi-model tenancy counters (quota rejections) and the served
 /// micro-batch-size histogram; v5 added the network front-end counters
-/// (`net_*`: connections, timeouts, malformed requests, byte totals).
+/// (`net_*`: connections, timeouts, malformed requests, byte totals);
+/// v6 added the request-lifecycle stage histograms
+/// ([`StageSnapshot`]: queue-wait, batch-wait, exec, write).
 /// Readers must refuse to overwrite files written by a *newer* schema.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Upper edges of the served-batch-size histogram buckets. Batches larger
 /// than the last edge land in the implicit overflow bucket
@@ -45,6 +47,37 @@ pub struct HistBucket {
     pub le_ns: u64,
     /// Samples that landed in this bucket.
     pub count: u64,
+}
+
+/// One request-lifecycle stage's latency distribution: how many requests
+/// passed through the stage, the summed nanoseconds, and the occupied
+/// histogram buckets (sparse, non-cumulative, same bucketing as
+/// [`HistBucket`] op histograms). Always on — the serving runtime records
+/// these whether or not tracing is enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StageSnapshot {
+    /// Requests that passed through the stage.
+    pub count: u64,
+    /// Summed stage time, nanoseconds.
+    pub total_ns: u64,
+    /// Occupied latency-histogram buckets (sparse, non-cumulative).
+    pub buckets: Vec<HistBucket>,
+}
+
+// Manual impl so a v5 snapshot missing the stage fields (which the
+// vendored serde surfaces as `Null`) reads back as an empty stage — the
+// vendored derive has no `#[serde(default)]`.
+impl Deserialize for StageSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            count: Deserialize::from_value(v.field("count")?)?,
+            total_ns: Deserialize::from_value(v.field("total_ns")?)?,
+            buckets: Deserialize::from_value(v.field("buckets")?)?,
+        })
+    }
 }
 
 /// Roofline verdict for one operator: which peak it is closer to.
@@ -257,6 +290,15 @@ pub struct ServeSnapshot {
     pub net_bytes_in: u64,
     /// Response bytes written to the wire (including partial writes).
     pub net_bytes_out: u64,
+    /// Admission-queue wait distribution (enqueue → worker pop).
+    pub stage_queue_wait: StageSnapshot,
+    /// Batch-formation wait distribution (pop → micro-batch exec start:
+    /// the coalescing window plus dispatch).
+    pub stage_batch_wait: StageSnapshot,
+    /// Engine execution distribution (per request, inside its batch).
+    pub stage_exec: StageSnapshot,
+    /// Response-write distribution (serialize + write to the wire).
+    pub stage_write: StageSnapshot,
 }
 
 /// Everything a model's telemetry knows, frozen at one instant.
@@ -451,6 +493,31 @@ mod tests {
                 net_malformed_requests: 3,
                 net_bytes_in: 40_960,
                 net_bytes_out: 8_192,
+                stage_queue_wait: StageSnapshot {
+                    count: 7,
+                    total_ns: 70_000,
+                    buckets: vec![HistBucket {
+                        le_ns: 16_383,
+                        count: 7,
+                    }],
+                },
+                stage_batch_wait: StageSnapshot {
+                    count: 7,
+                    total_ns: 3_500,
+                    buckets: vec![HistBucket {
+                        le_ns: 511,
+                        count: 7,
+                    }],
+                },
+                stage_exec: StageSnapshot {
+                    count: 7,
+                    total_ns: 700_000,
+                    buckets: vec![HistBucket {
+                        le_ns: 131_071,
+                        count: 7,
+                    }],
+                },
+                stage_write: StageSnapshot::default(),
             },
         }
     }
@@ -487,6 +554,19 @@ mod tests {
             assert_eq!(a.hist, b.hist);
             assert_eq!(a.tile, b.tile);
         }
+    }
+
+    #[test]
+    fn v5_serve_snapshot_without_stage_fields_still_parses() {
+        let mut v = sample().serve.to_value();
+        match &mut v {
+            serde::Value::Object(fields) => fields.retain(|(k, _)| !k.starts_with("stage_")),
+            other => panic!("expected object, found {}", other.kind()),
+        }
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: ServeSnapshot = serde_json::from_str(&json).expect("v5 JSON parses");
+        assert_eq!(back.stage_queue_wait, StageSnapshot::default());
+        assert_eq!(back.net_bytes_in, 40_960);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property tests for the Chrome trace-event exporter.
+//!
+//! Over randomized trace sets (tricky ids with quotes/newlines, random
+//! stage/op spans including overlapping and overrunning ones), the export
+//! must:
+//!
+//! 1. parse as JSON with the `{"traceEvents": [...]}` shape, every event a
+//!    complete (`"X"`) or metadata (`"M"`) event in process `pid == 1`;
+//! 2. keep every thread lane internally ordered: within one `tid`, `ts`
+//!    is monotonically non-decreasing and `ts + dur` never overlaps the
+//!    next event (within a float-rounding epsilon);
+//! 3. map trace `i` of the input to exactly the lanes `3i+1..=3i+3` — a
+//!    pure function of position, so repeated exports are comparable;
+//! 4. be deterministic: the same input renders byte-identical output.
+
+use bitflow_telemetry::{to_chrome_trace, OpSpan, RequestTrace, Stage, StageSpan};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Value};
+
+/// Rounding slack: `ts`/`dur` are µs-valued f64s built from ns integers,
+/// so adjacent spans can differ by sub-ns float error.
+const EPS: f64 = 1e-3;
+
+fn get<'a>(e: &'a Value, key: &str) -> &'a Value {
+    e.field(key).expect("object field")
+}
+
+fn get_str(e: &Value, key: &str) -> String {
+    String::from_value(get(e, key)).expect("string field")
+}
+
+fn get_u64(e: &Value, key: &str) -> u64 {
+    u64::from_value(get(e, key)).expect("integer field")
+}
+
+fn get_f64(e: &Value, key: &str) -> f64 {
+    f64::from_value(get(e, key)).expect("numeric field")
+}
+
+fn parse_events(doc: &str) -> Vec<Value> {
+    let v: Value = serde_json::from_str(doc).expect("export must be valid JSON");
+    match v.field("traceEvents").expect("traceEvents key") {
+        Value::Array(items) => items.clone(),
+        other => panic!("traceEvents must be an array, found {}", other.kind()),
+    }
+}
+
+const STAGES: [Stage; 9] = [
+    Stage::Accept,
+    Stage::Parse,
+    Stage::ReadBody,
+    Stage::Decode,
+    Stage::Admit,
+    Stage::QueueWait,
+    Stage::BatchWait,
+    Stage::Exec,
+    Stage::Write,
+];
+
+fn random_traces(seed: u64) -> Vec<RequestTrace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tricky = [
+        "plain",
+        "qu\"ote",
+        "back\\slash",
+        "new\nline",
+        "",
+        "späce µ",
+    ];
+    let n = rng.gen_range(0..5usize);
+    (0..n)
+        .map(|i| {
+            let total_ns = rng.gen_range(0..10_000_000u64);
+            let spans = (0..rng.gen_range(0..6usize))
+                .map(|j| OpSpan {
+                    op_index: j as u64,
+                    name: format!("op-{}-{}", tricky[rng.gen_range(0..tricky.len())], j),
+                    // Deliberately allowed to overlap and overrun total_ns.
+                    start_ns: rng.gen_range(0..=total_ns.max(1)),
+                    duration_ns: rng.gen_range(0..2 * total_ns.max(1)),
+                })
+                .collect();
+            let mut t = RequestTrace::new(i as u64, total_ns, spans);
+            t.id = tricky[rng.gen_range(0..tricky.len())].to_string();
+            t.tenant = tricky[rng.gen_range(0..tricky.len())].to_string();
+            t.outcome = ["", "ok", "error:internal", "rejected:queue_full"]
+                [rng.gen_range(0..4usize)]
+            .to_string();
+            t.batch_size = rng.gen_range(0..32);
+            t.stages = (0..rng.gen_range(0..6usize))
+                .map(|_| StageSpan {
+                    stage: STAGES[rng.gen_range(0..STAGES.len())],
+                    start_ns: rng.gen_range(0..=total_ns.max(1)),
+                    duration_ns: rng.gen_range(0..2 * total_ns.max(1)),
+                })
+                .collect();
+            t
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chrome_export_is_valid_ordered_and_stable(seed in any::<u64>()) {
+        let traces = random_traces(seed);
+        let doc = to_chrome_trace(&traces);
+
+        // 4. Determinism.
+        prop_assert_eq!(&doc, &to_chrome_trace(&traces));
+
+        // 1. Shape: every event is X or M inside pid 1.
+        let events = parse_events(&doc);
+        for e in &events {
+            let ph = get_str(e, "ph");
+            prop_assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+            prop_assert_eq!(get_u64(e, "pid"), 1);
+            if ph == "X" {
+                prop_assert!(get_f64(e, "ts") >= 0.0);
+                prop_assert!(get_f64(e, "dur") >= 0.0);
+            }
+        }
+
+        // 2. Per-lane ordering and non-overlap, in document order.
+        let mut lanes: std::collections::HashMap<u64, Vec<(f64, f64)>> = Default::default();
+        for e in &events {
+            if get_str(e, "ph") == "X" {
+                lanes
+                    .entry(get_u64(e, "tid"))
+                    .or_default()
+                    .push((get_f64(e, "ts"), get_f64(e, "dur")));
+            }
+        }
+        for (tid, spans) in &lanes {
+            let mut prev_end = -1.0f64;
+            for &(ts, dur) in spans {
+                prop_assert!(
+                    ts + EPS >= prev_end,
+                    "lane {tid} overlaps: event at {ts} before previous end {prev_end}"
+                );
+                prev_end = (ts + dur).max(prev_end);
+            }
+        }
+
+        // 3. Stable pid/tid mapping: trace i owns lanes 3i+1..=3i+3, the
+        // request span sits on 3i+1, and nothing else uses those lanes.
+        let requests: Vec<&Value> = events
+            .iter()
+            .filter(|e| get_str(e, "ph") == "X" && get_str(e, "cat") == "request")
+            .collect();
+        prop_assert_eq!(requests.len(), traces.len());
+        for (i, e) in requests.iter().enumerate() {
+            prop_assert_eq!(get_u64(e, "tid"), (3 * i + 1) as u64);
+            let args = get(e, "args");
+            prop_assert_eq!(get_u64(args, "request_id"), traces[i].request_id);
+        }
+        let max_lane = (3 * traces.len()) as u64;
+        for e in &events {
+            let tid = get_u64(e, "tid");
+            prop_assert!(
+                tid <= max_lane,
+                "tid {tid} outside the {} owned lanes",
+                max_lane
+            );
+            if get_str(e, "ph") == "X" {
+                let cat = get_str(e, "cat");
+                let expect_rem = match cat.as_str() {
+                    "request" => 1,
+                    "stage" => 2,
+                    "op" => 0,
+                    other => return Err(TestCaseError::fail(format!("unknown cat {other}"))),
+                };
+                prop_assert_eq!(tid as usize % 3, expect_rem, "cat {} on tid {}", cat, tid);
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@
 
 use bitflow_telemetry::{
     BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpKind, OpSnapshot,
-    PerfSnapshot, ServeSnapshot, SizeBucket, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -170,6 +170,38 @@ fn parse_exposition(text: &str) -> Result<Vec<Series>, String> {
     Ok(series)
 }
 
+/// A random stage-latency snapshot: a sparse histogram with increasing
+/// edges whose bucket counts sum to exactly `count`.
+fn random_stage(rng: &mut StdRng) -> StageSnapshot {
+    let count = rng.gen_range(0..10_000u64);
+    let mut remaining = count;
+    let mut le = 0u64;
+    let mut buckets = Vec::new();
+    for _ in 0..rng.gen_range(0..5usize) {
+        le += rng.gen_range(1..100_000u64);
+        let c = rng.gen_range(0..=remaining);
+        remaining -= c;
+        if c > 0 {
+            buckets.push(HistBucket {
+                le_ns: le,
+                count: c,
+            });
+        }
+    }
+    if remaining > 0 {
+        le += rng.gen_range(1..100_000u64);
+        buckets.push(HistBucket {
+            le_ns: le,
+            count: remaining,
+        });
+    }
+    StageSnapshot {
+        count,
+        total_ns: count * rng.gen_range(1..100_000u64),
+        buckets,
+    }
+}
+
 /// Builds a randomized snapshot from a seed: tricky label values, sparse
 /// histograms, optional perf counters.
 fn random_snapshot(seed: u64) -> MetricsSnapshot {
@@ -298,6 +330,10 @@ fn random_snapshot(seed: u64) -> MetricsSnapshot {
                 net_malformed_requests: rng.gen_range(0..10_000),
                 net_bytes_in: rng.gen_range(0..u32::MAX as u64),
                 net_bytes_out: rng.gen_range(0..u32::MAX as u64),
+                stage_queue_wait: random_stage(&mut rng),
+                stage_batch_wait: random_stage(&mut rng),
+                stage_exec: random_stage(&mut rng),
+                stage_write: random_stage(&mut rng),
             }
         },
     }
@@ -446,6 +482,48 @@ proptest! {
             series_value(&series, "bitflow_net_bytes_out_total", None),
             Some(back.serve.net_bytes_out as f64)
         );
+
+        // Stage histograms: cumulative buckets terminated by +Inf, with
+        // _sum/_count round-tripping through both exporters.
+        let stages: [(&str, &StageSnapshot); 4] = [
+            ("bitflow_stage_queue_wait_ns", &back.serve.stage_queue_wait),
+            ("bitflow_stage_batch_wait_ns", &back.serve.stage_batch_wait),
+            ("bitflow_stage_exec_ns", &back.serve.stage_exec),
+            ("bitflow_stage_write_ns", &back.serve.stage_write),
+        ];
+        for (name, stage) in stages {
+            let buckets: Vec<&Series> = series.iter().filter(|s| s.name == name).collect();
+            let mut prev_le = -1.0f64;
+            let mut prev_cum = -1.0f64;
+            for b in &buckets {
+                let le = &b
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .expect("bucket has le")
+                    .1;
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().expect("numeric le")
+                };
+                prop_assert!(le > prev_le, "le not increasing for {}", name);
+                prop_assert!(b.value >= prev_cum, "buckets not cumulative for {}", name);
+                prev_le = le;
+                prev_cum = b.value;
+            }
+            let last = buckets.last().expect("+Inf bucket always present");
+            prop_assert!(prev_le.is_infinite(), "{} not terminated by +Inf", name);
+            prop_assert_eq!(last.value, stage.count as f64, "{} +Inf != count", name);
+            prop_assert_eq!(
+                series_value(&series, &format!("{name}_count"), None),
+                Some(stage.count as f64)
+            );
+            prop_assert_eq!(
+                series_value(&series, &format!("{name}_sum"), None),
+                Some(stage.total_ns as f64)
+            );
+        }
 
         for op in &back.ops {
             prop_assert_eq!(

@@ -14,8 +14,10 @@
 #   scripts/check.sh --net    # additionally run the network front-end gate:
 #                             # strict clippy on bitflow-net (warnings,
 #                             # incl. unwrap/expect, denied), the hostile-
-#                             # client suite, the TCP chaos soak in quick
-#                             # mode, and the load-to-failure sweep (quick,
+#                             # client + tracing suites, the trace-export
+#                             # round-trip proptests, the TCP chaos soak in
+#                             # quick mode with the flight recorder enabled,
+#                             # and the load-to-failure sweep (quick,
 #                             # twice: blesses a capacity baseline if
 #                             # missing, then gates against it — appended
 #                             # to results/history/load.jsonl)
@@ -85,10 +87,12 @@ fi
 if [[ $net -eq 1 ]]; then
     echo "==> clippy -p bitflow-net (unwrap/expect denied on the front-end)"
     cargo clippy -p bitflow-net --all-targets -- -D warnings
-    echo "==> net unit tests + hostile-client suite"
+    echo "==> net unit tests + hostile-client and tracing suites"
     cargo test -q -p bitflow-net
-    echo "==> TCP chaos soak (quick mode)"
-    BITFLOW_QUICK=1 cargo test -q --test net_soak
+    echo "==> trace-export round-trip proptests (Chrome + Prometheus)"
+    cargo test -q -p bitflow-telemetry --test chrome_props --test prometheus_props
+    echo "==> TCP chaos soak (quick mode, flight recorder enabled)"
+    BITFLOW_QUICK=1 BITFLOW_TRACE=1 cargo test -q --test net_soak
     echo "==> load-to-failure sweep (quick, twice: bless-if-needed then gate)"
     cargo run --release -q -p bitflow-bench --bin loadgen -- --quick
     cargo run --release -q -p bitflow-bench --bin loadgen -- --quick

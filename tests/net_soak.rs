@@ -23,6 +23,10 @@
 //! * **Each chaos type fired** (full mode): connection kills, truncated
 //!   writes, and worker panics all observed; the read-stall stream is
 //!   non-empty over the connection range actually used.
+//! * **Flight-recorder tail sampling** — the soak runs fully traced;
+//!   every complete error response is retrievable from the recorder by
+//!   its client-supplied request id, the recorder never exceeds its byte
+//!   budget, and the dump exports to a loadable Chrome trace.
 //!
 //! Sizing mirrors `serve_soak`: `BITFLOW_QUICK=1` → 300 requests,
 //! default 1500, `BITFLOW_SOAK_REQUESTS=N` overrides; `BITFLOW_CHAOS`
@@ -35,6 +39,7 @@ use std::time::Duration;
 
 use bitflow::prelude::*;
 use bitflow_net::{NetConfig, NetServer};
+use bitflow_telemetry::{to_chrome_trace, FlightRecorder, RecorderConfig};
 use bitflow_tensor::io::encode_tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -144,6 +149,15 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
     let mut registry = ModelRegistry::new();
     registry.register("a", Arc::clone(&model_a), None);
     registry.register("b", Arc::clone(&model_b), Some(8));
+    // The whole soak runs traced into a bounded flight recorder: every
+    // request carries a client id (`soak-{i}`), so after the run the
+    // recorder's tail-sampling contract can be checked against the
+    // client-side tallies.
+    let recorder_cfg = RecorderConfig {
+        max_bytes: 8 << 20,
+        ..RecorderConfig::default()
+    };
+    let recorder = Arc::new(FlightRecorder::new(recorder_cfg.clone()));
     let server = Arc::new(Server::start_multi(
         registry,
         ServerConfig {
@@ -158,6 +172,7 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
             },
             chaos: Some(chaos.clone()),
             default_deadline: None,
+            recorder: Some(Arc::clone(&recorder)),
         },
     ));
     let gauges_b = server.client("b").expect("registered").entry().gauges();
@@ -178,7 +193,7 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
     // connection so connection-scoped chaos is a pure function of the
     // connection id.
     const CLIENTS: usize = 4;
-    let workers: Vec<std::thread::JoinHandle<Vec<(usize, Outcome)>>> = (0..CLIENTS)
+    let workers: Vec<std::thread::JoinHandle<Vec<(usize, usize, Outcome)>>> = (0..CLIENTS)
         .map(|t| {
             let encoded = encoded.clone();
             let oracle_a = oracle_a.clone();
@@ -200,7 +215,7 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
                         };
                         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
                         let req = format!(
-                            "POST {path} HTTP/1.1\r\n{deadline_header}content-length: {}\r\nconnection: close\r\n\r\n",
+                            "POST {path} HTTP/1.1\r\nx-bitflow-request-id: soak-{i}\r\n{deadline_header}content-length: {}\r\nconnection: close\r\n\r\n",
                             body.len()
                         );
                         if stream.write_all(req.as_bytes()).is_err()
@@ -218,7 +233,7 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
                             None => Outcome::Broken,
                         }
                     })();
-                    outcomes.push((tenant, outcome));
+                    outcomes.push((i, tenant, outcome));
                 }
                 outcomes
             })
@@ -262,9 +277,13 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
     }
 
     let mut tallies = [[0u64; 5]; 2]; // [tenant][Ok, Rejected, Deadline, Failed, Broken]
+    let mut error_ids: Vec<usize> = Vec::new(); // complete 500s/504s, by request index
     for worker in workers {
-        for (tenant, outcome) in worker.join().expect("client thread") {
+        for (i, tenant, outcome) in worker.join().expect("client thread") {
             tallies[tenant][outcome as usize] += 1;
+            if matches!(outcome, Outcome::Failed | Outcome::Deadline) {
+                error_ids.push(i);
+            }
         }
     }
 
@@ -369,4 +388,54 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
             "the read-stall stream is empty over the soak range"
         );
     }
+
+    // --- Flight-recorder contract under chaos --------------------------
+    // Tail-based sampling keeps every error trace: each complete error
+    // response the clients saw (injected 500s, deadline 504s) must be
+    // retrievable by the client-supplied id, with a verdict.
+    for i in &error_ids {
+        let trace = recorder
+            .find(&format!("soak-{i}"))
+            .unwrap_or_else(|| panic!("error request soak-{i} missing from the flight recorder"));
+        assert!(
+            !trace.outcome.is_empty(),
+            "request soak-{i}: error traces must carry a verdict"
+        );
+    }
+    // The recorder is bounded: its accounting never exceeds the
+    // configured budget, chaos or no chaos.
+    assert!(
+        recorder.bytes() <= recorder_cfg.max_bytes,
+        "recorder grew past its byte budget: {} > {}",
+        recorder.bytes(),
+        recorder_cfg.max_bytes
+    );
+    // Every retained trace is structurally sound — stages sorted, inside
+    // the request window — and the whole dump exports to a
+    // Perfetto-loadable Chrome trace document.
+    let dump = recorder.dump();
+    assert!(!dump.is_empty(), "a traced soak must retain something");
+    for trace in &dump {
+        let slack = trace.total_ns / 20 + 500_000;
+        let mut prev_start = 0u64;
+        for s in &trace.stages {
+            assert!(
+                s.start_ns >= prev_start,
+                "trace {}: stages must be sorted",
+                trace.id
+            );
+            prev_start = s.start_ns;
+            assert!(
+                s.start_ns + s.duration_ns <= trace.total_ns + slack,
+                "trace {}: stage {} overruns the request window",
+                trace.id,
+                s.stage.as_str()
+            );
+        }
+    }
+    let chrome = to_chrome_trace(&dump);
+    assert!(
+        chrome.starts_with("{\"traceEvents\":"),
+        "chrome export must be loadable"
+    );
 }

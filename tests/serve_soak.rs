@@ -137,6 +137,7 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
             },
             chaos: Some(chaos),
             default_deadline: None,
+            recorder: None,
         },
     );
 
@@ -294,6 +295,7 @@ fn multi_model_batched_chaos_soak_conserves_per_model() {
             },
             chaos: Some(chaos),
             default_deadline: None,
+            recorder: None,
         },
     );
     let gauges_b = server.client("b").expect("registered").entry().gauges();
