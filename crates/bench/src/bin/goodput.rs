@@ -101,6 +101,7 @@ fn run_config(
             chaos: None,
             default_deadline: None,
             recorder: None,
+            ..ServerConfig::default()
         },
     );
 

@@ -376,6 +376,7 @@ fn main() {
             chaos: None,
             default_deadline: None,
             recorder: None,
+            ..ServerConfig::default()
         },
     ));
     let net = NetServer::bind(Arc::clone(&server), NetConfig::default()).expect("bind loopback");

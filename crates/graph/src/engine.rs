@@ -683,6 +683,38 @@ impl CompiledModel {
         }
     }
 
+    /// Fallible variant of [`CompiledModel::new_context`]: probes the
+    /// allocator with `try_reserve` for every buffer the plan describes
+    /// before materialising it, so a context the machine cannot afford
+    /// comes back as [`BitFlowError::ResourceExhausted`] instead of an
+    /// allocator abort. The probe is freed before the real allocation, so
+    /// the transient overhead is one slot's bytes.
+    pub fn try_new_context(&self) -> Result<InferenceContext, BitFlowError> {
+        let mut slots: Vec<Slot> = Vec::new();
+        slots
+            .try_reserve_exact(self.slot_specs.len())
+            .map_err(|_| BitFlowError::ResourceExhausted {
+                what: "inference context",
+                bytes: (self.slot_specs.len() * std::mem::size_of::<Slot>()) as u64,
+            })?;
+        for spec in &self.slot_specs {
+            let bytes = slot_bytes(spec);
+            let mut probe: Vec<u8> = Vec::new();
+            probe
+                .try_reserve_exact(bytes)
+                .map_err(|_| BitFlowError::ResourceExhausted {
+                    what: "inference context",
+                    bytes: bytes as u64,
+                })?;
+            drop(probe);
+            slots.push(spec.allocate());
+        }
+        Ok(InferenceContext {
+            slots,
+            parallel: false,
+        })
+    }
+
     /// The spec this engine was compiled from.
     pub fn spec(&self) -> &NetworkSpec {
         &self.spec

@@ -325,6 +325,9 @@ pub enum RejectReason {
     /// requests are already queued or in flight as its tenancy config
     /// allows.
     QuotaExceeded,
+    /// The resource governor's byte budget (global or per-tenant) cannot
+    /// cover the request; admitting it would risk an allocator abort.
+    MemoryPressure,
 }
 
 impl RejectReason {
@@ -336,6 +339,7 @@ impl RejectReason {
             RejectReason::Shedding => "shedding",
             RejectReason::Draining => "draining",
             RejectReason::QuotaExceeded => "quota",
+            RejectReason::MemoryPressure => "memory",
         }
     }
 }
@@ -350,6 +354,9 @@ impl fmt::Display for RejectReason {
             RejectReason::Draining => write!(f, "server draining"),
             RejectReason::QuotaExceeded => {
                 write!(f, "model admission quota exhausted")
+            }
+            RejectReason::MemoryPressure => {
+                write!(f, "memory budget exhausted")
             }
         }
     }
@@ -380,6 +387,17 @@ pub enum BitFlowError {
     Cancelled,
     /// The serving runtime refused to admit the request.
     Rejected(RejectReason),
+    /// A fallible allocation failed: the allocator (or an injected fault)
+    /// refused the bytes a large untrusted-size path asked for. An error
+    /// value instead of an abort, so one oversized request cannot kill
+    /// every tenant at once.
+    ResourceExhausted {
+        /// What was being allocated (e.g. "model payload",
+        /// "inference context").
+        what: &'static str,
+        /// Bytes the failed reservation asked for.
+        bytes: u64,
+    },
     /// A panic caught by the batch backstop, converted to a value so one
     /// poisoned request cannot abort a worker.
     Internal(String),
@@ -404,6 +422,8 @@ impl BitFlowError {
             BitFlowError::Rejected(RejectReason::Shedding) => "rejected_shedding",
             BitFlowError::Rejected(RejectReason::Draining) => "rejected_draining",
             BitFlowError::Rejected(RejectReason::QuotaExceeded) => "rejected_quota",
+            BitFlowError::Rejected(RejectReason::MemoryPressure) => "rejected_memory",
+            BitFlowError::ResourceExhausted { .. } => "resource_exhausted",
             BitFlowError::Internal(_) => "internal",
         }
     }
@@ -423,6 +443,9 @@ impl fmt::Display for BitFlowError {
             }
             BitFlowError::Cancelled => write!(f, "request cancelled"),
             BitFlowError::Rejected(reason) => write!(f, "request rejected: {reason}"),
+            BitFlowError::ResourceExhausted { what, bytes } => {
+                write!(f, "allocation failed: {bytes} bytes for {what}")
+            }
             BitFlowError::Internal(msg) => write!(f, "internal inference failure: {msg}"),
         }
     }
@@ -451,6 +474,7 @@ impl std::error::Error for BitFlowError {
             BitFlowError::SlotType(e) => Some(e),
             BitFlowError::Rejected(e) => Some(e),
             BitFlowError::DeadlineExceeded | BitFlowError::Cancelled => None,
+            BitFlowError::ResourceExhausted { .. } => None,
             BitFlowError::Internal(_) => None,
         }
     }
@@ -529,6 +553,7 @@ mod tests {
             (RejectReason::Shedding, "rejected_shedding"),
             (RejectReason::Draining, "rejected_draining"),
             (RejectReason::QuotaExceeded, "rejected_quota"),
+            (RejectReason::MemoryPressure, "rejected_memory"),
         ] {
             let e = BitFlowError::Rejected(reason);
             assert_eq!(e.code(), code);
@@ -545,6 +570,18 @@ mod tests {
         assert!(json.contains("admission queue full"), "{json}");
         let json = serde_json::to_string(&BitFlowError::DeadlineExceeded).unwrap();
         assert!(json.contains("deadline_exceeded"), "{json}");
+    }
+
+    #[test]
+    fn resource_exhausted_carries_size_context() {
+        let e = BitFlowError::ResourceExhausted {
+            what: "model payload",
+            bytes: 1 << 40,
+        };
+        assert_eq!(e.code(), "resource_exhausted");
+        let msg = e.to_string();
+        assert!(msg.contains("model payload"), "{msg}");
+        assert!(msg.contains(&(1u64 << 40).to_string()), "{msg}");
     }
 
     #[test]

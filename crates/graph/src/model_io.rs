@@ -62,6 +62,15 @@ pub enum ModelIoError {
     Invalid(String),
     /// Underlying I/O error.
     Io(std::io::Error),
+    /// A fallible allocation sized by the (untrusted) container failed:
+    /// the allocator refused the bytes, reported as an error value
+    /// instead of an abort.
+    ResourceExhausted {
+        /// What was being allocated.
+        what: &'static str,
+        /// Bytes the failed reservation asked for.
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for ModelIoError {
@@ -73,6 +82,9 @@ impl std::fmt::Display for ModelIoError {
             ModelIoError::Corrupt(e) => write!(f, "model container corrupt: {e}"),
             ModelIoError::Invalid(e) => write!(f, "model failed validation: {e}"),
             ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::ResourceExhausted { what, bytes } => {
+                write!(f, "allocation failed: {bytes} bytes for {what}")
+            }
         }
     }
 }
@@ -128,10 +140,19 @@ fn read_f32s(data: &[u8], off: &mut usize, n: usize) -> Result<Vec<f32>, ModelIo
     if end > data.len() {
         return Err(ModelIoError::Truncated);
     }
-    let out = data[*off..end]
-        .chunks_exact(4)
-        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-        .collect();
+    // Fallible reservation: `n` comes from the container, and even a
+    // bounds-checked count can exceed what the allocator will grant.
+    let mut out: Vec<f32> = Vec::new();
+    out.try_reserve_exact(n)
+        .map_err(|_| ModelIoError::ResourceExhausted {
+            what: "model payload",
+            bytes: need as u64,
+        })?;
+    out.extend(
+        data[*off..end]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+    );
     *off = end;
     Ok(out)
 }
@@ -299,7 +320,14 @@ pub fn decode_model(data: &[u8]) -> Result<(NetworkSpec, NetworkWeights), ModelI
     }
     let payload = &body[hlen..];
     let mut off = 0usize;
-    let mut layers = Vec::with_capacity(header.layers.len());
+    let mut layers = Vec::new();
+    layers
+        .try_reserve_exact(header.layers.len())
+        .map_err(|_| ModelIoError::ResourceExhausted {
+            what: "layer table",
+            bytes: (header.layers.len() as u64)
+                .saturating_mul(std::mem::size_of::<LayerWeights>() as u64),
+        })?;
     for desc in &header.layers {
         let lw = match desc {
             LayerDesc::Conv { fshape, bn_c } => {

@@ -152,3 +152,160 @@ fn ten_thousand_mutations_all_rejected() {
         violations.join("\n")
     );
 }
+
+/// Integer leaves in a JSON tree, in deterministic traversal order.
+fn count_numbers(v: &serde::Value) -> usize {
+    match v {
+        serde::Value::Int(_) | serde::Value::UInt(_) => 1,
+        serde::Value::Array(a) => a.iter().map(count_numbers).sum(),
+        serde::Value::Object(o) => o.iter().map(|(_, x)| count_numbers(x)).sum(),
+        _ => 0,
+    }
+}
+
+/// Replaces the `target`-th integer leaf (same traversal order as
+/// [`count_numbers`]) with `val`.
+fn replace_nth_number(v: &mut serde::Value, target: usize, val: u64, seen: &mut usize) {
+    match v {
+        serde::Value::Int(_) | serde::Value::UInt(_) => {
+            if *seen == target {
+                *v = serde::Value::UInt(val);
+            }
+            *seen += 1;
+        }
+        serde::Value::Array(a) => {
+            for x in a {
+                replace_nth_number(x, target, val, seen);
+            }
+        }
+        serde::Value::Object(o) => {
+            for (_, x) in o.iter_mut() {
+                replace_nth_number(x, target, val, seen);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mutable lookup of an object field (the vendored `Value` exposes only a
+/// shared-reference `field`).
+fn field_mut<'a>(v: &'a mut serde::Value, name: &str) -> &'a mut serde::Value {
+    match v {
+        serde::Value::Object(fields) => fields
+            .iter_mut()
+            .find(|(k, _)| k == name)
+            .map(|(_, x)| x)
+            .unwrap_or_else(|| panic!("corpus header has `{name}`")),
+        _ => panic!("corpus header is an object"),
+    }
+}
+
+/// Rebuilds a container around a replacement header: prefix lengths
+/// updated, body re-signed, payload carried over from `base` verbatim.
+fn with_header(base: &[u8], orig_hlen: usize, header_json: &[u8]) -> Vec<u8> {
+    let payload = &base[PREFIX_LEN + orig_hlen..];
+    let hlen = u32::try_from(header_json.len()).expect("mutant header fits in u32");
+    let mut m = Vec::with_capacity(PREFIX_LEN + header_json.len() + payload.len());
+    m.extend_from_slice(&base[..8]); // magic + version
+    m.extend_from_slice(&hlen.to_le_bytes());
+    m.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    m.extend_from_slice(&[0u8; 8]); // checksum, re-signed below
+    m.extend_from_slice(header_json);
+    m.extend_from_slice(payload);
+    resign(&mut m);
+    m
+}
+
+/// Checksum-valid containers whose headers *declare* near-`usize::MAX`
+/// layer/shape counts. The integrity hash passes by construction, so the
+/// decoder's overflow-checked cross-checks and fallible reservations are
+/// the only line of defense against allocation-sized-by-attacker.
+///
+/// Descriptor element counts gate payload allocation directly, so every
+/// descriptor mutation must come back as a typed `Err`
+/// (`Corrupt`/`Truncated`/`ResourceExhausted`) — never an abort. Spec
+/// geometry must die in shape inference's checked arithmetic; a mutated
+/// spec that happens to stay self-consistent may legally decode, so the
+/// hard contract there is no panic and no abort.
+#[test]
+fn hostile_declared_sizes_reject_without_aborting() {
+    let base = corpus_model();
+    let hlen = u32::from_le_bytes([base[8], base[9], base[10], base[11]]) as usize;
+    let header: serde::Value =
+        serde_json::from_slice(&base[PREFIX_LEN..PREFIX_LEN + hlen]).expect("corpus header parses");
+
+    let hostile: [u64; 6] = [
+        usize::MAX as u64,
+        (usize::MAX as u64) - 1,
+        (usize::MAX as u64) >> 1,
+        (usize::MAX as u64) >> 2,
+        u64::from(u32::MAX),
+        1 << 48,
+    ];
+    let mut violations: Vec<String> = Vec::new();
+    let mut record = |v: Option<String>| {
+        if let Some(v) = v {
+            if violations.len() < 10 {
+                violations.push(v);
+            }
+        }
+    };
+
+    // Every numeric field in the layer descriptor table — element counts,
+    // filter geometry, batch-norm widths — set to each hostile value, one
+    // at a time. All of these feed `try_reserve`-guarded payload reads, so
+    // a typed Err is mandatory.
+    let n_desc = count_numbers(header.field("layers").expect("corpus header has layers"));
+    assert!(n_desc > 0, "corpus descriptors carry numeric fields");
+    for target in 0..n_desc {
+        for &v in &hostile {
+            let mut mutated = header.clone();
+            let mut seen = 0usize;
+            replace_nth_number(field_mut(&mut mutated, "layers"), target, v, &mut seen);
+            let json = serde_json::to_vec(&mutated).expect("mutant header serializes");
+            let m = with_header(&base, hlen, &json);
+            record(must_reject(
+                &m,
+                &format!("descriptor number {target} = {v}"),
+            ));
+        }
+    }
+
+    // Same sweep over the spec: hostile input/filter geometry. A header
+    // that stays self-consistent after the swap may decode Ok (it is then
+    // an honest container); the invariant under test is no panic.
+    let n_spec = count_numbers(header.field("spec").expect("corpus header has spec"));
+    assert!(n_spec > 0, "corpus spec carries numeric fields");
+    for target in 0..n_spec {
+        for &v in &hostile {
+            let mut mutated = header.clone();
+            let mut seen = 0usize;
+            replace_nth_number(field_mut(&mut mutated, "spec"), target, v, &mut seen);
+            let json = serde_json::to_vec(&mutated).expect("mutant header serializes");
+            let m = with_header(&base, hlen, &json);
+            match catch_unwind(AssertUnwindSafe(|| decode_model(&m))) {
+                Ok(_) => {}
+                Err(_) => record(Some(format!("spec number {target} = {v}: panic"))),
+            }
+        }
+    }
+
+    // A layer table that balloons structurally: tens of thousands of
+    // parameter-free layers over the original payload. The promised
+    // payload size (zero) disagrees with the actual payload length, so
+    // the decoder must reject before materializing the layer table.
+    {
+        let mut mutated = header.clone();
+        let pools = vec![serde::Value::Str("Pool".into()); 50_000];
+        *field_mut(&mut mutated, "layers") = serde::Value::Array(pools);
+        let json = serde_json::to_vec(&mutated).expect("mutant header serializes");
+        let m = with_header(&base, hlen, &json);
+        record(must_reject(&m, "50k-layer header"));
+    }
+
+    assert!(
+        violations.is_empty(),
+        "decode_model violated the hostile-size contract:\n{}",
+        violations.join("\n")
+    );
+}

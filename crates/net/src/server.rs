@@ -22,12 +22,12 @@
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bitflow_graph::{BitFlowError, RejectReason};
-use bitflow_serve::{ChaosConfig, Server};
+use bitflow_serve::{ChaosConfig, DegradationState, Server};
 use bitflow_telemetry::{
     to_chrome_trace, FlightRecorder, MetricsSnapshot, ServeGauges, Stage, TraceBuilder,
 };
@@ -38,6 +38,18 @@ use crate::status::{error_status, reject_status, reject_wants_retry_after};
 
 /// How often blocked socket reads/waits re-check the shutdown flag.
 const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// Accept-error backoff bounds: the first failure sleeps the minimum,
+/// consecutive failures double it up to the maximum, and any successful
+/// accept (or a plain empty queue) resets it. An exhausted fd table or
+/// a flapping interface thus costs an idle-ish loop, not a hot spin at
+/// 500 failures/second.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(2);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+fn next_accept_backoff(cur: Duration) -> Duration {
+    cur.saturating_mul(2).min(ACCEPT_BACKOFF_MAX)
+}
 
 /// The HTTP front-end: a bound listener plus its accept thread.
 ///
@@ -172,12 +184,14 @@ impl Drop for NetServer {
 }
 
 fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
                 let conn = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
                 if let Some(chaos) = &shared.chaos {
                     if chaos.conn_kill_hit(conn) {
@@ -196,23 +210,50 @@ fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
                 shared.gauges.conn_accepted();
                 shared.open_conns.fetch_add(1, Ordering::AcqRel);
                 let conn_shared = Arc::clone(shared);
+                // The stream rides in a take-able cell so a failed spawn
+                // can recover it: the closure owns the cell, but until
+                // the thread actually runs the stream is still reachable
+                // from this side.
+                let cell = Arc::new(Mutex::new(Some(stream)));
+                let thread_cell = Arc::clone(&cell);
                 let spawned = thread::Builder::new()
                     .name(format!("bitflow-net-conn-{conn}"))
                     .spawn(move || {
                         let _guard = ConnGuard(Arc::clone(&conn_shared));
-                        handle_conn(&conn_shared, stream, conn);
+                        let taken = thread_cell
+                            .lock()
+                            .map(|mut slot| slot.take())
+                            .unwrap_or(None);
+                        if let Some(stream) = taken {
+                            handle_conn(&conn_shared, stream, conn);
+                        }
                     });
                 if spawned.is_err() {
-                    // The guard never existed; undo the reservation and
-                    // treat the connection as shed.
+                    // The guard never existed; undo the reservation. A
+                    // spawn failure is resource exhaustion, not a cap
+                    // hit: counted on its own gauge and answered with a
+                    // best-effort 503 + retry-after instead of a silent
+                    // drop.
                     shared.open_conns.fetch_sub(1, Ordering::AcqRel);
-                    shared.gauges.conn_rejected();
+                    shared.gauges.spawn_shed();
+                    let recovered = cell.lock().map(|mut slot| slot.take()).unwrap_or(None);
+                    if let Some(stream) = recovered {
+                        shed(shared, stream);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
+                // Healthy empty accept queue, not a failure.
+                backoff = ACCEPT_BACKOFF_MIN;
+                thread::sleep(ACCEPT_BACKOFF_MIN);
             }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
+            Err(_) => {
+                // EMFILE, ENFILE, ECONNABORTED storms, interface flaps:
+                // count it, back off exponentially, keep listening.
+                shared.gauges.accept_error();
+                thread::sleep(backoff);
+                backoff = next_accept_backoff(backoff);
+            }
         }
     }
 }
@@ -479,7 +520,14 @@ fn read_body(
     let deadline = Instant::now() + shared.config.read_timeout;
     loop {
         if buf.len() >= len {
-            let body: Vec<u8> = buf[..len].to_vec();
+            // Fallible copy: a hostile content-length that slipped past
+            // the byte bound (or genuine exhaustion) answers 507, never
+            // an abort.
+            let mut body: Vec<u8> = Vec::new();
+            if body.try_reserve_exact(len).is_err() {
+                return Err(HeadOutcome::Fail(507));
+            }
+            body.extend_from_slice(&buf[..len]);
             buf.drain(..len);
             return Ok(body);
         }
@@ -534,6 +582,13 @@ fn debug_route(shared: &NetShared, method: &str, path: &str, query: &str) -> Res
     if method != "GET" {
         return Response::new(405).header("allow", "GET").text("GET only");
     }
+    if shared.server.degradation_state() != DegradationState::Normal {
+        // Trace dumps allocate serialized copies of everything retained —
+        // exactly the wrong work under memory pressure.
+        return Response::new(503)
+            .header("retry-after", 1)
+            .text("degraded: debug endpoints are disabled under pressure");
+    }
     let Some(rec) = &shared.recorder else {
         return Response::new(503).text("tracing is not enabled (set BITFLOW_TRACE=1)");
     };
@@ -559,14 +614,25 @@ fn debug_route(shared: &NetShared, method: &str, path: &str, query: &str) -> Res
 }
 
 /// `200 ok` while the instance can take traffic; `503` once the circuit
-/// breaker opens or a drain begins (load balancers stop routing here).
+/// breaker opens, a drain begins, or the governor reaches `Shed` (load
+/// balancers stop routing here). `Brownout` still answers `200` — the
+/// instance serves normal- and high-priority work — but the body names
+/// the state so operators see the degradation. Polling this endpoint
+/// re-evaluates the state machine, which is what lets an idle instance
+/// recover autonomously.
 fn healthz(shared: &NetShared) -> Response {
     if shared.server.breaker_open() {
-        Response::new(503).text("breaker open")
-    } else if shared.server.draining() || shared.shutdown.load(Ordering::Acquire) {
-        Response::new(503).text("draining")
-    } else {
-        Response::new(200).text("ok")
+        return Response::new(503).text("breaker open");
+    }
+    if shared.server.draining() || shared.shutdown.load(Ordering::Acquire) {
+        return Response::new(503).text("draining");
+    }
+    match shared.server.degradation_state() {
+        DegradationState::Normal => Response::new(200).text("ok"),
+        DegradationState::Brownout => Response::new(200).text("degraded: brownout"),
+        DegradationState::Shed => Response::new(503)
+            .header("retry-after", 1)
+            .text("shedding: resource pressure"),
     }
 }
 
@@ -624,6 +690,28 @@ fn infer(
                 .text("request body exceeds the configured bound"),
         );
     }
+    let tenant = head
+        .target
+        .strip_prefix("/v1/infer/")
+        .filter(|name| !name.is_empty());
+    // Charge the declared body size against the tenant's byte budget
+    // before reading it: under memory pressure the refusal costs a head,
+    // not a buffered body. The lease lives to the end of this request.
+    let _body_lease = match shared.server.reserve_body(tenant, content_length as u64) {
+        Ok(lease) => lease,
+        Err(reason) => {
+            let mut resp = Response::new(reject_status(reason))
+                .header("content-type", "application/json")
+                .body(serde_json::to_vec(&BitFlowError::Rejected(reason)).unwrap_or_default());
+            if reject_wants_retry_after(reason) {
+                resp = resp.header(
+                    "retry-after",
+                    shared.server.retry_after_hint().as_secs().max(1),
+                );
+            }
+            return RouteOutcome::RespondClose(resp);
+        }
+    };
     let body_start = Instant::now();
     let body = match read_body(shared, stream, conn, buf, read_no, content_length) {
         Ok(body) => body,
@@ -659,10 +747,6 @@ fn infer(
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(Duration::from_millis);
 
-    let tenant = head
-        .target
-        .strip_prefix("/v1/infer/")
-        .filter(|name| !name.is_empty());
     // With a trace, submission routes through the traced entry points —
     // the serving runtime records admit/queue/batch/exec stages and the
     // engine its operator spans into the same builder. Deadline policy is
@@ -825,4 +909,32 @@ fn write_response_inner(
     }
     let _ = stream.flush();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_and_caps() {
+        let mut cur = ACCEPT_BACKOFF_MIN;
+        let mut seen = vec![cur];
+        for _ in 0..12 {
+            cur = next_accept_backoff(cur);
+            seen.push(cur);
+        }
+        assert_eq!(seen[0], Duration::from_millis(2));
+        assert_eq!(seen[1], Duration::from_millis(4));
+        assert_eq!(seen[2], Duration::from_millis(8));
+        assert!(
+            seen.windows(2).all(|w| w[1] >= w[0]),
+            "backoff is monotone: {seen:?}"
+        );
+        assert_eq!(*seen.last().expect("nonempty"), ACCEPT_BACKOFF_MAX);
+        assert!(
+            seen.iter().all(|d| *d <= ACCEPT_BACKOFF_MAX),
+            "never exceeds the cap: {seen:?}"
+        );
+    }
 }

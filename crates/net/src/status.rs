@@ -12,6 +12,8 @@ use bitflow_graph::{BitFlowError, RejectReason};
 /// * Quota exhaustion is also `429` — the tenant's own backlog, flagged
 ///   with an `x-bitflow-quota` header rather than a server-wide hint.
 /// * Draining is `503`: this instance is going away, try another.
+/// * Memory pressure is `507 Insufficient Storage`: the byte budget, not
+///   the queue, refused the request — transient, so retry with backoff.
 #[must_use]
 pub fn reject_status(reason: RejectReason) -> u16 {
     match reason {
@@ -19,6 +21,7 @@ pub fn reject_status(reason: RejectReason) -> u16 {
         RejectReason::Shedding => 429,
         RejectReason::Draining => 503,
         RejectReason::QuotaExceeded => 429,
+        RejectReason::MemoryPressure => 507,
     }
 }
 
@@ -26,7 +29,7 @@ pub fn reject_status(reason: RejectReason) -> u16 {
 #[must_use]
 pub fn reject_wants_retry_after(reason: RejectReason) -> bool {
     match reason {
-        RejectReason::QueueFull | RejectReason::Shedding => true,
+        RejectReason::QueueFull | RejectReason::Shedding | RejectReason::MemoryPressure => true,
         RejectReason::Draining | RejectReason::QuotaExceeded => false,
     }
 }
@@ -49,6 +52,7 @@ pub fn error_status(err: &BitFlowError) -> u16 {
         BitFlowError::DeadlineExceeded => 504,
         BitFlowError::Cancelled => 499,
         BitFlowError::Rejected(reason) => reject_status(*reason),
+        BitFlowError::ResourceExhausted { .. } => 507,
         BitFlowError::Internal(_) => 500,
     }
 }
@@ -70,6 +74,7 @@ mod tests {
             (RejectReason::Shedding, 429, true),
             (RejectReason::Draining, 503, false),
             (RejectReason::QuotaExceeded, 429, false),
+            (RejectReason::MemoryPressure, 507, true),
         ];
         for (reason, status, wants_hint) in table {
             assert_eq!(reject_status(reason), status, "{reason:?}");
@@ -115,6 +120,14 @@ mod tests {
             (BitFlowError::Rejected(RejectReason::Shedding), 429),
             (BitFlowError::Rejected(RejectReason::Draining), 503),
             (BitFlowError::Rejected(RejectReason::QuotaExceeded), 429),
+            (BitFlowError::Rejected(RejectReason::MemoryPressure), 507),
+            (
+                BitFlowError::ResourceExhausted {
+                    what: "inference context",
+                    bytes: 4096,
+                },
+                507,
+            ),
             (BitFlowError::Internal("panic".into()), 500),
         ];
         for (err, status) in &table {

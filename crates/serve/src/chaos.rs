@@ -78,6 +78,12 @@ pub struct ChaosConfig {
     /// Probability (ppm) that a network response is truncated mid-write
     /// and the connection closed (simulates a dying peer or path).
     pub trunc_write_ppm: u32,
+    /// Allocation-failure injection: every Nth *accounted* reservation the
+    /// resource governor grants fails instead (the Nth, 2Nth, ...), as if
+    /// the allocator refused the bytes. 0 = never. A counter, not a ppm —
+    /// the reservation stream is ordered, so "the Nth reservation fails"
+    /// replays exactly under the same request sequence.
+    pub alloc_fail_nth: u64,
     /// Sleep injected by a slow-operator hit.
     pub slow: Duration,
     /// Sleep injected by a queue-stall hit.
@@ -104,6 +110,10 @@ impl ChaosConfig {
             conn_kill_ppm: 10_000,
             read_stall_ppm: 20_000,
             trunc_write_ppm: 10_000,
+            // Allocation failures are not part of the default mix: they
+            // only make sense against a governor, so the exhaustion soak
+            // asks for them explicitly.
+            alloc_fail_nth: 0,
             slow: Self::DEFAULT_SLOW,
             stall: Self::DEFAULT_STALL,
         }
@@ -111,11 +121,13 @@ impl ChaosConfig {
 
     /// Parses `BITFLOW_CHAOS`. Unset or empty → `None` (no chaos).
     ///
-    /// Format: `seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm[:conn_kill_ppm[:read_stall_ppm[:trunc_write_ppm]]]]]]]`
+    /// Format: `seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm[:conn_kill_ppm[:read_stall_ppm[:trunc_write_ppm[:alloc_fail_nth]]]]]]]]`
     /// — a bare seed uses the [`ChaosConfig::with_seed`] default mix;
-    /// trailing fields override individual rates. Malformed values fall
-    /// back to the defaults rather than erroring: chaos configuration
-    /// must never take the server down.
+    /// trailing fields override individual rates. The last field is a
+    /// count, not a ppm: every Nth accounted reservation fails (0, the
+    /// default, never injects). Malformed values fall back to the
+    /// defaults rather than erroring: chaos configuration must never take
+    /// the server down.
     #[must_use]
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var("BITFLOW_CHAOS").ok()?;
@@ -151,6 +163,13 @@ impl ChaosConfig {
                 None => break,
             }
         }
+        // The allocation-failure field is a count (fail every Nth
+        // reservation), not a ppm, so it is parsed outside the rate loop.
+        if let Some(v) = parts.next() {
+            if let Ok(nth) = v.trim().parse::<u64>() {
+                cfg.alloc_fail_nth = nth;
+            }
+        }
         Some(cfg)
     }
 
@@ -164,6 +183,16 @@ impl ChaosConfig {
             || self.conn_kill_ppm > 0
             || self.read_stall_ppm > 0
             || self.trunc_write_ppm > 0
+            || self.alloc_fail_nth > 0
+    }
+
+    /// Whether accounted reservation number `reservation` (1-based, in
+    /// grant order) fails with an injected allocation error. Every Nth
+    /// reservation fails: deterministic under a replayed request
+    /// sequence, no hashing needed — the stream is already ordered.
+    #[must_use]
+    pub fn alloc_fail_hit(&self, reservation: u64) -> bool {
+        self.alloc_fail_nth != 0 && reservation.is_multiple_of(self.alloc_fail_nth)
     }
 
     /// The (request, operator) decision: panic wins the roll's low range,
@@ -313,6 +342,24 @@ mod tests {
             (net.conn_kill_ppm, net.read_stall_ppm, net.trunc_write_ppm),
             (5, 6, 8)
         );
+        assert_eq!(net.alloc_fail_nth, 0, "alloc failures default off");
+        // The 9th field is the allocation-failure count.
+        let alloc = ChaosConfig::parse("7:1:2:3:4:5:6:8:16").unwrap();
+        assert_eq!(alloc.alloc_fail_nth, 16);
+        assert!(alloc.active());
+    }
+
+    #[test]
+    fn alloc_fail_fires_every_nth_reservation() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            alloc_fail_nth: 5,
+            ..ChaosConfig::default()
+        };
+        let hits: Vec<u64> = (1..=20).filter(|&r| cfg.alloc_fail_hit(r)).collect();
+        assert_eq!(hits, vec![5, 10, 15, 20]);
+        let off = ChaosConfig::default();
+        assert!((1..=1000).all(|r| !off.alloc_fail_hit(r)));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::Duration;
 use bitflow_telemetry::FlightRecorder;
 
 use crate::chaos::ChaosConfig;
+use crate::govern::GovernorConfig;
 
 /// What `submit` does when the admission queue is at capacity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,6 +72,11 @@ pub struct ServerConfig {
     pub coalesce_window: Duration,
     /// Circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Memory budgets for the resource governor
+    /// ([`crate::ResourceGovernor`]). The default is unmetered in both
+    /// scopes: usage is still accounted (gauges stay truthful) but
+    /// nothing is refused for it.
+    pub govern: GovernorConfig,
     /// Fault injection; `None` serves faithfully.
     pub chaos: Option<ChaosConfig>,
     /// Request-lifecycle tracing sink. `None` (the default) disables
@@ -92,6 +98,7 @@ impl Default for ServerConfig {
             max_batch: 8,
             coalesce_window: Duration::ZERO,
             breaker: BreakerConfig::default(),
+            govern: GovernorConfig::default(),
             chaos: None,
             recorder: None,
         }
@@ -109,6 +116,10 @@ impl ServerConfig {
     ///   `1` disables batching.
     /// * `BITFLOW_SERVE_COALESCE_US` — max wait for an under-full batch,
     ///   microseconds; `0` (default) never waits.
+    /// * `BITFLOW_MEM_BUDGET` — global byte budget for the resource
+    ///   governor; `0` (default) leaves it unmetered.
+    /// * `BITFLOW_MEM_TENANT_BUDGET` — per-tenant byte budget; `0`
+    ///   (default) unmetered.
     /// * `BITFLOW_CHAOS` — fault injection
     ///   (`seed[:slow_ppm[:panic_ppm[:stall_ppm[:kill_ppm]]]]`).
     /// * `BITFLOW_TRACE` (with `BITFLOW_TRACE_SAMPLE` /
@@ -135,6 +146,12 @@ impl ServerConfig {
         if let Some(v) = env_u64("BITFLOW_SERVE_COALESCE_US") {
             cfg.coalesce_window = Duration::from_micros(v);
         }
+        if let Some(v) = env_u64("BITFLOW_MEM_BUDGET") {
+            cfg.govern.global_budget = (v > 0).then_some(v);
+        }
+        if let Some(v) = env_u64("BITFLOW_MEM_TENANT_BUDGET") {
+            cfg.govern.tenant_budget = (v > 0).then_some(v);
+        }
         cfg.chaos = ChaosConfig::from_env();
         cfg.recorder = FlightRecorder::from_env();
         cfg
@@ -158,6 +175,7 @@ mod tests {
         assert!(cfg.default_deadline.is_none());
         assert_eq!(cfg.shed_policy, ShedPolicy::RejectNewest);
         assert!(cfg.chaos.is_none());
+        assert_eq!(cfg.govern, GovernorConfig::default(), "unmetered default");
         assert!(cfg.breaker.fault_threshold >= 1);
         assert!(cfg.max_batch >= 1);
         assert_eq!(

@@ -37,7 +37,15 @@
 //!    accountable, and [`ModelClient::swap`] hot-swaps a tenant's model
 //!    with zero downtime (in-flight requests finish on the weights they
 //!    were admitted with).
-//! 6. **Chaos is a first-class citizen.** [`ChaosConfig`] injects
+//! 6. **Resource governance.** A [`ResourceGovernor`] meters the bytes
+//!    behind registered weights, worker contexts, and admitted request
+//!    payloads against global and per-tenant budgets, each charge held
+//!    by an RAII [`MemoryLease`]. Sustained pressure degrades service
+//!    through a brownout state machine ([`DegradationState`]) — shed
+//!    [`Priority::Low`] tenants first, shrink coalesce windows, report
+//!    the state on every health surface — instead of letting the
+//!    allocator abort the process.
+//! 7. **Chaos is a first-class citizen.** [`ChaosConfig`] injects
 //!    seed-deterministic slow operators, panicking operators, queue
 //!    stalls, and worker kills, so the soak tests exercise every failure
 //!    path above without wall-clock flakiness deciding *which* path —
@@ -51,10 +59,12 @@
 
 pub mod chaos;
 pub mod config;
+pub mod govern;
 pub mod registry;
 pub mod server;
 
 pub use chaos::ChaosConfig;
 pub use config::{BreakerConfig, ServerConfig, ShedPolicy};
+pub use govern::{DegradationState, GovernorConfig, MemoryLease, Priority, ResourceGovernor};
 pub use registry::{ModelEntry, ModelRegistry, DEFAULT_MODEL};
 pub use server::{ModelClient, ResponseHandle, Server};

@@ -25,10 +25,12 @@
 //! and resetting them mid-serve would break the conservation law.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use bitflow_graph::CompiledModel;
 use bitflow_telemetry::ServeGauges;
+
+use crate::govern::{MemoryLease, Priority, TenantAccount};
 
 /// Name under which [`ModelRegistry::single`] registers its only model
 /// (the single-model [`crate::Server::start`] path).
@@ -50,13 +52,26 @@ pub struct ModelEntry {
     model: Mutex<Arc<CompiledModel>>,
     gauges: Arc<ServeGauges>,
     quota: Option<u64>,
+    priority: Priority,
     in_flight: AtomicU64,
     swaps: AtomicU64,
     ewma_batch_ns: AtomicU64,
+    /// This tenant's byte ledger with the resource governor, bound once
+    /// at server start.
+    account: OnceLock<Arc<TenantAccount>>,
+    /// The forced charge for the weights currently served under this
+    /// name; replaced on hot swap (the displaced model's bytes are
+    /// released when its lease drops).
+    weight_lease: Mutex<Option<MemoryLease>>,
 }
 
 impl ModelEntry {
-    fn new(name: String, model: Arc<CompiledModel>, quota: Option<u64>) -> Self {
+    fn new(
+        name: String,
+        model: Arc<CompiledModel>,
+        quota: Option<u64>,
+        priority: Priority,
+    ) -> Self {
         let gauges = match model.telemetry() {
             Some(t) => t.serve(),
             None => Arc::new(ServeGauges::default()),
@@ -66,9 +81,12 @@ impl ModelEntry {
             model: Mutex::new(model),
             gauges,
             quota,
+            priority,
             in_flight: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             ewma_batch_ns: AtomicU64::new(0),
+            account: OnceLock::new(),
+            weight_lease: Mutex::new(None),
         }
     }
 
@@ -100,6 +118,30 @@ impl ModelEntry {
     #[must_use]
     pub fn quota(&self) -> Option<u64> {
         self.quota
+    }
+
+    /// This tenant's shedding class under brownout.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Binds this entry to its governor account (server start; first
+    /// bind wins).
+    pub(crate) fn bind_account(&self, account: Arc<TenantAccount>) {
+        let _ = self.account.set(account);
+    }
+
+    /// The governor account metering this tenant, once bound.
+    pub(crate) fn account(&self) -> Option<&Arc<TenantAccount>> {
+        self.account.get()
+    }
+
+    /// Installs the forced weight charge for the currently served model,
+    /// returning the displaced model's lease (dropped by the caller,
+    /// releasing its bytes).
+    pub(crate) fn set_weight_lease(&self, lease: MemoryLease) -> Option<MemoryLease> {
+        lock(&self.weight_lease).replace(lease)
     }
 
     /// Requests admitted for this entry and not yet resolved.
@@ -209,7 +251,8 @@ impl ModelRegistry {
         reg
     }
 
-    /// Registers `model` under `name` with an optional admission quota.
+    /// Registers `model` under `name` with an optional admission quota
+    /// and [`Priority::Normal`] brownout class.
     ///
     /// # Panics
     /// If `name` is already registered — tenancy names must be unique.
@@ -219,12 +262,28 @@ impl ModelRegistry {
         model: Arc<CompiledModel>,
         quota: Option<u64>,
     ) -> Arc<ModelEntry> {
+        self.register_with_priority(name, model, quota, Priority::Normal)
+    }
+
+    /// [`ModelRegistry::register`] with an explicit brownout priority
+    /// class: under degradation, [`Priority::Low`] tenants are shed
+    /// first and [`Priority::High`] tenants last.
+    ///
+    /// # Panics
+    /// If `name` is already registered — tenancy names must be unique.
+    pub fn register_with_priority(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<CompiledModel>,
+        quota: Option<u64>,
+        priority: Priority,
+    ) -> Arc<ModelEntry> {
         let name = name.into();
         assert!(
             self.get(&name).is_none(),
             "model `{name}` is already registered"
         );
-        let entry = Arc::new(ModelEntry::new(name, model, quota));
+        let entry = Arc::new(ModelEntry::new(name, model, quota, priority));
         self.entries.push(Arc::clone(&entry));
         entry
     }
@@ -291,6 +350,17 @@ mod tests {
         let mut reg = ModelRegistry::new();
         reg.register("a", model(1), None);
         reg.register("a", model(2), None);
+    }
+
+    #[test]
+    fn priority_defaults_to_normal_and_is_settable() {
+        let mut reg = ModelRegistry::new();
+        let plain = reg.register("plain", model(1), None);
+        assert_eq!(plain.priority(), Priority::Normal);
+        let low = reg.register_with_priority("batchy", model(2), None, Priority::Low);
+        assert_eq!(low.priority(), Priority::Low);
+        let high = reg.register_with_priority("paying", model(3), None, Priority::High);
+        assert_eq!(high.priority(), Priority::High);
     }
 
     #[test]

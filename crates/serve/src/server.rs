@@ -55,6 +55,7 @@ use bitflow_tensor::Tensor;
 use crate::chaos;
 use crate::chaos::ChaosConfig;
 use crate::config::{ServerConfig, ShedPolicy};
+use crate::govern::{DegradationState, MemoryLease, ResourceGovernor};
 use crate::registry::{ModelEntry, ModelRegistry};
 
 /// Locks, treating poisoning as recovered: the runtime catches panics
@@ -170,6 +171,9 @@ struct Request {
     popped_at: Instant,
     /// Lifecycle trace travelling with the request (`None`: tracing off).
     trace: Option<TraceRef>,
+    /// The governor's byte charge for this request's payload, released
+    /// (by drop) when the request resolves — whatever path resolves it.
+    _lease: Option<MemoryLease>,
 }
 
 struct QueueState {
@@ -186,6 +190,7 @@ struct BreakerState {
 struct Shared {
     registry: ModelRegistry,
     default_entry: Arc<ModelEntry>,
+    governor: Arc<ResourceGovernor>,
     config: ServerConfig,
     queue: Mutex<QueueState>,
     available: Condvar,
@@ -279,10 +284,26 @@ impl Server {
                 }
             }
         }
+        let alloc_fail_nth = config.chaos.as_ref().map_or(0, |c| c.alloc_fail_nth);
+        let governor = ResourceGovernor::new(config.govern, alloc_fail_nth);
+        for entry in registry.entries() {
+            let account = governor.tenant(entry.name(), &entry.gauges());
+            entry.bind_account(Arc::clone(&account));
+            // Weights are a forced charge: the server must start even
+            // overcommitted — the pressure ratio then exceeds 1.0 and the
+            // brownout machine degrades service instead of refusing to
+            // exist. The lease follows the *served* model (hot swaps
+            // re-lease); a displaced model draining its last requests is
+            // transiently unaccounted, bounded by the drain.
+            let model = entry.current();
+            let bytes = (model.float_model_bytes() + model.packed_model_bytes()) as u64;
+            let _ = entry.set_weight_lease(governor.reserve_forced(&account, bytes));
+        }
         let default_entry = Arc::clone(&registry.entries()[0]);
         let shared = Arc::new(Shared {
             registry,
             default_entry,
+            governor,
             config,
             queue: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -431,6 +452,21 @@ impl Server {
                 RejectReason::Draining,
             ));
         }
+        // Brownout: every submission re-evaluates the state machine (a
+        // few relaxed loads), then the tenant's priority class decides
+        // whether this state sheds it — before the request costs queue
+        // space or bytes.
+        sh.governor
+            .evaluate(q.items.len(), sh.config.queue_capacity);
+        if sh.governor.sheds(entry.priority()) {
+            return Err(reject_traced(
+                sh,
+                entry,
+                &trace,
+                t_submit,
+                RejectReason::MemoryPressure,
+            ));
+        }
         if q.items.len() >= sh.config.queue_capacity {
             match sh.config.shed_policy {
                 ShedPolicy::RejectNewest => {
@@ -465,6 +501,27 @@ impl Server {
                 }
             }
         }
+        // The payload's byte charge rides just ahead of the quota: the
+        // lease is RAII, so a quota reject below releases it by drop and
+        // the "no reject path needs a release" discipline still holds.
+        let lease = match entry.account() {
+            Some(account) => {
+                let bytes = std::mem::size_of_val(input.data()) as u64;
+                match sh.governor.reserve(account, bytes, "request payload") {
+                    Ok(lease) => Some(lease),
+                    Err(_) => {
+                        return Err(reject_traced(
+                            sh,
+                            entry,
+                            &trace,
+                            t_submit,
+                            RejectReason::MemoryPressure,
+                        ))
+                    }
+                }
+            }
+            None => None,
+        };
         // Quota last, after every other reject: a charge is then always
         // matched by a queued request, and no reject path needs a release.
         if !entry.try_admit() {
@@ -493,6 +550,7 @@ impl Server {
             enqueued_at: now,
             popped_at: now,
             trace,
+            _lease: lease,
         });
         entry.counters().enqueued();
         drop(q);
@@ -559,6 +617,53 @@ impl Server {
     #[must_use]
     pub fn breaker_open(&self) -> bool {
         self.shared.breaker_open()
+    }
+
+    /// The resource governor metering this server's byte budgets.
+    #[must_use]
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.shared.governor
+    }
+
+    /// Re-evaluates and returns the degradation state. Health endpoints
+    /// poll this; the polling itself drives autonomous recovery — an
+    /// idle server steps back toward `Normal` as soon as anything looks
+    /// at it.
+    #[must_use]
+    pub fn degradation_state(&self) -> DegradationState {
+        let depth = lock(&self.shared.queue).items.len();
+        self.shared
+            .governor
+            .evaluate(depth, self.shared.config.queue_capacity)
+    }
+
+    /// Charges `bytes` of not-yet-read request body against `tenant`'s
+    /// budget — the network front-end calls this before reading a body,
+    /// so a hostile `content-length` is refused before a byte is
+    /// buffered. `Ok(None)` when the tenant is unknown (the router 404s
+    /// later) and when governance is unbound; `Err` maps to
+    /// [`RejectReason::MemoryPressure`]. No serving counters move here:
+    /// the request was never submitted, so the conservation law is
+    /// untouched.
+    pub fn reserve_body(
+        &self,
+        tenant: Option<&str>,
+        bytes: u64,
+    ) -> Result<Option<MemoryLease>, RejectReason> {
+        let entry = match tenant {
+            None => &self.shared.default_entry,
+            Some(name) => match self.shared.registry.get(name) {
+                Some(e) => e,
+                None => return Ok(None),
+            },
+        };
+        match entry.account() {
+            Some(account) => match self.shared.governor.reserve(account, bytes, "request body") {
+                Ok(lease) => Ok(Some(lease)),
+                Err(_) => Err(RejectReason::MemoryPressure),
+            },
+            None => Ok(None),
+        }
     }
 
     /// Whether the server has begun draining for shutdown. New
@@ -716,7 +821,15 @@ impl ModelClient<'_> {
                 let _ = new.install_fault_hook(chaos::fault_hook(chaos_cfg.clone()));
             }
         }
-        self.entry.swap_model(new)
+        let bytes = (new.float_model_bytes() + new.packed_model_bytes()) as u64;
+        let old = self.entry.swap_model(new);
+        // Re-lease the weight charge for the replacement; dropping the
+        // displaced lease releases the old model's bytes.
+        if let Some(account) = self.entry.account() {
+            let lease = self.server.shared.governor.reserve_forced(account, bytes);
+            drop(self.entry.set_weight_lease(lease));
+        }
+        old
     }
 }
 
@@ -769,6 +882,7 @@ fn resolve_dead(shared: &Shared, req: &Request) {
         req.slot.resolve(Err(BitFlowError::Cancelled));
     } else {
         req.entry.counters().shed_deadline();
+        shared.governor.record_outcome(true);
         req.slot.resolve(Err(BitFlowError::DeadlineExceeded));
     }
     if let Some(t) = &req.trace {
@@ -789,28 +903,54 @@ fn resolve_dead(shared: &Shared, req: &Request) {
 /// so the common single-tenant path reuses one context forever.
 #[derive(Default)]
 struct CtxCache {
-    slot: Option<(Arc<CompiledModel>, InferenceContext)>,
+    /// Model, its scratch context, and the governor's byte charge for
+    /// that context (held while cached; released when the worker hops
+    /// to another model or exits).
+    slot: Option<(Arc<CompiledModel>, InferenceContext, Option<MemoryLease>)>,
 }
 
 impl CtxCache {
-    fn ctx_for(&mut self, model: &Arc<CompiledModel>) -> &mut InferenceContext {
+    /// The cached context for `model`, building one fallibly on a miss:
+    /// the allocation goes through [`CompiledModel::try_new_context`]
+    /// and its bytes are charged to the request's tenant — the typed
+    /// error on refusal fails one request instead of aborting the
+    /// worker.
+    fn try_ctx_for(
+        &mut self,
+        shared: &Shared,
+        req: &Request,
+    ) -> Result<&mut InferenceContext, BitFlowError> {
+        let model = &req.model;
         let stale = match &self.slot {
-            Some((cached, _)) => !Arc::ptr_eq(cached, model),
+            Some((cached, _, _)) => !Arc::ptr_eq(cached, model),
             None => true,
         };
         if stale {
-            self.slot = Some((Arc::clone(model), model.new_context()));
+            // Free the displaced context's charge before building the
+            // replacement, so a tight budget can still hop tenants.
+            self.slot = None;
+            let ctx = model.try_new_context()?;
+            let lease = match req.entry.account() {
+                Some(account) => Some(shared.governor.reserve(
+                    account,
+                    ctx.activation_bytes() as u64,
+                    "inference context",
+                )?),
+                None => None,
+            };
+            self.slot = Some((Arc::clone(model), ctx, lease));
         }
         match &mut self.slot {
-            Some((_, ctx)) => ctx,
+            Some((_, ctx, _)) => Ok(ctx),
             None => unreachable!("slot was just filled"),
         }
     }
 
     /// Replaces the cached context after an isolated fault (the scratch
-    /// state is suspect).
+    /// state is suspect). Same model, same footprint: the existing
+    /// lease stays.
     fn replace(&mut self) {
-        if let Some((model, ctx)) = &mut self.slot {
+        if let Some((model, ctx, _)) = &mut self.slot {
             *ctx = model.new_context();
         }
     }
@@ -882,7 +1022,10 @@ fn pop_batch(shared: &Shared) -> Option<Vec<Request>> {
     let mut batch = vec![head];
     if max > 1 {
         take_compatible(&mut q, &mut batch, max);
-        let window = shared.config.coalesce_window;
+        // Brownout shrinks the window (and Shed zeroes it): a pressured
+        // server serves-and-frees instead of holding requests to wait
+        // for company.
+        let window = shared.governor.scaled_window(shared.config.coalesce_window);
         if batch.len() < max && window > Duration::ZERO && !q.draining {
             // Cap the wait by what the head's deadline can absorb: a batch
             // that forms too late to serve its own head is worse than no
@@ -1011,7 +1154,16 @@ fn serve_batch(shared: &Shared, cache: &mut CtxCache, batch: Vec<Request>) {
         // can buy without spare cores. Items share one model
         // (`take_compatible` groups by model), so the cache stays warm.
         for req in &live {
-            let ctx = cache.ctx_for(&req.model);
+            let ctx = match cache.try_ctx_for(shared, req) {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    // Context creation refused (budget or injected
+                    // allocation failure): this request fails typed, the
+                    // worker lives, and the next pop retries the build.
+                    account(shared, req, Err(e));
+                    continue;
+                }
+            };
             let t0 = Instant::now();
             let result = req.model.catch_fault(|| {
                 let _tag = bitflow_graph::enter_infer_tag(req.id);
@@ -1072,10 +1224,14 @@ fn account(shared: &Shared, req: &Request, result: Result<Vec<f32>, BitFlowError
     match &result {
         Ok(_) => {
             req.entry.counters().completed();
+            shared.governor.record_outcome(false);
             shared.breaker_success();
         }
         Err(BitFlowError::Cancelled) => req.entry.counters().cancelled(),
-        Err(BitFlowError::DeadlineExceeded) => req.entry.counters().deadline_missed(),
+        Err(BitFlowError::DeadlineExceeded) => {
+            req.entry.counters().deadline_missed();
+            shared.governor.record_outcome(true);
+        }
         Err(BitFlowError::Internal(_)) => {
             // A panic isolated inside inference. This is the only outcome
             // that feeds the breaker.

@@ -48,8 +48,9 @@ pub use metrics::{
 pub use recorder::{FlightRecorder, RecorderConfig, RecorderStats};
 pub use roofline::{BwSource, Roofline};
 pub use snapshot::{
-    BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
-    ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    BatchSnapshot, GovernSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound,
+    OpSnapshot, PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES,
+    SCHEMA_VERSION,
 };
 pub use span::{
     JsonLinesSink, NoopSink, OpSpan, RequestTrace, RingSink, SpanSink, Stage, StageSpan,

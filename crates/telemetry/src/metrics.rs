@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use crate::hist::{bucket_upper_edge, LatencyHistogram};
 use crate::snapshot::{
-    BatchSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot, ServeSnapshot,
-    SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    BatchSnapshot, GovernSnapshot, HistBucket, MetricsSnapshot, OpBound, OpSnapshot, PerfSnapshot,
+    ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
 };
 use crate::span::{NoopSink, RequestTrace, SpanSink};
 
@@ -288,6 +288,13 @@ pub struct ServeGauges {
     net_malformed_requests: AtomicU64,
     net_bytes_in: AtomicU64,
     net_bytes_out: AtomicU64,
+    rejected_memory: AtomicU64,
+    net_accept_errors: AtomicU64,
+    net_spawn_sheds: AtomicU64,
+    mem_used_bytes: AtomicU64,
+    mem_budget_bytes: AtomicU64,
+    mem_leases: AtomicU64,
+    degradation_state: AtomicU64,
     stage_queue_wait: StageTimer,
     stage_batch_wait: StageTimer,
     stage_exec: StageTimer,
@@ -314,13 +321,15 @@ impl ServeGauges {
     }
 
     /// A submission was refused with the given rejection label
-    /// (`"queue_full"`, `"shedding"`, `"draining"`, `"quota"` — anything
-    /// else counts as queue-full, the conservative bucket).
+    /// (`"queue_full"`, `"shedding"`, `"draining"`, `"quota"`,
+    /// `"memory"` — anything else counts as queue-full, the conservative
+    /// bucket).
     pub fn rejected(&self, label: &str) {
         match label {
             "shedding" => &self.rejected_shedding,
             "draining" => &self.rejected_draining,
             "quota" => &self.rejected_quota,
+            "memory" => &self.rejected_memory,
             _ => &self.rejected_queue_full,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -423,6 +432,49 @@ impl ServeGauges {
         self.net_bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// The accept loop's `accept(2)` returned a non-transient error
+    /// (EMFILE/ENFILE descriptor exhaustion included).
+    pub fn accept_error(&self) {
+        self.net_accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was shed because its handler thread could not be
+    /// spawned — counted apart from cap rejections so descriptor/thread
+    /// exhaustion is visible as its own failure mode.
+    pub fn spawn_shed(&self) {
+        self.net_spawn_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The resource governor granted a lease of `bytes`. Raises the
+    /// used-bytes and live-lease gauges.
+    pub fn mem_reserved(&self, bytes: u64) {
+        self.mem_used_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.mem_leases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A memory lease of `bytes` was released. Lowers the used-bytes and
+    /// live-lease gauges.
+    pub fn mem_released(&self, bytes: u64) {
+        self.mem_used_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.mem_leases.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the governor's global byte budget (0 = unbudgeted).
+    pub fn set_mem_budget(&self, bytes: u64) {
+        self.mem_budget_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Publishes the brownout state machine's current state
+    /// (0 = Normal, 1 = Brownout, 2 = Shed).
+    pub fn set_degradation_state(&self, state: u64) {
+        self.degradation_state.store(state, Ordering::Relaxed);
+    }
+
+    /// The brownout state machine's last published state.
+    pub fn degradation_state(&self) -> u64 {
+        self.degradation_state.load(Ordering::Relaxed)
+    }
+
     /// A request spent `ns` in the admission queue before a worker popped
     /// it.
     #[inline]
@@ -488,6 +540,15 @@ impl ServeGauges {
             net_malformed_requests: self.net_malformed_requests.load(Ordering::Relaxed),
             net_bytes_in: self.net_bytes_in.load(Ordering::Relaxed),
             net_bytes_out: self.net_bytes_out.load(Ordering::Relaxed),
+            govern: GovernSnapshot {
+                rejected_memory: self.rejected_memory.load(Ordering::Relaxed),
+                net_accept_errors: self.net_accept_errors.load(Ordering::Relaxed),
+                net_spawn_sheds: self.net_spawn_sheds.load(Ordering::Relaxed),
+                mem_used_bytes: self.mem_used_bytes.load(Ordering::Relaxed),
+                mem_budget_bytes: self.mem_budget_bytes.load(Ordering::Relaxed),
+                mem_leases: self.mem_leases.load(Ordering::Relaxed),
+                degradation_state: self.degradation_state.load(Ordering::Relaxed),
+            },
             stage_queue_wait: self.stage_queue_wait.snapshot(),
             stage_batch_wait: self.stage_batch_wait.snapshot(),
             stage_exec: self.stage_exec.snapshot(),
@@ -522,6 +583,9 @@ impl ServeGauges {
             &self.net_malformed_requests,
             &self.net_bytes_in,
             &self.net_bytes_out,
+            &self.rejected_memory,
+            &self.net_accept_errors,
+            &self.net_spawn_sheds,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -536,7 +600,9 @@ impl ServeGauges {
         ] {
             t.reset();
         }
-        // queue_depth is a live gauge, not a counter: leave it alone.
+        // queue_depth, mem_used_bytes, mem_budget_bytes, mem_leases, and
+        // degradation_state are live gauges, not counters: leave them
+        // alone.
     }
 }
 

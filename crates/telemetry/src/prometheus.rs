@@ -354,6 +354,7 @@ impl MetricsSnapshot {
                 ("shedding", sv.rejected_shedding),
                 ("draining", sv.rejected_draining),
                 ("quota", sv.rejected_quota),
+                ("memory", sv.govern.rejected_memory),
             ]
             .into_iter()
             .map(|(reason, v)| (format!("{mlab},reason=\"{reason}\""), v.to_string()))
@@ -448,7 +449,7 @@ impl MetricsSnapshot {
             let _ = writeln!(s, "{name}_count{{{mlab}}} {}", stage.count);
         }
 
-        let net_counters: [(&str, &str, u64); 7] = [
+        let net_counters: [(&str, &str, u64); 9] = [
             (
                 "bitflow_net_accepted_conns_total",
                 "TCP connections accepted by the network front-end.",
@@ -484,6 +485,16 @@ impl MetricsSnapshot {
                 "Response bytes written to the wire.",
                 sv.net_bytes_out,
             ),
+            (
+                "bitflow_net_accept_errors_total",
+                "Accept-loop accept(2) errors (descriptor exhaustion included).",
+                sv.govern.net_accept_errors,
+            ),
+            (
+                "bitflow_net_spawn_sheds_total",
+                "Connections shed because a handler thread could not be spawned.",
+                sv.govern.net_spawn_sheds,
+            ),
         ];
         for (name, help, value) in net_counters {
             family(
@@ -495,6 +506,40 @@ impl MetricsSnapshot {
             );
         }
 
+        let mem_gauges: [(&str, &str, u64); 3] = [
+            (
+                "bitflow_mem_used_bytes",
+                "Bytes currently held by live memory leases.",
+                sv.govern.mem_used_bytes,
+            ),
+            (
+                "bitflow_mem_budget_bytes",
+                "The resource governor's global byte budget (0 = unbudgeted).",
+                sv.govern.mem_budget_bytes,
+            ),
+            (
+                "bitflow_mem_leases",
+                "Live memory leases outstanding.",
+                sv.govern.mem_leases,
+            ),
+        ];
+        for (name, help, value) in mem_gauges {
+            family(
+                &mut s,
+                name,
+                help,
+                "gauge",
+                vec![(mlab.clone(), value.to_string())],
+            );
+        }
+        family(
+            &mut s,
+            "bitflow_degradation_state",
+            "Brownout state machine: 0 Normal, 1 Brownout, 2 Shed.",
+            "gauge",
+            vec![(mlab.clone(), sv.govern.degradation_state.to_string())],
+        );
+
         s
     }
 }
@@ -502,8 +547,8 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use crate::snapshot::{
-        BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpSnapshot,
-        PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, SCHEMA_VERSION,
+        BatchSnapshot, GovernSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound,
+        OpSnapshot, PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, SCHEMA_VERSION,
     };
     use crate::OpKind;
 
@@ -585,6 +630,15 @@ mod tests {
                 net_malformed_requests: 5,
                 net_bytes_in: 123_456,
                 net_bytes_out: 65_432,
+                govern: GovernSnapshot {
+                    rejected_memory: 4,
+                    net_accept_errors: 3,
+                    net_spawn_sheds: 2,
+                    mem_used_bytes: 2_097_152,
+                    mem_budget_bytes: 8_388_608,
+                    mem_leases: 5,
+                    degradation_state: 2,
+                },
                 stage_queue_wait: StageSnapshot {
                     count: 12,
                     total_ns: 48_000,
@@ -655,6 +709,23 @@ mod tests {
         assert!(
             text.contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"quota\"} 3")
         );
+        assert!(
+            text.contains("bitflow_serve_rejected_total{model=\"small-cnn\",reason=\"memory\"} 4")
+        );
+    }
+
+    #[test]
+    fn governance_families_render() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE bitflow_mem_used_bytes gauge"));
+        assert!(text.contains("bitflow_mem_used_bytes{model=\"small-cnn\"} 2097152"));
+        assert!(text.contains("bitflow_mem_budget_bytes{model=\"small-cnn\"} 8388608"));
+        assert!(text.contains("bitflow_mem_leases{model=\"small-cnn\"} 5"));
+        assert!(text.contains("# TYPE bitflow_degradation_state gauge"));
+        assert!(text.contains("bitflow_degradation_state{model=\"small-cnn\"} 2"));
+        assert!(text.contains("# TYPE bitflow_net_accept_errors_total counter"));
+        assert!(text.contains("bitflow_net_accept_errors_total{model=\"small-cnn\"} 3"));
+        assert!(text.contains("bitflow_net_spawn_sheds_total{model=\"small-cnn\"} 2"));
     }
 
     #[test]

@@ -16,9 +16,12 @@ use crate::metrics::{OpKind, TileStats};
 /// micro-batch-size histogram; v5 added the network front-end counters
 /// (`net_*`: connections, timeouts, malformed requests, byte totals);
 /// v6 added the request-lifecycle stage histograms
-/// ([`StageSnapshot`]: queue-wait, batch-wait, exec, write).
+/// ([`StageSnapshot`]: queue-wait, batch-wait, exec, write);
+/// v7 added the resource-governance counters ([`GovernSnapshot`]:
+/// memory-pressure rejections, byte-budget gauges, degradation state,
+/// accept-error and spawn-shed counters).
 /// Readers must refuse to overwrite files written by a *newer* schema.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Upper edges of the served-batch-size histogram buckets. Batches larger
 /// than the last edge land in the implicit overflow bucket
@@ -76,6 +79,50 @@ impl Deserialize for StageSnapshot {
             count: Deserialize::from_value(v.field("count")?)?,
             total_ns: Deserialize::from_value(v.field("total_ns")?)?,
             buckets: Deserialize::from_value(v.field("buckets")?)?,
+        })
+    }
+}
+
+/// Resource-governance counters and gauges: the memory-budget and
+/// degradation-state face of the serving runtime, plus the accept-loop
+/// failure counters. Grouped so a v6 snapshot (no `govern` key, surfaced
+/// by the vendored serde as `Null`) reads back as all-zero defaults.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct GovernSnapshot {
+    /// Submissions refused because a byte budget (global or per-tenant)
+    /// could not cover the request.
+    pub rejected_memory: u64,
+    /// Accept-loop `accept(2)` errors (EMFILE/ENFILE descriptor
+    /// exhaustion included).
+    pub net_accept_errors: u64,
+    /// Connections shed because their handler thread could not be
+    /// spawned (counted apart from cap rejections).
+    pub net_spawn_sheds: u64,
+    /// Bytes currently held by live memory leases (gauge).
+    pub mem_used_bytes: u64,
+    /// The governor's global byte budget; 0 = unbudgeted (gauge).
+    pub mem_budget_bytes: u64,
+    /// Live memory leases outstanding (gauge).
+    pub mem_leases: u64,
+    /// Brownout state machine: 0 = Normal, 1 = Brownout, 2 = Shed (gauge).
+    pub degradation_state: u64,
+}
+
+// Manual impl so a v6 snapshot missing the `govern` field reads back as
+// zeroed governance counters — same pattern as [`StageSnapshot`].
+impl Deserialize for GovernSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            rejected_memory: Deserialize::from_value(v.field("rejected_memory")?)?,
+            net_accept_errors: Deserialize::from_value(v.field("net_accept_errors")?)?,
+            net_spawn_sheds: Deserialize::from_value(v.field("net_spawn_sheds")?)?,
+            mem_used_bytes: Deserialize::from_value(v.field("mem_used_bytes")?)?,
+            mem_budget_bytes: Deserialize::from_value(v.field("mem_budget_bytes")?)?,
+            mem_leases: Deserialize::from_value(v.field("mem_leases")?)?,
+            degradation_state: Deserialize::from_value(v.field("degradation_state")?)?,
         })
     }
 }
@@ -290,6 +337,9 @@ pub struct ServeSnapshot {
     pub net_bytes_in: u64,
     /// Response bytes written to the wire (including partial writes).
     pub net_bytes_out: u64,
+    /// Resource-governance counters and gauges (memory budgets, brownout
+    /// state, accept-loop failures).
+    pub govern: GovernSnapshot,
     /// Admission-queue wait distribution (enqueue → worker pop).
     pub stage_queue_wait: StageSnapshot,
     /// Batch-formation wait distribution (pop → micro-batch exec start:
@@ -493,6 +543,15 @@ mod tests {
                 net_malformed_requests: 3,
                 net_bytes_in: 40_960,
                 net_bytes_out: 8_192,
+                govern: GovernSnapshot {
+                    rejected_memory: 2,
+                    net_accept_errors: 1,
+                    net_spawn_sheds: 1,
+                    mem_used_bytes: 1_048_576,
+                    mem_budget_bytes: 4_194_304,
+                    mem_leases: 3,
+                    degradation_state: 1,
+                },
                 stage_queue_wait: StageSnapshot {
                     count: 7,
                     total_ns: 70_000,
@@ -567,6 +626,20 @@ mod tests {
         let back: ServeSnapshot = serde_json::from_str(&json).expect("v5 JSON parses");
         assert_eq!(back.stage_queue_wait, StageSnapshot::default());
         assert_eq!(back.net_bytes_in, 40_960);
+    }
+
+    #[test]
+    fn v6_serve_snapshot_without_govern_field_still_parses() {
+        let mut v = sample().serve.to_value();
+        match &mut v {
+            serde::Value::Object(fields) => fields.retain(|(k, _)| k != "govern"),
+            other => panic!("expected object, found {}", other.kind()),
+        }
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: ServeSnapshot = serde_json::from_str(&json).expect("v6 JSON parses");
+        assert_eq!(back.govern, GovernSnapshot::default());
+        assert_eq!(back.net_bytes_in, 40_960);
+        assert_eq!(back.stage_queue_wait.count, 7);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!    the two exporters can never drift apart silently.
 
 use bitflow_telemetry::{
-    BatchSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpKind, OpSnapshot,
-    PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES, SCHEMA_VERSION,
+    BatchSnapshot, GovernSnapshot, HistBucket, MachineSnapshot, MetricsSnapshot, OpBound, OpKind,
+    OpSnapshot, PerfSnapshot, ServeSnapshot, SizeBucket, StageSnapshot, BATCH_SIZE_EDGES,
+    SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -330,6 +331,15 @@ fn random_snapshot(seed: u64) -> MetricsSnapshot {
                 net_malformed_requests: rng.gen_range(0..10_000),
                 net_bytes_in: rng.gen_range(0..u32::MAX as u64),
                 net_bytes_out: rng.gen_range(0..u32::MAX as u64),
+                govern: GovernSnapshot {
+                    rejected_memory: rng.gen_range(0..10_000),
+                    net_accept_errors: rng.gen_range(0..10_000),
+                    net_spawn_sheds: rng.gen_range(0..10_000),
+                    mem_used_bytes: rng.gen_range(0..u32::MAX as u64),
+                    mem_budget_bytes: rng.gen_range(0..u32::MAX as u64),
+                    mem_leases: rng.gen_range(0..10_000),
+                    degradation_state: rng.gen_range(0..3),
+                },
                 stage_queue_wait: random_stage(&mut rng),
                 stage_batch_wait: random_stage(&mut rng),
                 stage_exec: random_stage(&mut rng),
@@ -445,6 +455,10 @@ proptest! {
             Some(back.serve.rejected_quota as f64)
         );
         prop_assert_eq!(
+            rejected_value(&series, "memory"),
+            Some(back.serve.govern.rejected_memory as f64)
+        );
+        prop_assert_eq!(
             series_value(&series, "bitflow_serve_batch_size_count", None),
             Some(back.serve.batches as f64)
         );
@@ -481,6 +495,32 @@ proptest! {
         prop_assert_eq!(
             series_value(&series, "bitflow_net_bytes_out_total", None),
             Some(back.serve.net_bytes_out as f64)
+        );
+
+        // Resource-governance counters and gauges round-trip too.
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_accept_errors_total", None),
+            Some(back.serve.govern.net_accept_errors as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_net_spawn_sheds_total", None),
+            Some(back.serve.govern.net_spawn_sheds as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_mem_used_bytes", None),
+            Some(back.serve.govern.mem_used_bytes as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_mem_budget_bytes", None),
+            Some(back.serve.govern.mem_budget_bytes as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_mem_leases", None),
+            Some(back.serve.govern.mem_leases as f64)
+        );
+        prop_assert_eq!(
+            series_value(&series, "bitflow_degradation_state", None),
+            Some(back.serve.govern.degradation_state as f64)
         );
 
         // Stage histograms: cumulative buckets terminated by +Inf, with

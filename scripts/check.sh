@@ -21,6 +21,14 @@
 #                             # twice: blesses a capacity baseline if
 #                             # missing, then gates against it — appended
 #                             # to results/history/load.jsonl)
+#   scripts/check.sh --govern # additionally run the resource-governance
+#                             # gate: strict clippy on bitflow-serve,
+#                             # the governor/chaos fault-injection unit
+#                             # tests, the model-header hostile-size fuzz,
+#                             # and the exhaustion soak in quick mode
+#                             # (mixed-priority tenants under injected
+#                             # allocation failure, conservation incl.
+#                             # rejected_memory, brownout + recovery)
 #   scripts/check.sh --perf   # additionally run the bench-regression gate
 #                             # (quick mode, twice: blesses a baseline if
 #                             # missing, then gates against it) and print
@@ -36,12 +44,14 @@ fast=0
 perf=0
 serve=0
 net=0
+govern=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --perf) perf=1 ;;
         --serve) serve=1 ;;
         --net) net=1 ;;
+        --govern) govern=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -96,6 +106,18 @@ if [[ $net -eq 1 ]]; then
     echo "==> load-to-failure sweep (quick, twice: bless-if-needed then gate)"
     cargo run --release -q -p bitflow-bench --bin loadgen -- --quick
     cargo run --release -q -p bitflow-bench --bin loadgen -- --quick
+fi
+
+if [[ $govern -eq 1 ]]; then
+    echo "==> clippy -p bitflow-serve (unwrap/expect denied on the serving runtime)"
+    cargo clippy -p bitflow-serve --all-targets -- -D warnings
+    echo "==> governor + chaos fault-injection unit tests"
+    cargo test -q -p bitflow-serve govern
+    cargo test -q -p bitflow-serve chaos
+    echo "==> model-header hostile-size fuzz (near-usize::MAX declared counts)"
+    cargo test -q -p bitflow-graph --test model_fuzz
+    echo "==> exhaustion soak (quick mode: injected allocation failure, brownout, recovery)"
+    BITFLOW_QUICK=1 cargo test -q --test exhaustion_soak
 fi
 
 if [[ $perf -eq 1 ]]; then

@@ -173,6 +173,7 @@ fn tcp_chaos_soak_conserves_per_tenant_and_preserves_logits() {
             chaos: Some(chaos.clone()),
             default_deadline: None,
             recorder: Some(Arc::clone(&recorder)),
+            ..ServerConfig::default()
         },
     ));
     let gauges_b = server.client("b").expect("registered").entry().gauges();

@@ -138,6 +138,7 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
             chaos: Some(chaos),
             default_deadline: None,
             recorder: None,
+            ..ServerConfig::default()
         },
     );
 
@@ -208,14 +209,22 @@ fn chaos_soak_conserves_every_request_and_preserves_logits() {
         "deadline outcomes split across shed/missed must sum to the client view"
     );
     assert_eq!(
-        snap.rejected_queue_full + snap.rejected_shedding + snap.rejected_draining,
+        snap.rejected_queue_full
+            + snap.rejected_shedding
+            + snap.rejected_draining
+            + snap.govern.rejected_memory,
         tally.rejected
     );
 
-    // The ServeSnapshot conservation law.
+    // The ServeSnapshot conservation law (rejected_* includes the
+    // resource governor's memory column).
     assert_eq!(
         snap.submitted,
-        snap.accepted + snap.rejected_queue_full + snap.rejected_shedding + snap.rejected_draining
+        snap.accepted
+            + snap.rejected_queue_full
+            + snap.rejected_shedding
+            + snap.rejected_draining
+            + snap.govern.rejected_memory
     );
     assert_eq!(
         snap.accepted,
@@ -296,6 +305,7 @@ fn multi_model_batched_chaos_soak_conserves_per_model() {
             chaos: Some(chaos),
             default_deadline: None,
             recorder: None,
+            ..ServerConfig::default()
         },
     );
     let gauges_b = server.client("b").expect("registered").entry().gauges();
@@ -371,7 +381,8 @@ fn multi_model_batched_chaos_soak_conserves_per_model() {
         let rejected = snap.rejected_queue_full
             + snap.rejected_shedding
             + snap.rejected_draining
-            + snap.rejected_quota;
+            + snap.rejected_quota
+            + snap.govern.rejected_memory;
         assert_eq!(snap.submitted, submitted[which], "model {which} submitted");
         assert_eq!(snap.completed, tally.completed, "model {which} completed");
         assert_eq!(snap.failed, tally.failed, "model {which} failed");
